@@ -1,0 +1,206 @@
+package cordial
+
+// Benchmarks regenerating every table and figure of the paper (one bench per
+// experiment, per DESIGN.md §3) plus the DESIGN.md §4 ablations. They run at
+// reduced scale so `go test -bench=.` completes in minutes; cmd/cordial-repro
+// regenerates the full-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+
+	"cordial/internal/core"
+	"cordial/internal/experiments"
+)
+
+// benchParams returns a reduced-scale configuration for benchmarking.
+func benchParams() experiments.Params {
+	p := experiments.Quick()
+	p.Spec.UERBanks = 60
+	p.Spec.BenignBanks = 150
+	p.Model = core.ModelParams{Trees: 15, Depth: 8, Leaves: 15}
+	return p
+}
+
+func BenchmarkTableI(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTableI(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTableII(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII_TableIV regenerates both evaluation tables (they share
+// one training run, as in the paper).
+func BenchmarkTableIII_TableIV(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		t3, t4, err := experiments.RunEvaluation(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t3.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if err := t4.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3a(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3a(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3b(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationUERBudget(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationUERBudget(p, []int{1, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBlockGeometry(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationBlockGeometry(p, []int{8, 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationWindow(p, []int{32, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFeatures(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationFeatures(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainPipeline measures end-to-end training cost (both stages).
+func BenchmarkTrainPipeline(b *testing.B) {
+	spec := DefaultFleetSpec()
+	spec.UERBanks = 60
+	spec.BenignBanks = 0
+	fleet, err := Simulate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(RandomForest)
+	cfg.Params = ModelParams{Trees: 15, Depth: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainWithConfig(cfg, fleet.Faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClassifyPattern measures single-bank inference latency.
+func BenchmarkClassifyPattern(b *testing.B) {
+	spec := DefaultFleetSpec()
+	spec.UERBanks = 60
+	spec.BenignBanks = 0
+	fleet, err := Simulate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(RandomForest)
+	cfg.Params = ModelParams{Trees: 15, Depth: 8}
+	pipe, err := TrainWithConfig(cfg, fleet.Faults)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := fleet.Faults[0].Events
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.ClassifyPattern(events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStability aggregates the headline comparison over three seeds.
+func BenchmarkStability(b *testing.B) {
+	p := benchParams()
+	p.Spec.BenignBanks = 0
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunStability(p, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneratorValidation cross-checks the two generation paths.
+func BenchmarkGeneratorValidation(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunGeneratorValidation(p, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command cordial-gen synthesises a fleet-scale HBM error log with ground
+// truth, standing in for the proprietary BMC/MCE dataset of the paper.
+//
+// Usage:
+//
+//	cordial-gen -seed 1 -uer-banks 300 -benign-banks 2200 \
+//	    -log fleet.mcelog -format binary -truth truth.json
+//
+// The log is written in the mcelog binary format (or JSON Lines with
+// -format jsonl); the ground truth (per-bank pattern and UER rows) is
+// written as JSON for cordial-train and offline analysis.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cordial/internal/hbm"
+	"cordial/internal/mcelog"
+	"cordial/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cordial-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed        = flag.Uint64("seed", 1, "deterministic generation seed")
+		uerBanks    = flag.Int("uer-banks", 300, "banks given a UER failure pattern")
+		benignBanks = flag.Int("benign-banks", 2200, "banks with only CE/UEO noise")
+		logPath     = flag.String("log", "fleet.mcelog", "output error-log path")
+		format      = flag.String("format", "binary", "log format: binary, jsonl or stream")
+		truthPath   = flag.String("truth", "truth.json", "output ground-truth path (empty to skip)")
+	)
+	flag.Parse()
+
+	spec := trace.DefaultSpec(hbm.DefaultGeometry)
+	spec.Seed = *seed
+	spec.UERBanks = *uerBanks
+	spec.BenignBanks = *benignBanks
+
+	fleet, err := trace.Generate(spec)
+	if err != nil {
+		return err
+	}
+
+	logFile, err := os.Create(*logPath)
+	if err != nil {
+		return err
+	}
+	defer logFile.Close()
+	switch *format {
+	case "binary":
+		err = fleet.Log.WriteBinary(logFile)
+	case "jsonl":
+		err = fleet.Log.WriteJSONL(logFile)
+	case "stream":
+		w := mcelog.NewStreamWriter(logFile)
+		for _, e := range fleet.Log.Events() {
+			if err := w.Write(e); err != nil {
+				return err
+			}
+		}
+		err = w.Flush()
+	default:
+		return fmt.Errorf("unknown format %q (want binary, jsonl or stream)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := logFile.Close(); err != nil {
+		return err
+	}
+
+	if *truthPath != "" {
+		truthFile, err := os.Create(*truthPath)
+		if err != nil {
+			return err
+		}
+		defer truthFile.Close()
+		enc := json.NewEncoder(truthFile)
+		if err := enc.Encode(fleet.Faults); err != nil {
+			return err
+		}
+		if err := truthFile.Close(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("generated %d events (%d faulty banks, %d benign banks) -> %s\n",
+		fleet.Log.Len(), len(fleet.Faults), len(fleet.BenignBankKeys), *logPath)
+	return nil
+}

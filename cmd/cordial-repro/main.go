@@ -1,0 +1,196 @@
+// Command cordial-repro regenerates every table and figure of the Cordial
+// paper from the calibrated simulator (see DESIGN.md §3 for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured numbers).
+//
+// Usage:
+//
+//	cordial-repro                 # everything, full scale
+//	cordial-repro -exp table4     # one experiment
+//	cordial-repro -scale quick    # reduced scale for a smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cordial/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cordial-repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig3a, fig3b, fig4, stability, validation, ablations")
+		scale = flag.String("scale", "full", "scale: full or quick")
+		seed  = flag.Uint64("seed", 0, "override fleet seed (0 keeps the default)")
+	)
+	flag.Parse()
+
+	var params experiments.Params
+	switch *scale {
+	case "full":
+		params = experiments.Default()
+	case "quick":
+		params = experiments.Quick()
+	default:
+		return fmt.Errorf("unknown scale %q (want full or quick)", *scale)
+	}
+	if *seed != 0 {
+		params.Spec.Seed = *seed
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := 0
+
+	section := func(title string) {
+		fmt.Printf("\n=== %s ===\n", title)
+	}
+
+	if want("table1") {
+		section("Table I — In-row Predictable Ratio of UERs")
+		res, err := experiments.RunTableI(params)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(row-level sudden ratio: %.2f%%; paper: 95.61%%)\n", res.RowLevelSuddenRatio()*100)
+		ran++
+	}
+	if want("table2") {
+		section("Table II — Summary of the Dataset")
+		res, err := experiments.RunTableII(params)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("fig3a") {
+		section("Figure 3(a) — Example Bank-level Failure Patterns (CSV scatter)")
+		res, err := experiments.RunFig3a(params)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("fig3b") {
+		section("Figure 3(b) — Bank Failure Pattern Distribution")
+		res, err := experiments.RunFig3b(params)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(aggregation patterns combined: %.1f%%; paper: 78.1%%)\n", res.AggregationShare()*100)
+		ran++
+	}
+	if want("fig4") {
+		section("Figure 4 — Statistical Significance of Distance Thresholds")
+		res, err := experiments.RunFig4(params)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(peak threshold: %d rows; paper: 128)\n", res.Peak())
+		ran++
+	}
+	if want("table3") || want("table4") {
+		section("Tables III & IV — Classification and Prediction Performance")
+		t3, t4, err := experiments.RunEvaluation(params)
+		if err != nil {
+			return err
+		}
+		if want("table3") {
+			fmt.Println("\nTable III — Performance of Failure Pattern Classification")
+			if err := t3.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Printf("(best backend: %s; paper: Random Forest)\n", t3.Best())
+			ran++
+		}
+		if want("table4") {
+			fmt.Println("\nTable IV — Performance of Different Failure Prediction Methods")
+			if err := t4.Render(os.Stdout); err != nil {
+				return err
+			}
+			ran++
+		}
+	}
+	if want("stability") {
+		section("Seed Stability (error bars for Table IV)")
+		seeds := 5
+		if *scale == "quick" {
+			seeds = 3
+		}
+		res, err := experiments.RunStability(params, seeds)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("validation") {
+		section("Generator Cross-validation (fast path vs physical ECC path)")
+		n := 200
+		if *scale == "quick" {
+			n = 50
+		}
+		res, err := experiments.RunGeneratorValidation(params, n)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(agreement within tolerance: %v)\n", res.Agree(0.15))
+		ran++
+	}
+	if want("ablations") {
+		section("Ablations (DESIGN.md §4)")
+		type runner func() (*experiments.Ablation, error)
+		for _, r := range []runner{
+			func() (*experiments.Ablation, error) { return experiments.RunAblationUERBudget(params, nil) },
+			func() (*experiments.Ablation, error) { return experiments.RunAblationBlockGeometry(params, nil) },
+			func() (*experiments.Ablation, error) { return experiments.RunAblationWindow(params, nil) },
+			func() (*experiments.Ablation, error) { return experiments.RunAblationFeatures(params) },
+		} {
+			res, err := r()
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			if err := res.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+		ran++
+	}
+
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q (want one of: all, table1, table2, table3, table4, fig3a, fig3b, fig4, stability, validation, ablations)", *exp)
+	}
+	if *exp == "all" {
+		fmt.Println(strings.Repeat("-", 60))
+		fmt.Println("all experiments regenerated; compare against EXPERIMENTS.md")
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Fleetmonitor: drive a trained Cordial pipeline in streaming mode, the way
+// a production reliability service would — error events arrive in time
+// order across the whole fleet, per-bank sessions accumulate context, and
+// mitigation decisions (row sparing, bank sparing) are emitted the moment
+// the pipeline has enough evidence.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"cordial"
+)
+
+func main() {
+	// Train on one simulated month...
+	trainSpec := cordial.DefaultFleetSpec()
+	trainSpec.UERBanks = 200
+	trainSpec.BenignBanks = 500
+	trainSpec.Seed = 1
+	trainFleet, err := cordial.Simulate(trainSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := cordial.Train(cordial.RandomForest, trainFleet.Faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...then monitor a fresh month, live.
+	liveSpec := trainSpec
+	liveSpec.UERBanks = 40
+	liveSpec.BenignBanks = 100
+	liveSpec.Seed = 2
+	live, err := cordial.Simulate(liveSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	strategy := cordial.NewStrategy(pipe, cordial.DefaultGeometry)
+	sessions := make(map[uint64]cordial.Session)
+
+	var bankSpares, rowSpares, decisions int
+	fmt.Println("streaming fleet events through Cordial...")
+	for i := 0; i < live.Log.Len(); i++ {
+		e := live.Log.At(i)
+		key := e.Addr.BankKey()
+		session, ok := sessions[key]
+		if !ok {
+			session = strategy.NewSession(cordial.BankOf(e.Addr))
+			sessions[key] = session
+		}
+		d := session.OnEvent(e)
+		switch {
+		case d.SpareBank:
+			bankSpares++
+			decisions++
+			fmt.Printf("%s  bank %s: scattered pattern -> BANK SPARE\n",
+				e.Time.Format("Jan 02 15:04"), cordial.BankOf(e.Addr))
+		case len(d.IsolateRows) > 0:
+			rowSpares += len(d.IsolateRows)
+			decisions++
+			if decisions <= 20 {
+				rows := d.IsolateRows
+				if len(rows) > 8 {
+					rows = rows[:8]
+				}
+				fmt.Printf("%s  bank %s: aggregation pattern -> row-spare %v (+%d more)\n",
+					e.Time.Format("Jan 02 15:04"), cordial.BankOf(e.Addr),
+					rows, len(d.IsolateRows)-len(rows))
+			}
+		}
+	}
+
+	fmt.Printf("\nmonitored %d events across %d error banks\n", live.Log.Len(), len(sessions))
+	fmt.Printf("decisions: %d (bank spares: %d, rows isolated: %d)\n",
+		decisions, bankSpares, rowSpares)
+
+	// How well did the live decisions anticipate the month's failures?
+	res, err := cordial.Evaluate(pipe, live.Faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isolation coverage of the live month: %.1f%% of UER rows isolated before failing\n",
+		res.ICR.Rate()*100)
+
+	// Largest banks by event volume, for the on-call engineer.
+	type bankLoad struct {
+		key uint64
+		n   int
+	}
+	var loads []bankLoad
+	for key, events := range live.Log.GroupByBank() {
+		loads = append(loads, bankLoad{key, len(events)})
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].n > loads[j].n })
+	fmt.Println("\nnoisiest banks this month:")
+	for i := 0; i < 5 && i < len(loads); i++ {
+		fmt.Printf("  %3d events\n", loads[i].n)
+	}
+}

@@ -1,0 +1,102 @@
+// Retraining: operate Cordial across a fleet whose failure behaviour drifts
+// — a single-row-dominated first quarter gives way to a scattered-heavy
+// regime (a bad firmware rollout, say). The Trainer retrains on a sliding
+// window and its chi-square drift detector pulls retraining forward when the
+// class mix shifts, keeping the pattern classifier honest.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cordial"
+)
+
+func main() {
+	// Two regimes, 45 days each.
+	spec := cordial.DriftSpec{
+		Fault: cordial.DefaultFaultConfig(),
+		Regimes: []cordial.Regime{
+			{
+				Duration: 45 * 24 * time.Hour,
+				UERBanks: 150,
+				Weights: cordial.PatternWeights{
+					cordial.PatternSingleRow: 75,
+					cordial.PatternDoubleRow: 10,
+					cordial.PatternScattered: 15,
+				},
+			},
+			{
+				Duration: 45 * 24 * time.Hour,
+				UERBanks: 150,
+				Weights: cordial.PatternWeights{
+					cordial.PatternSingleRow:   25,
+					cordial.PatternScattered:   55,
+					cordial.PatternWholeColumn: 20,
+				},
+			},
+		},
+		Seed: 7,
+	}
+	fleet, err := cordial.SimulateDrift(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drift fleet: %d banks over two regimes\n", len(fleet.Faults))
+	for r := 0; r < 2; r++ {
+		fmt.Printf("  regime %d mix: %v\n", r, fleet.MixOf(r))
+	}
+
+	cfg := cordial.DefaultConfig(cordial.RandomForest)
+	cfg.Params = cordial.ModelParams{Trees: 30, Depth: 8}
+	policy := cordial.RetrainPolicy{
+		Window:      40 * 24 * time.Hour,
+		Interval:    14 * 24 * time.Hour,
+		MinBanks:    40,
+		DriftPValue: 0.01,
+		DriftSample: 40,
+	}
+	trainer, err := cordial.NewTrainer(cfg, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the fleet in onset order; each bank's ground truth "resolves"
+	// a day after its first failure.
+	for _, bf := range fleet.Faults {
+		resolved := bf.UERTimes[0].Add(24 * time.Hour)
+		did, err := trainer.ObserveBank(bf, resolved)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if did {
+			kind := "scheduled"
+			if trainer.DriftRetrains > 0 && did {
+				kind = "scheduled/drift"
+			}
+			fmt.Printf("%s  retrained (%s) on recent window\n",
+				resolved.Format("Jan 02"), kind)
+		}
+	}
+	fmt.Printf("\nretrainings: %d total, %d triggered by drift detection\n",
+		trainer.Retrains, trainer.DriftRetrains)
+	if trainer.DriftRetrains > 0 {
+		fmt.Println("→ the regime change was caught by the chi-square mix test before the")
+		fmt.Println("  scheduled retrain, so the classifier adapted to the scattered-heavy mix early.")
+	}
+
+	// Sanity: the final pipeline still classifies current-regime banks.
+	correct, total := 0, 0
+	for _, bf := range fleet.Faults[len(fleet.Faults)-40:] {
+		got, err := trainer.Pipeline().ClassifyPattern(bf.Events)
+		if err != nil {
+			continue
+		}
+		total++
+		if got == bf.Class() {
+			correct++
+		}
+	}
+	fmt.Printf("final model accuracy on the last 40 banks: %d/%d\n", correct, total)
+}

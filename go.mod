@@ -1,0 +1,3 @@
+module cordial
+
+go 1.22

@@ -1,0 +1,133 @@
+// Package clitest builds the repository's command binaries and exercises
+// them end to end: generate → study → train → predict → repro.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildAll compiles every command into a temp dir once per test binary.
+func buildAll(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir()
+	for _, cmd := range []string{"cordial-gen", "cordial-train", "cordial-predict", "cordial-repro", "cordial-study"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "cordial/cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, args[0]), args[1:]...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildAll(t)
+	work := t.TempDir()
+	logPath := filepath.Join(work, "fleet.mcelog")
+	truthPath := filepath.Join(work, "truth.json")
+	modelPath := filepath.Join(work, "models.json")
+
+	// Generate a small fleet.
+	out := run(t, bin, "cordial-gen", "-seed", "5", "-uer-banks", "80",
+		"-benign-banks", "150", "-log", logPath, "-truth", truthPath)
+	if !strings.Contains(out, "80 faulty banks") {
+		t.Fatalf("gen output: %s", out)
+	}
+	if _, err := os.Stat(logPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Study the log.
+	out = run(t, bin, "cordial-study", "-log", logPath)
+	for _, want := range []string{"sudden-UER ratios", "Figure 4", "noisiest banks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("study output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Train on the ground truth.
+	out = run(t, bin, "cordial-train", "-truth", truthPath, "-model", "rf",
+		"-trees", "20", "-out", modelPath)
+	if !strings.Contains(out, "trained Random Forest on 80 banks") {
+		t.Fatalf("train output: %s", out)
+	}
+
+	// Predict over the log with the trained models.
+	out = run(t, bin, "cordial-predict", "-models", modelPath, "-log", logPath)
+	if !strings.Contains(out, "classified 80 of") {
+		t.Fatalf("predict output: %s", out)
+	}
+	if !strings.Contains(out, "action=row-spare") || !strings.Contains(out, "action=bank-spare") {
+		t.Fatalf("predict output missing actions:\n%s", out)
+	}
+}
+
+func TestCLIReproQuickSingleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildAll(t)
+	out := run(t, bin, "cordial-repro", "-scale", "quick", "-exp", "fig4")
+	if !strings.Contains(out, "peak threshold: 128 rows") {
+		t.Fatalf("fig4 output: %s", out)
+	}
+	out = run(t, bin, "cordial-repro", "-scale", "quick", "-exp", "table1")
+	if !strings.Contains(out, "Predictable Ratio") {
+		t.Fatalf("table1 output: %s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildAll(t)
+	// Unknown experiment fails with a helpful message.
+	cmd := exec.Command(filepath.Join(bin, "cordial-repro"), "-exp", "bogus", "-scale", "quick")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bogus experiment succeeded: %s", out)
+	}
+	if !strings.Contains(string(out), "unknown experiment") {
+		t.Fatalf("error output: %s", out)
+	}
+	// Missing log file fails cleanly.
+	cmd = exec.Command(filepath.Join(bin, "cordial-study"), "-log", "/nonexistent.mcelog")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("missing log accepted: %s", out)
+	}
+}
+
+func TestCLIStreamFormatRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildAll(t)
+	work := t.TempDir()
+	logPath := filepath.Join(work, "fleet.stream")
+	out := run(t, bin, "cordial-gen", "-seed", "6", "-uer-banks", "30",
+		"-benign-banks", "50", "-log", logPath, "-format", "stream", "-truth", "")
+	if !strings.Contains(out, "30 faulty banks") {
+		t.Fatalf("gen output: %s", out)
+	}
+	out = run(t, bin, "cordial-study", "-log", logPath, "-format", "stream")
+	if !strings.Contains(out, "sudden-UER ratios") {
+		t.Fatalf("study output: %s", out)
+	}
+}

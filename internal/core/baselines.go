@@ -1,0 +1,109 @@
+package core
+
+import (
+	"cordial/internal/ecc"
+	"cordial/internal/features"
+	"cordial/internal/hbm"
+	"cordial/internal/mcelog"
+)
+
+// NeighborRowsStrategy is the industrial baseline of §V-B: when a UER row is
+// identified, isolate the Radius rows on each side of it (8 adjacent rows at
+// the paper's radius of 4), hoping to contain propagation.
+type NeighborRowsStrategy struct {
+	// Radius is the number of rows isolated on each side (default 4).
+	Radius int
+	// Geometry clips the isolated rows.
+	Geometry hbm.Geometry
+	// Block is used only to express the heuristic as a block prediction
+	// for the Table IV block metrics; it must match the evaluation spec.
+	Block features.BlockSpec
+}
+
+var _ Strategy = (*NeighborRowsStrategy)(nil)
+
+// Name returns the paper's name for the baseline.
+func (s *NeighborRowsStrategy) Name() string { return "Neighbor Rows" }
+
+// NewSession returns per-bank state.
+func (s *NeighborRowsStrategy) NewSession(bank hbm.BankAddress) Session {
+	r := s.Radius
+	if r <= 0 {
+		r = 4
+	}
+	return &neighborSession{strategy: s, radius: r}
+}
+
+type neighborSession struct {
+	strategy *NeighborRowsStrategy
+	radius   int
+}
+
+func (s *neighborSession) OnEvent(e mcelog.Event) Decision {
+	if e.Class != ecc.ClassUER {
+		return Decision{}
+	}
+	anchor := e.Addr.Row
+	var rows []int
+	for r := anchor - s.radius; r <= anchor+s.radius; r++ {
+		if r == anchor || r < 0 || r >= s.strategy.Geometry.RowsPerBank {
+			continue
+		}
+		rows = append(rows, r)
+	}
+	// Express the heuristic in block terms: blocks overlapping the
+	// isolated neighbourhood count as predicted-positive.
+	spec := s.strategy.Block
+	var mask []bool
+	if spec.WindowRadius > 0 {
+		mask = make([]bool, spec.NumBlocks())
+		for b := range mask {
+			lo, hi := spec.BlockRange(anchor, b)
+			if hi >= anchor-s.radius && lo <= anchor+s.radius {
+				mask[b] = true
+			}
+		}
+	}
+	d := Decision{IsolateRows: rows}
+	if mask != nil {
+		d.Blocks = &BlockPrediction{AnchorRow: anchor, Predicted: mask}
+	}
+	return d
+}
+
+// InRowStrategy is the conventional in-row prediction paradigm the paper
+// argues against (§II-C): a row is predicted to fail only when it has shown
+// precursor errors, so the row is isolated as soon as it logs a CE or UEO.
+// Its coverage is bounded by the non-sudden ratio — 4.39% at row level in
+// Table I — which is the paper's motivating observation.
+type InRowStrategy struct {
+	Geometry hbm.Geometry
+}
+
+var _ Strategy = (*InRowStrategy)(nil)
+
+// Name returns the paradigm's name.
+func (s *InRowStrategy) Name() string { return "In-row" }
+
+// NewSession returns per-bank state.
+func (s *InRowStrategy) NewSession(bank hbm.BankAddress) Session {
+	return &inRowSession{}
+}
+
+type inRowSession struct {
+	isolated map[int]bool
+}
+
+func (s *inRowSession) OnEvent(e mcelog.Event) Decision {
+	if e.Class != ecc.ClassCE && e.Class != ecc.ClassUEO {
+		return Decision{}
+	}
+	if s.isolated == nil {
+		s.isolated = make(map[int]bool)
+	}
+	if s.isolated[e.Addr.Row] {
+		return Decision{}
+	}
+	s.isolated[e.Addr.Row] = true
+	return Decision{IsolateRows: []int{e.Addr.Row}}
+}

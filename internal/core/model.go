@@ -1,0 +1,236 @@
+// Package core implements Cordial itself (§IV): failure-pattern feature
+// extraction feeding a three-way pattern classifier trained on the first
+// three UERs of a bank, cross-row failure prediction over 16 blocks of 8
+// rows in the ±64-row window around the last UER, and the isolation policy
+// that row-spares predicted rows for aggregation patterns and bank-spares
+// scattered ones. The package also provides the industrial baselines the
+// paper compares against and the evaluation harness that produces the
+// Table III / Table IV numbers.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/faultsim"
+	"cordial/internal/features"
+	"cordial/internal/mcelog"
+	"cordial/internal/mltree"
+)
+
+// ModelKind selects the tree-ensemble backend (§IV-C evaluates all three).
+type ModelKind int
+
+// Model backends.
+const (
+	// RandomForest is bagged CART trees — the paper's best performer.
+	RandomForest ModelKind = iota + 1
+	// XGBoost is second-order gradient boosting with exact splits.
+	XGBoost
+	// LightGBM is histogram gradient boosting with leaf-wise growth and
+	// GOSS.
+	LightGBM
+)
+
+// AllModelKinds lists the backends in Table III/IV order.
+var AllModelKinds = []ModelKind{LightGBM, XGBoost, RandomForest}
+
+// String returns the paper's name for the backend.
+func (k ModelKind) String() string {
+	switch k {
+	case RandomForest:
+		return "Random Forest"
+	case XGBoost:
+		return "XGBoost"
+	case LightGBM:
+		return "LightGBM"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// ShortName returns the Table IV style suffix (RF, XGB, LGBM).
+func (k ModelKind) ShortName() string {
+	switch k {
+	case RandomForest:
+		return "RF"
+	case XGBoost:
+		return "XGB"
+	case LightGBM:
+		return "LGBM"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// ModelParams tunes ensemble sizes; zero values take calibrated defaults.
+type ModelParams struct {
+	// Trees is the forest size or boosting round count.
+	Trees int
+	// Depth bounds individual trees (forest and XGBoost).
+	Depth int
+	// Leaves bounds LightGBM's leaf-wise growth.
+	Leaves int
+	// LearningRate applies to the boosting backends.
+	LearningRate float64
+}
+
+func (p ModelParams) withDefaults() ModelParams {
+	if p.Trees <= 0 {
+		p.Trees = 80
+	}
+	if p.Depth <= 0 {
+		p.Depth = 8
+	}
+	if p.Leaves <= 0 {
+		p.Leaves = 31
+	}
+	if p.LearningRate <= 0 {
+		p.LearningRate = 0.1
+	}
+	return p
+}
+
+// NewModel constructs an unfitted classifier of the given kind.
+func NewModel(kind ModelKind, params ModelParams, seed uint64) (mltree.Classifier, error) {
+	p := params.withDefaults()
+	switch kind {
+	case RandomForest:
+		// Forest members grow deeper than boosted trees (closer to
+		// scikit-learn's unpruned default), relying on bagging rather
+		// than pruning for variance control.
+		return mltree.NewForest(mltree.ForestConfig{
+			NumTrees: p.Trees,
+			Tree:     mltree.TreeConfig{MaxDepth: p.Depth + 4, MaxFeatures: -1},
+			Seed:     seed,
+		}), nil
+	case XGBoost:
+		return mltree.NewGBDT(mltree.GBDTConfig{
+			Rounds:         p.Trees,
+			LearningRate:   p.LearningRate,
+			MaxDepth:       minInt(p.Depth, 5),
+			SubsampleRatio: 0.9,
+			ColsampleRatio: 0.9,
+			Seed:           seed,
+		}), nil
+	case LightGBM:
+		return mltree.NewHistGBDT(mltree.HistGBDTConfig{
+			Rounds:       p.Trees,
+			LearningRate: p.LearningRate,
+			MaxLeaves:    p.Leaves,
+			Seed:         seed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("core: unknown model kind %d", int(kind))
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BuildPatternDataset assembles the §IV-B pattern-classification dataset:
+// one sample per bank with at least one UER, labelled with the bank's
+// ground-truth class. Banks whose feature extraction fails are skipped.
+func BuildPatternDataset(banks []*faultsim.BankFault, cfg features.PatternConfig) (*mltree.Dataset, error) {
+	ds := &mltree.Dataset{Names: features.PatternFeatureNames()}
+	for _, bf := range banks {
+		vec, err := features.PatternVector(bf.Events, cfg)
+		if err != nil {
+			continue // bank without UERs: nothing to classify
+		}
+		ds.Features = append(ds.Features, vec)
+		ds.Labels = append(ds.Labels, int(bf.Class()))
+	}
+	if ds.NumSamples() == 0 {
+		return nil, fmt.Errorf("core: no banks with UERs to build a pattern dataset")
+	}
+	return ds, nil
+}
+
+// blockInstances generates the §IV-D training instances of one bank: after
+// every observed first-UER from the warmup-th onward, one sample per block,
+// labelled by whether any UER event — a new row failing or a known row
+// recurring — lands in that block strictly after the decision time.
+func blockInstances(bf *faultsim.BankFault, spec features.BlockSpec, warmup int) (vecs [][]float64, labels []int, err error) {
+	n := len(bf.UERRows)
+	if warmup < 1 {
+		warmup = 1
+	}
+	for k := warmup; k <= n; k++ {
+		anchor := bf.UERRows[k-1]
+		now := bf.UERTimes[k-1]
+		visible := visibleEvents(bf.Events, now)
+		for b := 0; b < spec.NumBlocks(); b++ {
+			vec, err := features.BlockVector(visible, anchor, spec, b, now)
+			if err != nil {
+				return nil, nil, err
+			}
+			label := 0
+			if blockHasFutureUER(bf, spec, anchor, b, now) {
+				label = 1
+			}
+			vecs = append(vecs, vec)
+			labels = append(labels, label)
+		}
+	}
+	return vecs, labels, nil
+}
+
+// blockHasFutureUER reports whether any UER event of the bank falls in the
+// block's row range strictly after now. Repeat UERs of already-failed rows
+// count: §IV-D's objective is "whether there will be a UER in each block",
+// and a recurring row is precisely the failure the isolation would absorb.
+func blockHasFutureUER(bf *faultsim.BankFault, spec features.BlockSpec, anchor, block int, now time.Time) bool {
+	lo, hi := spec.BlockRange(anchor, block)
+	for _, e := range bf.Events {
+		if e.Class != ecc.ClassUER || !e.Time.After(now) {
+			continue
+		}
+		if e.Addr.Row >= lo && e.Addr.Row <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// visibleEvents returns events with Time ≤ now, preserving order.
+func visibleEvents(events []mcelog.Event, now time.Time) []mcelog.Event {
+	var out []mcelog.Event
+	for _, e := range events {
+		if !e.Time.After(now) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// BuildBlockDataset assembles the cross-row prediction dataset from the
+// aggregation-pattern banks (the only banks Cordial cross-row predicts on).
+// warmup is the number of UERs observed before the first prediction — the
+// pattern classifier's UER budget in the full pipeline.
+func BuildBlockDataset(banks []*faultsim.BankFault, spec features.BlockSpec, warmup int) (*mltree.Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ds := &mltree.Dataset{Names: features.BlockFeatureNames()}
+	for _, bf := range banks {
+		if !bf.Class().IsAggregation() {
+			continue
+		}
+		vecs, labels, err := blockInstances(bf, spec, warmup)
+		if err != nil {
+			return nil, err
+		}
+		ds.Features = append(ds.Features, vecs...)
+		ds.Labels = append(ds.Labels, labels...)
+	}
+	if ds.NumSamples() == 0 {
+		return nil, fmt.Errorf("core: no aggregation banks to build a block dataset")
+	}
+	return ds, nil
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/faultsim"
+	"cordial/internal/features"
+	"cordial/internal/hbm"
+	"cordial/internal/mcelog"
+	"cordial/internal/metrics"
+	"cordial/internal/mltree"
+	"cordial/internal/xrand"
+)
+
+// Config configures a Cordial pipeline.
+type Config struct {
+	// Model selects the tree-ensemble backend for both stages.
+	Model ModelKind
+	// Params tunes the ensembles.
+	Params ModelParams
+	// Pattern configures pattern-feature extraction (first-3-UER budget).
+	Pattern features.PatternConfig
+	// Block configures the cross-row window geometry (16×8 by default).
+	Block features.BlockSpec
+	// Threshold is the block-positive probability cutoff. Zero (the
+	// default) means calibrate automatically during Fit: the block task is
+	// imbalanced (typically 1-2 positive blocks of 16) and the calibrated
+	// cutoff maximises F1 on the training instances.
+	Threshold float64
+	// Seed drives model randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-faithful configuration for the given
+// backend.
+func DefaultConfig(kind ModelKind) Config {
+	return Config{
+		Model:   kind,
+		Pattern: features.DefaultPatternConfig(),
+		Block:   features.DefaultBlockSpec(),
+		Seed:    1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch c.Model {
+	case RandomForest, XGBoost, LightGBM:
+	default:
+		return fmt.Errorf("core: invalid model kind %d", int(c.Model))
+	}
+	if err := c.Block.Validate(); err != nil {
+		return err
+	}
+	if c.Threshold < 0 || c.Threshold >= 1 {
+		return fmt.Errorf("core: threshold %g out of [0,1) (0 = auto-calibrate)", c.Threshold)
+	}
+	if c.Pattern.UERBudget < 1 {
+		return fmt.Errorf("core: pattern UER budget %d < 1", c.Pattern.UERBudget)
+	}
+	return nil
+}
+
+// Pipeline is a trained Cordial instance: a pattern classifier plus a
+// cross-row block predictor. Construct with New, then Fit. A fitted
+// pipeline's predict methods are safe for concurrent use.
+type Pipeline struct {
+	cfg          Config
+	patternModel mltree.Classifier
+	blockModel   mltree.Classifier
+}
+
+// New returns an unfitted pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Pattern.UERBudget == 0 {
+		cfg.Pattern = features.DefaultPatternConfig()
+	}
+	if cfg.Block.WindowRadius == 0 && cfg.Block.BlockSize == 0 {
+		cfg.Block = features.DefaultBlockSpec()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{cfg: cfg}, nil
+}
+
+// Config returns the pipeline's configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Fit trains both stages on the ground-truth labelled training banks.
+func (p *Pipeline) Fit(banks []*faultsim.BankFault) error {
+	patternDS, err := BuildPatternDataset(banks, p.cfg.Pattern)
+	if err != nil {
+		return err
+	}
+	pm, err := NewModel(p.cfg.Model, p.cfg.Params, p.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if err := pm.Fit(patternDS); err != nil {
+		return fmt.Errorf("core: fitting pattern model: %w", err)
+	}
+	p.patternModel = pm
+
+	blockDS, err := BuildBlockDataset(banks, p.cfg.Block, p.cfg.Pattern.UERBudget)
+	if err != nil {
+		return err
+	}
+	bm, err := NewModel(p.cfg.Model, p.cfg.Params, p.cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	if err := bm.Fit(blockDS); err != nil {
+		return fmt.Errorf("core: fitting block model: %w", err)
+	}
+	p.blockModel = bm
+
+	if p.cfg.Threshold == 0 {
+		thr, err := crossFitThreshold(p.cfg, blockDS)
+		if err != nil {
+			return fmt.Errorf("core: calibrating threshold: %w", err)
+		}
+		p.cfg.Threshold = thr
+	}
+	return nil
+}
+
+// crossFitThreshold calibrates the block threshold on a held-out fold: a
+// clone of the block model is fitted on 75% of the instances and the
+// F1-maximising cutoff is searched on the remaining 25%. Calibrating on the
+// final model's own training predictions would be badly biased for Random
+// Forest, whose in-bag probabilities are close to the labels.
+func crossFitThreshold(cfg Config, blockDS *mltree.Dataset) (float64, error) {
+	calTrain, calVal, err := blockDS.StratifiedSplit(xrand.New(cfg.Seed+2), 0.75)
+	if err != nil {
+		return 0, err
+	}
+	cm, err := NewModel(cfg.Model, cfg.Params, cfg.Seed+3)
+	if err != nil {
+		return 0, err
+	}
+	if err := cm.Fit(calTrain); err != nil {
+		return 0, err
+	}
+	return calibrateThreshold(cm, calVal), nil
+}
+
+// calibrateThreshold grid-searches the probability cutoff that maximises F1
+// over the training block instances. Ensemble probabilities on an
+// imbalanced task concentrate well below 0.5, so a fixed cutoff would
+// silently predict nothing; calibration keeps the operating point sane for
+// every backend.
+func calibrateThreshold(model mltree.Classifier, ds *mltree.Dataset) float64 {
+	classes := model.Classes()
+	posIdx := -1
+	for i, c := range classes {
+		if c == 1 {
+			posIdx = i
+		}
+	}
+	if posIdx < 0 {
+		return 0.5
+	}
+	probs := make([]float64, ds.NumSamples())
+	for i, x := range ds.Features {
+		probs[i] = model.PredictProba(x)[posIdx]
+	}
+	best, bestF1 := 0.5, -1.0
+	for thr := 0.05; thr < 0.90; thr += 0.025 {
+		var bin metrics.Binary
+		for i, p := range probs {
+			bin.Add(ds.Labels[i] == 1, p >= thr)
+		}
+		if f1 := bin.Report().F1; f1 > bestF1 {
+			best, bestF1 = thr, f1
+		}
+	}
+	return best
+}
+
+// Fitted reports whether both stages have been trained.
+func (p *Pipeline) Fitted() bool { return p.patternModel != nil && p.blockModel != nil }
+
+// ClassifyPattern predicts the bank-level failure class from the bank's
+// events (using the configured first-K-UER budget).
+func (p *Pipeline) ClassifyPattern(events []mcelog.Event) (faultsim.Class, error) {
+	if p.patternModel == nil {
+		return 0, fmt.Errorf("core: pipeline not fitted")
+	}
+	vec, err := features.PatternVector(events, p.cfg.Pattern)
+	if err != nil {
+		return 0, err
+	}
+	return faultsim.Class(mltree.Predict(p.patternModel, vec)), nil
+}
+
+// PredictBlocks returns the per-block UER probability for the window
+// anchored at anchorRow, given the events observed up to now.
+func (p *Pipeline) PredictBlocks(events []mcelog.Event, anchorRow int, now time.Time) ([]float64, error) {
+	if p.blockModel == nil {
+		return nil, fmt.Errorf("core: pipeline not fitted")
+	}
+	probs := make([]float64, p.cfg.Block.NumBlocks())
+	classes := p.blockModel.Classes()
+	posIdx := -1
+	for i, c := range classes {
+		if c == 1 {
+			posIdx = i
+		}
+	}
+	if posIdx < 0 {
+		return nil, fmt.Errorf("core: block model has no positive class")
+	}
+	for b := range probs {
+		vec, err := features.BlockVector(events, anchorRow, p.cfg.Block, b, now)
+		if err != nil {
+			return nil, err
+		}
+		probs[b] = p.blockModel.PredictProba(vec)[posIdx]
+	}
+	return probs, nil
+}
+
+// PredictRows converts block probabilities into the concrete rows Cordial
+// would isolate: every row of every block whose probability clears the
+// threshold, clipped to the bank geometry.
+func (p *Pipeline) PredictRows(probs []float64, anchorRow int, geo hbm.Geometry) []int {
+	var rows []int
+	for b, prob := range probs {
+		if prob < p.cfg.Threshold {
+			continue
+		}
+		lo, hi := p.cfg.Block.BlockRange(anchorRow, b)
+		for r := lo; r <= hi; r++ {
+			if r >= 0 && r < geo.RowsPerBank {
+				rows = append(rows, r)
+			}
+		}
+	}
+	sort.Ints(rows)
+	return rows
+}
+
+// savedHeader persists the effective configuration (including the
+// calibrated threshold) ahead of the two models.
+type savedHeader struct {
+	Threshold float64                `json:"threshold"`
+	Pattern   features.PatternConfig `json:"pattern"`
+	Block     features.BlockSpec     `json:"block"`
+	Model     ModelKind              `json:"model"`
+}
+
+// SaveModels serialises the effective configuration and the two fitted
+// models (pattern first, block second) to w.
+func (p *Pipeline) SaveModels(w io.Writer) error {
+	if !p.Fitted() {
+		return fmt.Errorf("core: pipeline not fitted")
+	}
+	head := savedHeader{
+		Threshold: p.cfg.Threshold,
+		Pattern:   p.cfg.Pattern,
+		Block:     p.cfg.Block,
+		Model:     p.cfg.Model,
+	}
+	if err := json.NewEncoder(w).Encode(head); err != nil {
+		return fmt.Errorf("core: writing model header: %w", err)
+	}
+	if err := mltree.Save(w, p.patternModel); err != nil {
+		return err
+	}
+	return mltree.Save(w, p.blockModel)
+}
+
+// LoadModels restores the configuration and models previously written by
+// SaveModels.
+func (p *Pipeline) LoadModels(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	var head savedHeader
+	if err := dec.Decode(&head); err != nil {
+		return fmt.Errorf("core: reading model header: %w", err)
+	}
+	// Continue decoding from the same buffered stream.
+	mdec := mltree.NewDecoderFromJSON(dec)
+	pm, err := mdec.Decode()
+	if err != nil {
+		return fmt.Errorf("core: loading pattern model: %w", err)
+	}
+	bm, err := mdec.Decode()
+	if err != nil {
+		return fmt.Errorf("core: loading block model: %w", err)
+	}
+	p.cfg.Threshold = head.Threshold
+	p.cfg.Pattern = head.Pattern
+	p.cfg.Block = head.Block
+	p.cfg.Model = head.Model
+	p.patternModel, p.blockModel = pm, bm
+	return nil
+}
+
+// Strategy is a mitigation policy driven by a bank's event stream. The
+// evaluator replays events in time order through a per-bank Session and
+// applies the returned decisions.
+type Strategy interface {
+	// Name identifies the strategy in reports (e.g. "Cordial-RF").
+	Name() string
+	// NewSession returns fresh per-bank state.
+	NewSession(bank hbm.BankAddress) Session
+}
+
+// Session consumes one bank's events in time order.
+type Session interface {
+	// OnEvent reacts to the next event and returns the decision taken at
+	// this step (the zero Decision means "do nothing").
+	OnEvent(e mcelog.Event) Decision
+}
+
+// Decision is a mitigation step taken at one event.
+type Decision struct {
+	// SpareBank requests bank sparing (scattered pattern policy).
+	SpareBank bool
+	// IsolateRows requests row-granular isolation of the given rows.
+	IsolateRows []int
+	// Blocks records a block-level prediction made at this step, for the
+	// Table IV block metrics; nil when the strategy made none.
+	Blocks *BlockPrediction
+}
+
+// BlockPrediction is one window prediction: the anchor row and a predicted
+// mask over the window's blocks. Probs optionally carries the per-block
+// probabilities for threshold-free metrics (AUC); strategies without scores
+// leave it nil.
+type BlockPrediction struct {
+	AnchorRow int
+	Predicted []bool
+	Probs     []float64
+}
+
+// CordialStrategy adapts a fitted pipeline to the Strategy interface,
+// implementing §IV's policy: wait for the pattern budget of UERs, classify,
+// bank-spare scattered banks, and for aggregation banks run cross-row block
+// prediction at every observed UER from then on, row-sparing predicted rows.
+type CordialStrategy struct {
+	Pipeline *Pipeline
+	Geometry hbm.Geometry
+}
+
+var _ Strategy = (*CordialStrategy)(nil)
+
+// Name returns "Cordial-<backend>".
+func (s *CordialStrategy) Name() string {
+	return "Cordial-" + s.Pipeline.Config().Model.ShortName()
+}
+
+// NewSession returns per-bank state.
+func (s *CordialStrategy) NewSession(bank hbm.BankAddress) Session {
+	return &cordialSession{strategy: s}
+}
+
+type cordialSession struct {
+	strategy *CordialStrategy
+	events   []mcelog.Event
+	uerRows  []int
+	seenRows map[int]bool
+
+	classified bool
+	class      faultsim.Class
+}
+
+func (s *cordialSession) OnEvent(e mcelog.Event) Decision {
+	s.events = append(s.events, e)
+	if e.Class != ecc.ClassUER {
+		return Decision{}
+	}
+	if s.seenRows == nil {
+		s.seenRows = make(map[int]bool)
+	}
+	if s.seenRows[e.Addr.Row] {
+		return Decision{}
+	}
+	s.seenRows[e.Addr.Row] = true
+	s.uerRows = append(s.uerRows, e.Addr.Row)
+
+	pipe := s.strategy.Pipeline
+	budget := pipe.Config().Pattern.UERBudget
+	if len(s.uerRows) < budget {
+		return Decision{}
+	}
+	if !s.classified {
+		class, err := pipe.ClassifyPattern(s.events)
+		if err != nil {
+			return Decision{}
+		}
+		s.classified = true
+		s.class = class
+		if !class.IsAggregation() {
+			return Decision{SpareBank: true}
+		}
+	}
+	if !s.class.IsAggregation() {
+		return Decision{} // bank already spared
+	}
+	anchor := e.Addr.Row
+	probs, err := pipe.PredictBlocks(s.events, anchor, e.Time)
+	if err != nil {
+		return Decision{}
+	}
+	mask := make([]bool, len(probs))
+	for b, p := range probs {
+		mask[b] = p >= pipe.Config().Threshold
+	}
+	rows := pipe.PredictRows(probs, anchor, s.strategy.Geometry)
+	return Decision{
+		IsolateRows: rows,
+		Blocks:      &BlockPrediction{AnchorRow: anchor, Predicted: mask, Probs: probs},
+	}
+}
+
+// PatternImportance returns the fitted pattern model's feature importances
+// (depth-weighted split frequency), most important first.
+func (p *Pipeline) PatternImportance() ([]mltree.Importance, error) {
+	if p.patternModel == nil {
+		return nil, fmt.Errorf("core: pipeline not fitted")
+	}
+	return mltree.SplitImportance(p.patternModel, features.PatternFeatureNames())
+}
+
+// BlockImportance returns the fitted cross-row block model's feature
+// importances, most important first.
+func (p *Pipeline) BlockImportance() ([]mltree.Importance, error) {
+	if p.blockModel == nil {
+		return nil, fmt.Errorf("core: pipeline not fitted")
+	}
+	return mltree.SplitImportance(p.blockModel, features.BlockFeatureNames())
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cordial/internal/faultsim"
+	"cordial/internal/stats"
+)
+
+// RetrainPolicy governs when a deployed Cordial instance refreshes its
+// models. Production fleets drift — a firmware rollout or a new HBM vendor
+// changes the failure-pattern mix — so the pipeline retrains on a sliding
+// window of recently labelled banks, early when drift is detected.
+type RetrainPolicy struct {
+	// Window is how far back labelled banks remain in the training set.
+	Window time.Duration
+	// Interval is the scheduled retraining period.
+	Interval time.Duration
+	// MinBanks is the minimum labelled banks required to (re)train.
+	MinBanks int
+	// DriftPValue triggers an early retrain when a chi-square test finds
+	// the recent class mix differs from the training-time mix with a
+	// p-value below this threshold (0 disables drift detection).
+	DriftPValue float64
+	// DriftSample is how many recent banks the drift test compares
+	// (default 40).
+	DriftSample int
+	// DriftCooldown suppresses further drift-triggered retrains for this
+	// long after any retraining, preventing retrain storms while the
+	// window flushes a regime transition (default: Interval/2).
+	DriftCooldown time.Duration
+}
+
+// DefaultRetrainPolicy returns a monthly-window, weekly-cadence policy.
+func DefaultRetrainPolicy() RetrainPolicy {
+	return RetrainPolicy{
+		Window:      60 * 24 * time.Hour,
+		Interval:    7 * 24 * time.Hour,
+		MinBanks:    40,
+		DriftPValue: 0.01,
+		DriftSample: 40,
+	}
+}
+
+// Validate checks the policy.
+func (p RetrainPolicy) Validate() error {
+	if p.Window <= 0 || p.Interval <= 0 {
+		return fmt.Errorf("core: retrain window/interval must be positive")
+	}
+	if p.MinBanks < 2 {
+		return fmt.Errorf("core: retrain MinBanks %d too small", p.MinBanks)
+	}
+	if p.DriftPValue < 0 || p.DriftPValue >= 1 {
+		return fmt.Errorf("core: drift p-value %g out of [0,1)", p.DriftPValue)
+	}
+	return nil
+}
+
+// labelledBank is a ground-truth bank with the time its label became known.
+type labelledBank struct {
+	bank     *faultsim.BankFault
+	resolved time.Time
+}
+
+// Trainer maintains a deployed pipeline over a stream of labelled banks,
+// retraining per policy. It is not safe for concurrent use.
+type Trainer struct {
+	cfg    Config
+	policy RetrainPolicy
+
+	store     []labelledBank
+	pipeline  *Pipeline
+	lastTrain time.Time
+	// trainMix is the class distribution the current models were trained
+	// on, for drift testing.
+	trainMix map[faultsim.Class]int
+	// Retrains counts completed (re)trainings.
+	Retrains int
+	// DriftRetrains counts retrains triggered by drift rather than
+	// schedule.
+	DriftRetrains int
+}
+
+// NewTrainer returns a trainer that builds pipelines with cfg.
+func NewTrainer(cfg Config, policy RetrainPolicy) (*Trainer, error) {
+	if policy.DriftSample <= 0 {
+		policy.DriftSample = 40
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := New(cfg); err != nil {
+		return nil, err
+	}
+	return &Trainer{cfg: cfg, policy: policy}, nil
+}
+
+// Pipeline returns the current fitted pipeline, or nil before first
+// training.
+func (t *Trainer) Pipeline() *Pipeline { return t.pipeline }
+
+// ObserveBank adds a labelled bank resolved at the given time and retrains
+// if the policy calls for it. It returns whether a retraining happened.
+func (t *Trainer) ObserveBank(bf *faultsim.BankFault, resolved time.Time) (bool, error) {
+	t.store = append(t.store, labelledBank{bank: bf, resolved: resolved})
+	t.evict(resolved)
+
+	due := t.pipeline == nil || resolved.Sub(t.lastTrain) >= t.policy.Interval
+	drift := false
+	cooldown := t.policy.DriftCooldown
+	if cooldown <= 0 {
+		cooldown = t.policy.Interval / 2
+	}
+	if !due && t.policy.DriftPValue > 0 && t.pipeline != nil &&
+		resolved.Sub(t.lastTrain) >= cooldown {
+		drift = t.driftDetected()
+	}
+	if !due && !drift {
+		return false, nil
+	}
+	if len(t.store) < t.policy.MinBanks {
+		return false, nil
+	}
+	if err := t.retrain(resolved); err != nil {
+		return false, err
+	}
+	if drift && !due {
+		t.DriftRetrains++
+	}
+	return true, nil
+}
+
+// evict drops banks older than the window.
+func (t *Trainer) evict(now time.Time) {
+	cutoff := now.Add(-t.policy.Window)
+	w := 0
+	for _, lb := range t.store {
+		if !lb.resolved.Before(cutoff) {
+			t.store[w] = lb
+			w++
+		}
+	}
+	t.store = t.store[:w]
+}
+
+// driftDetected chi-square-tests the most recent DriftSample banks' class
+// mix against the training-time mix.
+func (t *Trainer) driftDetected() bool {
+	n := t.policy.DriftSample
+	if len(t.store) < n || len(t.trainMix) == 0 {
+		return false
+	}
+	recent := make(map[faultsim.Class]int)
+	for _, lb := range t.store[len(t.store)-n:] {
+		recent[lb.bank.Class()]++
+	}
+	table := make([][]float64, 2)
+	table[0] = make([]float64, len(faultsim.AllClasses))
+	table[1] = make([]float64, len(faultsim.AllClasses))
+	for i, class := range faultsim.AllClasses {
+		table[0][i] = float64(t.trainMix[class])
+		table[1][i] = float64(recent[class])
+	}
+	stat, df, err := stats.ChiSquareContingency(table)
+	if err != nil {
+		return false
+	}
+	p, err := stats.ChiSquarePValue(stat, df)
+	if err != nil {
+		return false
+	}
+	return p < t.policy.DriftPValue
+}
+
+// retrain fits a fresh pipeline on the current store.
+func (t *Trainer) retrain(now time.Time) error {
+	banks := make([]*faultsim.BankFault, len(t.store))
+	mix := make(map[faultsim.Class]int)
+	for i, lb := range t.store {
+		banks[i] = lb.bank
+		mix[lb.bank.Class()]++
+	}
+	pipe, err := New(t.cfg)
+	if err != nil {
+		return err
+	}
+	if err := pipe.Fit(banks); err != nil {
+		return fmt.Errorf("core: retraining: %w", err)
+	}
+	t.pipeline = pipe
+	t.lastTrain = now
+	t.trainMix = mix
+	t.Retrains++
+	return nil
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cordial/internal/faultsim"
+	"cordial/internal/hbm"
+	"cordial/internal/xrand"
+)
+
+func trainerConfig() Config {
+	cfg := DefaultConfig(RandomForest)
+	cfg.Params = ModelParams{Trees: 10, Depth: 6}
+	return cfg
+}
+
+func TestRetrainPolicyValidate(t *testing.T) {
+	if err := DefaultRetrainPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultRetrainPolicy()
+	bad.Window = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero window accepted")
+	}
+	bad = DefaultRetrainPolicy()
+	bad.MinBanks = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("MinBanks 1 accepted")
+	}
+	bad = DefaultRetrainPolicy()
+	bad.DriftPValue = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("p-value 1 accepted")
+	}
+}
+
+func TestTrainerScheduledRetraining(t *testing.T) {
+	fleet := testFleet(t, 7, 150)
+	policy := RetrainPolicy{
+		Window:   30 * 24 * time.Hour,
+		Interval: 7 * 24 * time.Hour,
+		MinBanks: 30,
+	}
+	tr, err := NewTrainer(trainerConfig(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pipeline() != nil {
+		t.Fatal("pipeline exists before training")
+	}
+
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	retrained := 0
+	for i, bf := range fleet.Faults {
+		// One bank resolves every 6 hours.
+		now := start.Add(time.Duration(i) * 6 * time.Hour)
+		did, err := tr.ObserveBank(bf, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if did {
+			retrained++
+		}
+	}
+	if tr.Pipeline() == nil {
+		t.Fatal("never trained")
+	}
+	// 150 banks × 6h = ~37 days; first train at 30 banks (~7.5 days), then
+	// weekly → at least 3 trainings.
+	if retrained < 3 {
+		t.Fatalf("retrained %d times", retrained)
+	}
+	if tr.Retrains != retrained {
+		t.Fatalf("Retrains counter %d vs observed %d", tr.Retrains, retrained)
+	}
+	// The resulting pipeline actually classifies.
+	if _, err := tr.Pipeline().ClassifyPattern(fleet.Faults[0].Events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainerWindowEviction(t *testing.T) {
+	fleet := testFleet(t, 7, 150)
+	policy := RetrainPolicy{
+		Window:   24 * time.Hour, // tiny window
+		Interval: 12 * time.Hour,
+		MinBanks: 5,
+	}
+	tr, err := NewTrainer(trainerConfig(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i, bf := range fleet.Faults[:60] {
+		now := start.Add(time.Duration(i) * 2 * time.Hour)
+		if _, err := tr.ObserveBank(bf, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With a 24h window and one bank per 2h, at most ~13 banks are stored.
+	if len(tr.store) > 14 {
+		t.Fatalf("store holds %d banks despite 24h window", len(tr.store))
+	}
+}
+
+func TestTrainerDriftTriggersEarlyRetrain(t *testing.T) {
+	// Build two regimes: single-row-dominated then scattered-dominated.
+	cfg := faultsim.DefaultConfig(hbm.DefaultGeometry)
+	gen, err := faultsim.NewGenerator(cfg, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkBanks := func(p faultsim.Pattern, other faultsim.Pattern, n int) []*faultsim.BankFault {
+		out := make([]*faultsim.BankFault, 0, n)
+		for i := 0; i < n; i++ {
+			pat := p
+			if i%5 == 4 {
+				pat = other // keep ≥2 classes so training succeeds
+			}
+			bf, err := gen.Generate(hbm.BankAddress{Node: i % 32}, pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, bf)
+		}
+		return out
+	}
+	regimeA := mkBanks(faultsim.PatternSingleRow, faultsim.PatternScattered, 80)
+	regimeB := mkBanks(faultsim.PatternScattered, faultsim.PatternSingleRow, 60)
+
+	policy := RetrainPolicy{
+		Window:        365 * 24 * time.Hour,
+		Interval:      300 * 24 * time.Hour, // schedule effectively off
+		MinBanks:      30,
+		DriftPValue:   0.01,
+		DriftSample:   40,
+		DriftCooldown: time.Hour,
+	}
+	tr, err := NewTrainer(trainerConfig(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	i := 0
+	feed := func(banks []*faultsim.BankFault) {
+		for _, bf := range banks {
+			now := start.Add(time.Duration(i) * time.Hour)
+			if _, err := tr.ObserveBank(bf, now); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	}
+	feed(regimeA)
+	if tr.Retrains != 1 {
+		t.Fatalf("initial trainings = %d, want 1 (schedule off afterwards)", tr.Retrains)
+	}
+	feed(regimeB)
+	if tr.DriftRetrains == 0 {
+		t.Fatal("regime change did not trigger a drift retrain")
+	}
+}
+
+func TestNewTrainerRejectsBadInputs(t *testing.T) {
+	if _, err := NewTrainer(Config{Model: ModelKind(99)}, DefaultRetrainPolicy()); err == nil {
+		t.Error("bad config accepted")
+	}
+	bad := DefaultRetrainPolicy()
+	bad.Interval = 0
+	if _, err := NewTrainer(trainerConfig(), bad); err == nil {
+		t.Error("bad policy accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package faultsim
+
+import (
+	"testing"
+
+	"cordial/internal/hbm"
+	"cordial/internal/xrand"
+)
+
+func TestSampleCauseConsistentWithPattern(t *testing.T) {
+	r := xrand.New(1)
+	for _, p := range AllPatterns {
+		allowed := make(map[Cause]bool)
+		for _, c := range PossibleCauses(p) {
+			allowed[c] = true
+		}
+		if len(allowed) == 0 {
+			t.Fatalf("pattern %v has no causes", p)
+		}
+		for i := 0; i < 200; i++ {
+			if c := SampleCause(p, r); !allowed[c] {
+				t.Fatalf("pattern %v sampled cause %v not in %v", p, c, PossibleCauses(p))
+			}
+		}
+	}
+}
+
+func TestSampleCauseDistribution(t *testing.T) {
+	r := xrand.New(2)
+	counts := make(map[Cause]int)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		counts[SampleCause(PatternSingleRow, r)]++
+	}
+	swd := float64(counts[CauseSWD]) / n
+	if swd < 0.80 || swd > 0.90 {
+		t.Fatalf("single-row SWD share = %.3f, want ~0.85", swd)
+	}
+}
+
+func TestGenerateAssignsCause(t *testing.T) {
+	g := newGen(t, 31)
+	for _, p := range AllPatterns {
+		bf, err := g.Generate(hbm.BankAddress{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, c := range PossibleCauses(p) {
+			if bf.Cause == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("pattern %v got cause %v", p, bf.Cause)
+		}
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	for _, c := range []Cause{CauseSWD, CauseTSV, CauseMicroBump, CauseColumnDriver, CauseWeakCells} {
+		if s := c.String(); s == "" || s[0] == 'C' {
+			t.Errorf("Cause(%d).String() = %q", int(c), s)
+		}
+	}
+	if PossibleCauses(Pattern(99)) != nil {
+		t.Error("unknown pattern returned causes")
+	}
+}

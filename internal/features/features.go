@@ -1,0 +1,457 @@
+// Package features implements Cordial's feature extraction (§IV-B and
+// §IV-D): spatial, temporal and count features computed from a bank's error
+// events — for failure-pattern classification (using all CEs/UEOs and the
+// first three UERs) and for per-block cross-row failure prediction (using
+// everything observed up to the decision time, plus block-local geometry).
+//
+// Missing information (e.g. a bank with no CEs) is encoded with the
+// Missing sentinel, which tree learners split around naturally. Feature
+// vectors have a fixed, documented order; the *FeatureNames functions return
+// the matching column names.
+package features
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/mcelog"
+)
+
+// Missing is the sentinel for undefined feature values (no events of the
+// relevant class). It is far outside every real value range (rows are
+// non-negative, times are non-negative hours).
+const Missing = -1.0
+
+// secondsToHours converts a duration to fractional hours.
+func hours(d time.Duration) float64 { return d.Hours() }
+
+// seqStats summarises one error class's row and time sequences.
+type seqStats struct {
+	count int
+
+	rowMin, rowMax float64
+	// Consecutive |row difference| statistics, in event-time order.
+	rowDiffMin, rowDiffMax, rowDiffAvg float64
+	// Consecutive inter-arrival statistics, in hours.
+	dtMin, dtMax, dtAvg float64
+}
+
+// newSeqStats computes sequence statistics for the given events (already in
+// time order).
+func newSeqStats(events []mcelog.Event) seqStats {
+	s := seqStats{
+		count:  len(events),
+		rowMin: Missing, rowMax: Missing,
+		rowDiffMin: Missing, rowDiffMax: Missing, rowDiffAvg: Missing,
+		dtMin: Missing, dtMax: Missing, dtAvg: Missing,
+	}
+	if len(events) == 0 {
+		return s
+	}
+	s.rowMin = float64(events[0].Addr.Row)
+	s.rowMax = s.rowMin
+	for _, e := range events[1:] {
+		r := float64(e.Addr.Row)
+		if r < s.rowMin {
+			s.rowMin = r
+		}
+		if r > s.rowMax {
+			s.rowMax = r
+		}
+	}
+	if len(events) < 2 {
+		return s
+	}
+	var sumDiff, sumDt float64
+	for i := 1; i < len(events); i++ {
+		d := math.Abs(float64(events[i].Addr.Row - events[i-1].Addr.Row))
+		dt := hours(events[i].Time.Sub(events[i-1].Time))
+		if i == 1 {
+			s.rowDiffMin, s.rowDiffMax = d, d
+			s.dtMin, s.dtMax = dt, dt
+		} else {
+			if d < s.rowDiffMin {
+				s.rowDiffMin = d
+			}
+			if d > s.rowDiffMax {
+				s.rowDiffMax = d
+			}
+			if dt < s.dtMin {
+				s.dtMin = dt
+			}
+			if dt > s.dtMax {
+				s.dtMax = dt
+			}
+		}
+		sumDiff += d
+		sumDt += dt
+	}
+	n := float64(len(events) - 1)
+	s.rowDiffAvg = sumDiff / n
+	s.dtAvg = sumDt / n
+	return s
+}
+
+// splitByClass partitions bank events (time-sorted) into CE, UEO and UER
+// subsequences, preserving order.
+func splitByClass(events []mcelog.Event) (ces, ueos, uers []mcelog.Event) {
+	for _, e := range events {
+		switch e.Class {
+		case ecc.ClassCE:
+			ces = append(ces, e)
+		case ecc.ClassUEO:
+			ueos = append(ueos, e)
+		case ecc.ClassUER:
+			uers = append(uers, e)
+		}
+	}
+	return ces, ueos, uers
+}
+
+// firstKUERRows returns the rows of the first k distinct UER rows, in time
+// order, along with the remaining events truncated at the k-th first-UER
+// time (inclusive). It mirrors §IV-C: classification uses all CEs and UEOs
+// plus the first three UERs.
+func firstKUERRows(events []mcelog.Event, k int) (rows []int, cutoff time.Time, ok bool) {
+	seen := make(map[int]bool, k)
+	for _, e := range events {
+		if e.Class != ecc.ClassUER || seen[e.Addr.Row] {
+			continue
+		}
+		seen[e.Addr.Row] = true
+		rows = append(rows, e.Addr.Row)
+		cutoff = e.Time
+		if len(rows) == k {
+			return rows, cutoff, true
+		}
+	}
+	if len(rows) == 0 {
+		return nil, time.Time{}, false
+	}
+	return rows, cutoff, true
+}
+
+// PatternConfig configures pattern-classification feature extraction.
+type PatternConfig struct {
+	// UERBudget is the number of first UERs used (§IV-C default: 3).
+	UERBudget int
+}
+
+// DefaultPatternConfig returns the paper's first-three-UER budget.
+func DefaultPatternConfig() PatternConfig { return PatternConfig{UERBudget: 3} }
+
+// patternFeatureCount is kept in sync with PatternVector/PatternFeatureNames.
+const patternFeatureCount = 29
+
+// PatternFeatureNames returns the column names of PatternVector, in order.
+func PatternFeatureNames() []string {
+	names := make([]string, 0, patternFeatureCount)
+	for _, class := range []string{"ce", "ueo", "uer"} {
+		names = append(names,
+			class+"_row_min", class+"_row_max",
+			class+"_row_diff_min", class+"_row_diff_max", class+"_row_diff_avg",
+			class+"_dt_min_h", class+"_dt_max_h",
+		)
+	}
+	names = append(names,
+		"uer_row_span",
+		"uer_count_used",
+		"ce_count_before_first_uer",
+		"ueo_count_before_first_uer",
+		"all_row_diff_avg",
+		"first_error_to_first_uer_h",
+		"ce_rate_before_first_uer",
+		"uer_dt_avg_h",
+	)
+	return names
+}
+
+// PatternVector computes the §IV-B feature vector for failure-pattern
+// classification from a bank's time-sorted events. It returns an error when
+// the bank has no UER (no pattern to classify).
+func PatternVector(events []mcelog.Event, cfg PatternConfig) ([]float64, error) {
+	if cfg.UERBudget <= 0 {
+		cfg.UERBudget = 3
+	}
+	uerRows, cutoff, ok := firstKUERRows(events, cfg.UERBudget)
+	if !ok {
+		return nil, fmt.Errorf("features: bank has no UER events")
+	}
+	// Truncate at the cutoff: everything after the k-th first-UER is
+	// future information the classifier must not see.
+	var visible []mcelog.Event
+	for _, e := range events {
+		if !e.Time.After(cutoff) {
+			visible = append(visible, e)
+		}
+	}
+	ces, ueos, uers := splitByClass(visible)
+	// Restrict UERs to first distinct rows only (repeat UERs of the same
+	// row are deduplicated for the spatial features).
+	uers = dedupeRows(uers, cfg.UERBudget)
+
+	out := make([]float64, 0, patternFeatureCount)
+	for _, s := range []seqStats{newSeqStats(ces), newSeqStats(ueos), newSeqStats(uers)} {
+		out = append(out,
+			s.rowMin, s.rowMax,
+			s.rowDiffMin, s.rowDiffMax, s.rowDiffAvg,
+			s.dtMin, s.dtMax,
+		)
+	}
+
+	// UER row span over the budget.
+	minRow, maxRow := uerRows[0], uerRows[0]
+	for _, r := range uerRows[1:] {
+		if r < minRow {
+			minRow = r
+		}
+		if r > maxRow {
+			maxRow = r
+		}
+	}
+	out = append(out, float64(maxRow-minRow))
+	out = append(out, float64(len(uerRows)))
+
+	// Counts strictly before the first UER.
+	firstUER := uers[0].Time
+	ceBefore, ueoBefore := 0, 0
+	for _, e := range visible {
+		if !e.Time.Before(firstUER) {
+			continue
+		}
+		switch e.Class {
+		case ecc.ClassCE:
+			ceBefore++
+		case ecc.ClassUEO:
+			ueoBefore++
+		}
+	}
+	out = append(out, float64(ceBefore), float64(ueoBefore))
+
+	out = append(out, newSeqStats(visible).rowDiffAvg)
+
+	// Lead time from the first visible error of any class to the first UER.
+	lead := Missing
+	if len(visible) > 0 && visible[0].Time.Before(firstUER) {
+		lead = hours(firstUER.Sub(visible[0].Time))
+	}
+	out = append(out, lead)
+
+	// CE density before the first UER (events per hour of lead time).
+	rate := Missing
+	if lead > 0 {
+		rate = float64(ceBefore) / lead
+	}
+	out = append(out, rate)
+
+	out = append(out, newSeqStats(uers).dtAvg)
+
+	if len(out) != patternFeatureCount {
+		panic(fmt.Sprintf("features: pattern vector has %d values, want %d", len(out), patternFeatureCount))
+	}
+	return out, nil
+}
+
+// dedupeRows keeps only the first event of each distinct row, up to k rows.
+func dedupeRows(events []mcelog.Event, k int) []mcelog.Event {
+	seen := make(map[int]bool, k)
+	var out []mcelog.Event
+	for _, e := range events {
+		if seen[e.Addr.Row] {
+			continue
+		}
+		seen[e.Addr.Row] = true
+		out = append(out, e)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// BlockSpec describes the cross-row prediction window geometry (§IV-D):
+// WindowRadius rows above and below the last UER row, divided into blocks of
+// BlockSize rows. The paper uses radius 64 with 8-row blocks → 16 blocks.
+type BlockSpec struct {
+	WindowRadius int
+	BlockSize    int
+}
+
+// DefaultBlockSpec returns the paper's 16×8 geometry.
+func DefaultBlockSpec() BlockSpec { return BlockSpec{WindowRadius: 64, BlockSize: 8} }
+
+// Validate checks the spec's internal consistency.
+func (s BlockSpec) Validate() error {
+	if s.WindowRadius <= 0 || s.BlockSize <= 0 {
+		return fmt.Errorf("features: block spec %+v must be positive", s)
+	}
+	if (2*s.WindowRadius)%s.BlockSize != 0 {
+		return fmt.Errorf("features: window 2×%d not divisible by block size %d", s.WindowRadius, s.BlockSize)
+	}
+	return nil
+}
+
+// NumBlocks returns the number of blocks in the window.
+func (s BlockSpec) NumBlocks() int { return 2 * s.WindowRadius / s.BlockSize }
+
+// BlockRange returns the inclusive row range [lo, hi] of block index b
+// (0 ≤ b < NumBlocks) anchored at the given last UER row. Ranges may fall
+// outside the bank; callers clip against geometry when needed.
+func (s BlockSpec) BlockRange(lastUERRow, b int) (lo, hi int) {
+	lo = lastUERRow - s.WindowRadius + b*s.BlockSize
+	return lo, lo + s.BlockSize - 1
+}
+
+// BlockOf returns the block index containing row (relative to the anchor),
+// or -1 when the row falls outside the window. The anchor row itself falls
+// in block NumBlocks/2.
+func (s BlockSpec) BlockOf(lastUERRow, row int) int {
+	off := row - (lastUERRow - s.WindowRadius)
+	if off < 0 || off >= 2*s.WindowRadius {
+		return -1
+	}
+	return off / s.BlockSize
+}
+
+// blockFeatureCount is kept in sync with BlockVector/BlockFeatureNames.
+const blockFeatureCount = 35
+
+// BlockFeatureNames returns the column names of BlockVector, in order.
+func BlockFeatureNames() []string {
+	names := make([]string, 0, blockFeatureCount)
+	for _, class := range []string{"ce", "ueo", "uer"} {
+		names = append(names,
+			class+"_count",
+			class+"_row_diff_min", class+"_row_diff_max", class+"_row_diff_avg",
+			class+"_dt_min_h", class+"_dt_max_h", class+"_dt_avg_h",
+		)
+	}
+	names = append(names,
+		"all_count",
+		"time_since_last_event_h",
+		"block_offset_rows",
+		"block_abs_offset_rows",
+		"block_prior_error_count",
+		"block_prior_uer_count",
+		"dist_to_nearest_ce_row",
+		"dist_to_nearest_ueo_row",
+		"dist_to_nearest_uer_row",
+		"uer_rows_observed",
+		"anchor_row",
+		"uer_row_mean_offset",
+		"block_dist_to_uer_mean",
+		"block_dist_to_ce_mean",
+	)
+	return names
+}
+
+// BlockVector computes the §IV-D feature vector for one prediction block.
+// events must be the bank's events observed up to the decision time (sorted
+// by time); anchorRow is the last observed UER row; now is the decision
+// time.
+func BlockVector(events []mcelog.Event, anchorRow int, spec BlockSpec, block int, now time.Time) ([]float64, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if block < 0 || block >= spec.NumBlocks() {
+		return nil, fmt.Errorf("features: block %d out of [0,%d)", block, spec.NumBlocks())
+	}
+	ces, ueos, uers := splitByClass(events)
+
+	out := make([]float64, 0, blockFeatureCount)
+	for _, evs := range [][]mcelog.Event{ces, ueos, uers} {
+		s := newSeqStats(evs)
+		out = append(out,
+			float64(s.count),
+			s.rowDiffMin, s.rowDiffMax, s.rowDiffAvg,
+			s.dtMin, s.dtMax, s.dtAvg,
+		)
+	}
+
+	out = append(out, float64(len(events)))
+
+	sinceLast := Missing
+	if len(events) > 0 {
+		sinceLast = hours(now.Sub(events[len(events)-1].Time))
+	}
+	out = append(out, sinceLast)
+
+	lo, hi := spec.BlockRange(anchorRow, block)
+	centre := (lo + hi) / 2
+	offset := centre - anchorRow
+	out = append(out, float64(offset), math.Abs(float64(offset)))
+
+	inBlock := func(row int) bool { return row >= lo && row <= hi }
+	prior, priorUER := 0, 0
+	for _, e := range events {
+		if inBlock(e.Addr.Row) {
+			prior++
+			if e.Class == ecc.ClassUER {
+				priorUER++
+			}
+		}
+	}
+	out = append(out, float64(prior), float64(priorUER))
+
+	for _, evs := range [][]mcelog.Event{ces, ueos, uers} {
+		out = append(out, nearestRowDistance(evs, centre))
+	}
+
+	uerRows := make(map[int]bool)
+	for _, e := range uers {
+		uerRows[e.Addr.Row] = true
+	}
+	out = append(out, float64(len(uerRows)))
+	out = append(out, float64(anchorRow))
+
+	// Cluster-centre estimates: future failures concentrate around the
+	// mean of the rows seen so far, not around the last failure. The block
+	// predictor's strongest spatial cue is the distance from the block
+	// centre to those means.
+	uerMean := meanRow(uers)
+	ceMean := meanRow(ces)
+	if uerMean == Missing {
+		out = append(out, Missing, Missing)
+	} else {
+		out = append(out, uerMean-float64(anchorRow), math.Abs(float64(centre)-uerMean))
+	}
+	if ceMean == Missing {
+		out = append(out, Missing)
+	} else {
+		out = append(out, math.Abs(float64(centre)-ceMean))
+	}
+
+	if len(out) != blockFeatureCount {
+		panic(fmt.Sprintf("features: block vector has %d values, want %d", len(out), blockFeatureCount))
+	}
+	return out, nil
+}
+
+// meanRow returns the mean row of the events, or Missing when there are
+// none. Repeat events weight the mean toward actively failing rows, which is
+// intended.
+func meanRow(events []mcelog.Event) float64 {
+	if len(events) == 0 {
+		return Missing
+	}
+	sum := 0.0
+	for _, e := range events {
+		sum += float64(e.Addr.Row)
+	}
+	return sum / float64(len(events))
+}
+
+// nearestRowDistance returns the minimum |row - target| over the events, or
+// Missing when there are none.
+func nearestRowDistance(events []mcelog.Event, target int) float64 {
+	best := Missing
+	for _, e := range events {
+		d := math.Abs(float64(e.Addr.Row - target))
+		if best == Missing || d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,136 @@
+package features
+
+import (
+	"math"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/mcelog"
+)
+
+// rowFeatureCount is kept in sync with RowVector/RowFeatureNames.
+const rowFeatureCount = 16
+
+// RowFeatureNames returns the column names of RowVector, in order.
+func RowFeatureNames() []string {
+	return []string{
+		"row_ce_count",
+		"row_ueo_count",
+		"row_first_error_age_h",
+		"row_last_error_age_h",
+		"row_error_rate_per_h",
+		"row_distinct_columns",
+		"bank_ce_count",
+		"bank_ueo_count",
+		"bank_uer_count",
+		"bank_distinct_error_rows",
+		"bank_distinct_uer_rows",
+		"bank_last_error_age_h",
+		"dist_to_nearest_bank_uer_row",
+		"dist_to_nearest_bank_ce_row",
+		"bank_uer_dt_avg_h",
+		"row_number",
+	}
+}
+
+// RowVector computes the in-row/hierarchical feature vector used by the
+// Calchas-style baseline: the history of the row itself plus bank-level
+// context, everything observable up to the decision time. events must be the
+// bank's events so far, in time order.
+func RowVector(events []mcelog.Event, row int, now time.Time) []float64 {
+	var (
+		rowCE, rowUEO     int
+		rowFirst, rowLast time.Time
+		rowCols           = map[int]bool{}
+		bankCE, bankUEO   int
+		bankUER           int
+		bankRows          = map[int]bool{}
+		bankUERRows       = map[int]bool{}
+		bankLast          time.Time
+		nearestUER        = Missing
+		nearestCE         = Missing
+		lastUERTime       time.Time
+		uerGapSum         float64
+		uerGapN           int
+	)
+	for _, e := range events {
+		bankRows[e.Addr.Row] = true
+		if bankLast.IsZero() || e.Time.After(bankLast) {
+			bankLast = e.Time
+		}
+		switch e.Class {
+		case ecc.ClassCE:
+			bankCE++
+			if d := math.Abs(float64(e.Addr.Row - row)); nearestCE == Missing || d < nearestCE {
+				nearestCE = d
+			}
+		case ecc.ClassUEO:
+			bankUEO++
+		case ecc.ClassUER:
+			bankUER++
+			bankUERRows[e.Addr.Row] = true
+			if d := math.Abs(float64(e.Addr.Row - row)); nearestUER == Missing || d < nearestUER {
+				nearestUER = d
+			}
+			if !lastUERTime.IsZero() {
+				uerGapSum += e.Time.Sub(lastUERTime).Hours()
+				uerGapN++
+			}
+			lastUERTime = e.Time
+		}
+		if e.Addr.Row == row && e.Class != ecc.ClassUER {
+			if e.Class == ecc.ClassCE {
+				rowCE++
+			} else {
+				rowUEO++
+			}
+			rowCols[e.Addr.Column] = true
+			if rowFirst.IsZero() || e.Time.Before(rowFirst) {
+				rowFirst = e.Time
+			}
+			if rowLast.IsZero() || e.Time.After(rowLast) {
+				rowLast = e.Time
+			}
+		}
+	}
+
+	firstAge, lastAge, rate := Missing, Missing, Missing
+	if !rowFirst.IsZero() {
+		firstAge = now.Sub(rowFirst).Hours()
+		lastAge = now.Sub(rowLast).Hours()
+		if firstAge > 0 {
+			rate = float64(rowCE+rowUEO) / firstAge
+		}
+	}
+	bankLastAge := Missing
+	if !bankLast.IsZero() {
+		bankLastAge = now.Sub(bankLast).Hours()
+	}
+	uerGapAvg := Missing
+	if uerGapN > 0 {
+		uerGapAvg = uerGapSum / float64(uerGapN)
+	}
+
+	out := []float64{
+		float64(rowCE),
+		float64(rowUEO),
+		firstAge,
+		lastAge,
+		rate,
+		float64(len(rowCols)),
+		float64(bankCE),
+		float64(bankUEO),
+		float64(bankUER),
+		float64(len(bankRows)),
+		float64(len(bankUERRows)),
+		bankLastAge,
+		nearestUER,
+		nearestCE,
+		uerGapAvg,
+		float64(row),
+	}
+	if len(out) != rowFeatureCount {
+		panic("features: row vector length mismatch")
+	}
+	return out
+}

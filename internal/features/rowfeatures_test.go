@@ -1,0 +1,82 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/mcelog"
+)
+
+func TestRowFeatureNamesMatchVectorLength(t *testing.T) {
+	vec := RowVector(nil, 100, t0)
+	if len(vec) != len(RowFeatureNames()) {
+		t.Fatalf("vector %d values, names %d", len(vec), len(RowFeatureNames()))
+	}
+	for i, v := range vec {
+		if v != Missing && v != 0 && i != len(vec)-1 {
+			t.Fatalf("empty-history feature %d = %g, want Missing or 0", i, v)
+		}
+	}
+}
+
+func TestRowVectorKnownValues(t *testing.T) {
+	names := RowFeatureNames()
+	idx := func(name string) int { return featureIndex(t, names, name) }
+	events := []mcelog.Event{
+		ev(0, 50, ecc.ClassCE),   // other row
+		ev(1, 100, ecc.ClassCE),  // target row
+		ev(3, 100, ecc.ClassUEO), // target row
+		ev(5, 120, ecc.ClassUER), // bank context
+		ev(7, 130, ecc.ClassUER),
+	}
+	now := t0.Add(9 * time.Hour)
+	vec := RowVector(events, 100, now)
+
+	if got := vec[idx("row_ce_count")]; got != 1 {
+		t.Errorf("row_ce_count = %g", got)
+	}
+	if got := vec[idx("row_ueo_count")]; got != 1 {
+		t.Errorf("row_ueo_count = %g", got)
+	}
+	if got := vec[idx("row_first_error_age_h")]; math.Abs(got-8) > 1e-9 {
+		t.Errorf("row_first_error_age_h = %g", got)
+	}
+	if got := vec[idx("row_last_error_age_h")]; math.Abs(got-6) > 1e-9 {
+		t.Errorf("row_last_error_age_h = %g", got)
+	}
+	if got := vec[idx("bank_ce_count")]; got != 2 {
+		t.Errorf("bank_ce_count = %g", got)
+	}
+	if got := vec[idx("bank_uer_count")]; got != 2 {
+		t.Errorf("bank_uer_count = %g", got)
+	}
+	if got := vec[idx("bank_distinct_error_rows")]; got != 4 {
+		t.Errorf("bank_distinct_error_rows = %g", got)
+	}
+	if got := vec[idx("bank_distinct_uer_rows")]; got != 2 {
+		t.Errorf("bank_distinct_uer_rows = %g", got)
+	}
+	// Nearest UER to row 100 is 120 → 20.
+	if got := vec[idx("dist_to_nearest_bank_uer_row")]; got != 20 {
+		t.Errorf("dist_to_nearest_bank_uer_row = %g", got)
+	}
+	// UER gap: 7h-5h = 2h.
+	if got := vec[idx("bank_uer_dt_avg_h")]; math.Abs(got-2) > 1e-9 {
+		t.Errorf("bank_uer_dt_avg_h = %g", got)
+	}
+	if got := vec[idx("row_number")]; got != 100 {
+		t.Errorf("row_number = %g", got)
+	}
+}
+
+func TestRowVectorAllFinite(t *testing.T) {
+	events := []mcelog.Event{ev(0, 5, ecc.ClassUER)}
+	vec := RowVector(events, 5, t0.Add(time.Hour))
+	for i, v := range vec {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %d = %g", i, v)
+		}
+	}
+}

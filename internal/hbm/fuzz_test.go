@@ -1,0 +1,46 @@
+package hbm
+
+import "testing"
+
+// FuzzParseAddress verifies the address parser never panics and that every
+// accepted string round-trips exactly.
+func FuzzParseAddress(f *testing.F) {
+	f.Add("n3.u7.h1.s1.c6.p1.g3.b2.r999.col55")
+	f.Add("n0.u0.h0.s0.c0.p0.g0.b0.r0.col0")
+	f.Add("")
+	f.Add("n1.u2")
+	f.Add("x1.u2.h1.s0.c5.p1.g2.b3.r1.col8")
+	f.Add("n-1.u2.h1.s0.c5.p1.g2.b3.r1.col8")
+	f.Add("n99999999999999999999.u2.h1.s0.c5.p1.g2.b3.r1.col8")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddress(s)
+		if err != nil {
+			return
+		}
+		// Accepted addresses must round-trip through String.
+		again, err := ParseAddress(a.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", a.String(), err)
+		}
+		if again != a {
+			t.Fatalf("round trip changed %q: %+v vs %+v", s, a, again)
+		}
+	})
+}
+
+// FuzzPackUnpack verifies Unpack never panics and in-range addresses
+// round-trip through Pack.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(Address{Node: 3, Row: 999, Column: 55}.Pack())
+
+	f.Fuzz(func(t *testing.T, v uint64) {
+		a := Unpack(v)
+		// Re-packing an unpacked address keeps the encoded fields.
+		if Unpack(a.Pack()) != a {
+			t.Fatalf("pack/unpack unstable for %#x", v)
+		}
+	})
+}

@@ -1,0 +1,400 @@
+// Package hbm models the physical organisation of High Bandwidth Memory as
+// described in §II-A of the Cordial paper: a fleet of compute nodes, each
+// with 8 NPUs, each NPU with two HBM sockets; every HBM is an 8Hi stack
+// exposing 2 stack IDs (SIDs), 8 channels, 2 pseudo-channels per channel,
+// 4 bank groups per pseudo-channel and 4 banks per group. A bank is a
+// two-dimensional array of cells indexed by row and column.
+//
+// The package provides a compact address representation, the micro-level
+// hierarchy used throughout the paper (NPU → HBM → SID → PS-CH → BG → Bank →
+// Row), and geometry helpers the simulators and predictors share.
+package hbm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Geometry describes the dimensions of the modelled HBM fleet. The zero
+// value is not useful; start from DefaultGeometry and adjust.
+type Geometry struct {
+	Nodes          int // compute nodes in the fleet
+	NPUsPerNode    int // NPUs per compute node
+	HBMsPerNPU     int // HBM sockets per NPU
+	SIDsPerHBM     int // stack IDs per HBM (8Hi stack → 2 SIDs)
+	ChannelsPerSID int // channels per stack ID
+	PseudoChPerCh  int // pseudo-channels per channel
+	BankGroups     int // bank groups per pseudo-channel
+	BanksPerGroup  int // banks per bank group
+	RowsPerBank    int // rows per bank
+	ColsPerBank    int // columns per bank
+}
+
+// DefaultGeometry matches the HBM2E organisation in the paper (Figure 1)
+// with a fleet large enough (1024 NPUs) that error banks stay sparse per
+// NPU — the sparsity the hierarchical sudden-ratio structure of Table I
+// depends on — while tests and examples still run quickly. Production-like
+// studies scale Nodes up further; nothing else changes.
+var DefaultGeometry = Geometry{
+	Nodes:          128,
+	NPUsPerNode:    8,
+	HBMsPerNPU:     2,
+	SIDsPerHBM:     2,
+	ChannelsPerSID: 8,
+	PseudoChPerCh:  2,
+	BankGroups:     4,
+	BanksPerGroup:  4,
+	RowsPerBank:    32768,
+	ColsPerBank:    128,
+}
+
+// Validate reports whether every dimension is positive and within the bit
+// budget of the packed address encoding.
+func (g Geometry) Validate() error {
+	check := func(name string, v, max int) error {
+		if v <= 0 {
+			return fmt.Errorf("hbm: geometry %s must be positive, got %d", name, v)
+		}
+		if v > max {
+			return fmt.Errorf("hbm: geometry %s = %d exceeds encoding limit %d", name, v, max)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+		max  int
+	}{
+		{"Nodes", g.Nodes, 1 << nodeBits},
+		{"NPUsPerNode", g.NPUsPerNode, 1 << npuBits},
+		{"HBMsPerNPU", g.HBMsPerNPU, 1 << hbmBits},
+		{"SIDsPerHBM", g.SIDsPerHBM, 1 << sidBits},
+		{"ChannelsPerSID", g.ChannelsPerSID, 1 << chBits},
+		{"PseudoChPerCh", g.PseudoChPerCh, 1 << pschBits},
+		{"BankGroups", g.BankGroups, 1 << bgBits},
+		{"BanksPerGroup", g.BanksPerGroup, 1 << bankBits},
+		{"RowsPerBank", g.RowsPerBank, 1 << rowBits},
+		{"ColsPerBank", g.ColsPerBank, 1 << colBits},
+	} {
+		if err := check(c.name, c.v, c.max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalNPUs returns the number of NPUs in the fleet.
+func (g Geometry) TotalNPUs() int { return g.Nodes * g.NPUsPerNode }
+
+// TotalHBMs returns the number of HBM stacks in the fleet.
+func (g Geometry) TotalHBMs() int { return g.TotalNPUs() * g.HBMsPerNPU }
+
+// BanksPerHBM returns the number of banks in one HBM stack.
+func (g Geometry) BanksPerHBM() int {
+	return g.SIDsPerHBM * g.ChannelsPerSID * g.PseudoChPerCh * g.BankGroups * g.BanksPerGroup
+}
+
+// TotalBanks returns the number of banks in the fleet.
+func (g Geometry) TotalBanks() int { return g.TotalHBMs() * g.BanksPerHBM() }
+
+// Level identifies a micro-level of the HBM hierarchy. The ordering matches
+// the paper's Tables I and II, from coarsest (NPU) to finest (Row).
+type Level int
+
+// Hierarchy levels, coarsest first. LevelChannel sits between SID and
+// pseudo-channel physically but is omitted from the paper's per-level tables;
+// TableLevels lists the seven levels the paper reports.
+const (
+	LevelNPU Level = iota + 1
+	LevelHBM
+	LevelSID
+	LevelChannel
+	LevelPseudoChannel
+	LevelBankGroup
+	LevelBank
+	LevelRow
+)
+
+// TableLevels are the micro-levels reported in the paper's Tables I and II.
+var TableLevels = []Level{
+	LevelNPU, LevelHBM, LevelSID, LevelPseudoChannel, LevelBankGroup, LevelBank, LevelRow,
+}
+
+var levelNames = map[Level]string{
+	LevelNPU:           "NPU",
+	LevelHBM:           "HBM",
+	LevelSID:           "SID",
+	LevelChannel:       "CH",
+	LevelPseudoChannel: "PS-CH",
+	LevelBankGroup:     "BG",
+	LevelBank:          "Bank",
+	LevelRow:           "Row",
+}
+
+// String returns the paper's abbreviation for the level.
+func (l Level) String() string {
+	if s, ok := levelNames[l]; ok {
+		return s
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Bit widths for the packed address encoding. The sum of all widths is 48,
+// leaving headroom in a uint64.
+const (
+	nodeBits = 12
+	npuBits  = 4
+	hbmBits  = 2
+	sidBits  = 1
+	chBits   = 3
+	pschBits = 1
+	bgBits   = 2
+	bankBits = 2
+	rowBits  = 16
+	colBits  = 8
+)
+
+// Field shifts, column in the least significant bits.
+const (
+	colShift  = 0
+	rowShift  = colShift + colBits
+	bankShift = rowShift + rowBits
+	bgShift   = bankShift + bankBits
+	pschShift = bgShift + bgBits
+	chShift   = pschShift + pschBits
+	sidShift  = chShift + chBits
+	hbmShift  = sidShift + sidBits
+	npuShift  = hbmShift + hbmBits
+	nodeShift = npuShift + npuBits
+)
+
+// Address identifies a memory location (or a coarser entity, with the finer
+// fields zeroed) inside the fleet. All fields are zero-based indices.
+type Address struct {
+	Node          int
+	NPU           int
+	HBM           int
+	SID           int
+	Channel       int
+	PseudoChannel int
+	BankGroup     int
+	Bank          int
+	Row           int
+	Column        int
+}
+
+// Pack encodes the address into a single uint64. Pack and Unpack are inverses
+// for any address whose fields are within the geometry's encoding limits.
+func (a Address) Pack() uint64 {
+	return uint64(a.Node)<<nodeShift |
+		uint64(a.NPU)<<npuShift |
+		uint64(a.HBM)<<hbmShift |
+		uint64(a.SID)<<sidShift |
+		uint64(a.Channel)<<chShift |
+		uint64(a.PseudoChannel)<<pschShift |
+		uint64(a.BankGroup)<<bgShift |
+		uint64(a.Bank)<<bankShift |
+		uint64(a.Row)<<rowShift |
+		uint64(a.Column)<<colShift
+}
+
+// Unpack decodes an address previously produced by Pack.
+func Unpack(v uint64) Address {
+	mask := func(bits int) uint64 { return (1 << bits) - 1 }
+	return Address{
+		Node:          int(v >> nodeShift & mask(nodeBits)),
+		NPU:           int(v >> npuShift & mask(npuBits)),
+		HBM:           int(v >> hbmShift & mask(hbmBits)),
+		SID:           int(v >> sidShift & mask(sidBits)),
+		Channel:       int(v >> chShift & mask(chBits)),
+		PseudoChannel: int(v >> pschShift & mask(pschBits)),
+		BankGroup:     int(v >> bgShift & mask(bgBits)),
+		Bank:          int(v >> bankShift & mask(bankBits)),
+		Row:           int(v >> rowShift & mask(rowBits)),
+		Column:        int(v >> colShift & mask(colBits)),
+	}
+}
+
+// Validate reports whether the address is within the geometry's bounds.
+func (a Address) Validate(g Geometry) error {
+	for _, c := range []struct {
+		name string
+		v    int
+		n    int
+	}{
+		{"node", a.Node, g.Nodes},
+		{"npu", a.NPU, g.NPUsPerNode},
+		{"hbm", a.HBM, g.HBMsPerNPU},
+		{"sid", a.SID, g.SIDsPerHBM},
+		{"channel", a.Channel, g.ChannelsPerSID},
+		{"pseudo-channel", a.PseudoChannel, g.PseudoChPerCh},
+		{"bank group", a.BankGroup, g.BankGroups},
+		{"bank", a.Bank, g.BanksPerGroup},
+		{"row", a.Row, g.RowsPerBank},
+		{"column", a.Column, g.ColsPerBank},
+	} {
+		if c.v < 0 || c.v >= c.n {
+			return fmt.Errorf("hbm: %s index %d out of range [0,%d)", c.name, c.v, c.n)
+		}
+	}
+	return nil
+}
+
+// String renders the address in the canonical dotted form, e.g.
+// "n3.u2.h1.s0.c5.p1.g2.b3.r12345.col87".
+func (a Address) String() string {
+	var b strings.Builder
+	b.Grow(48)
+	fields := []struct {
+		tag string
+		v   int
+	}{
+		{"n", a.Node}, {"u", a.NPU}, {"h", a.HBM}, {"s", a.SID},
+		{"c", a.Channel}, {"p", a.PseudoChannel}, {"g", a.BankGroup},
+		{"b", a.Bank}, {"r", a.Row}, {"col", a.Column},
+	}
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(f.tag)
+		b.WriteString(strconv.Itoa(f.v))
+	}
+	return b.String()
+}
+
+// ParseAddress parses the canonical dotted form produced by String.
+func ParseAddress(s string) (Address, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 10 {
+		return Address{}, fmt.Errorf("hbm: address %q has %d fields, want 10", s, len(parts))
+	}
+	var a Address
+	for i, spec := range []struct {
+		tag string
+		dst *int
+	}{
+		{"n", &a.Node}, {"u", &a.NPU}, {"h", &a.HBM}, {"s", &a.SID},
+		{"c", &a.Channel}, {"p", &a.PseudoChannel}, {"g", &a.BankGroup},
+		{"b", &a.Bank}, {"r", &a.Row}, {"col", &a.Column},
+	} {
+		p := parts[i]
+		if !strings.HasPrefix(p, spec.tag) {
+			return Address{}, fmt.Errorf("hbm: address field %q does not start with %q", p, spec.tag)
+		}
+		v, err := strconv.Atoi(p[len(spec.tag):])
+		if err != nil {
+			return Address{}, fmt.Errorf("hbm: address field %q: %w", p, err)
+		}
+		if v < 0 {
+			return Address{}, fmt.Errorf("hbm: address field %q is negative", p)
+		}
+		*spec.dst = v
+	}
+	return a, nil
+}
+
+// Truncate zeroes every field finer than the given level, producing the
+// address of the enclosing entity at that level. For example, truncating at
+// LevelBank clears Row and Column.
+func (a Address) Truncate(l Level) Address {
+	t := a
+	switch l {
+	case LevelNPU:
+		t.HBM = 0
+		fallthrough
+	case LevelHBM:
+		t.SID = 0
+		fallthrough
+	case LevelSID:
+		t.Channel = 0
+		fallthrough
+	case LevelChannel:
+		t.PseudoChannel = 0
+		fallthrough
+	case LevelPseudoChannel:
+		t.BankGroup = 0
+		fallthrough
+	case LevelBankGroup:
+		t.Bank = 0
+		fallthrough
+	case LevelBank:
+		t.Row = 0
+		fallthrough
+	case LevelRow:
+		t.Column = 0
+	}
+	return t
+}
+
+// EntityKey returns a unique packed key for the entity containing the
+// address at the given level. Two addresses share a key at level l exactly
+// when they fall in the same level-l entity.
+func (a Address) EntityKey(l Level) uint64 { return a.Truncate(l).Pack() }
+
+// BankKey is shorthand for EntityKey(LevelBank): a unique identifier for the
+// bank containing the address.
+func (a Address) BankKey() uint64 { return a.EntityKey(LevelBank) }
+
+// RowKey uniquely identifies a row within the fleet.
+func (a Address) RowKey() uint64 { return a.EntityKey(LevelRow) }
+
+// SameBank reports whether two addresses fall in the same bank.
+func (a Address) SameBank(b Address) bool { return a.BankKey() == b.BankKey() }
+
+// RowDistance returns |a.Row - b.Row|. It is only meaningful for addresses
+// in the same bank.
+func RowDistance(a, b Address) int {
+	d := a.Row - b.Row
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// BankAddress identifies one bank in the fleet; it is an Address with row
+// and column zeroed, retained as a distinct named type for API clarity.
+type BankAddress = Address
+
+// BankOf returns the bank-level address containing a.
+func BankOf(a Address) BankAddress { return a.Truncate(LevelBank) }
+
+// RandomSource abstracts the subset of xrand.RNG the package needs, keeping
+// hbm free of a dependency on the generator implementation.
+type RandomSource interface {
+	Intn(n int) int
+}
+
+// RandomBank draws a uniformly random bank address within the geometry.
+func RandomBank(g Geometry, r RandomSource) BankAddress {
+	return Address{
+		Node:          r.Intn(g.Nodes),
+		NPU:           r.Intn(g.NPUsPerNode),
+		HBM:           r.Intn(g.HBMsPerNPU),
+		SID:           r.Intn(g.SIDsPerHBM),
+		Channel:       r.Intn(g.ChannelsPerSID),
+		PseudoChannel: r.Intn(g.PseudoChPerCh),
+		BankGroup:     r.Intn(g.BankGroups),
+		Bank:          r.Intn(g.BanksPerGroup),
+	}
+}
+
+// CellInBank returns the full address of (row, col) within the given bank.
+func CellInBank(bank BankAddress, row, col int) Address {
+	a := bank
+	a.Row = row
+	a.Column = col
+	return a
+}
+
+// ClampRow clamps row into [0, g.RowsPerBank).
+func (g Geometry) ClampRow(row int) int {
+	if row < 0 {
+		return 0
+	}
+	if row >= g.RowsPerBank {
+		return g.RowsPerBank - 1
+	}
+	return row
+}

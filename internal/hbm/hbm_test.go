@@ -1,0 +1,274 @@
+package hbm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cordial/internal/xrand"
+)
+
+func TestDefaultGeometryValid(t *testing.T) {
+	if err := DefaultGeometry.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryValidateRejects(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Geometry)
+	}{
+		{"zero nodes", func(g *Geometry) { g.Nodes = 0 }},
+		{"negative rows", func(g *Geometry) { g.RowsPerBank = -1 }},
+		{"rows over encoding", func(g *Geometry) { g.RowsPerBank = 1 << 20 }},
+		{"cols over encoding", func(g *Geometry) { g.ColsPerBank = 1 << 10 }},
+		{"nodes over encoding", func(g *Geometry) { g.Nodes = 1 << 13 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := DefaultGeometry
+			tc.mutate(&g)
+			if err := g.Validate(); err == nil {
+				t.Fatal("Validate accepted invalid geometry")
+			}
+		})
+	}
+}
+
+func TestGeometryCounts(t *testing.T) {
+	g := DefaultGeometry
+	if got, want := g.TotalNPUs(), 128*8; got != want {
+		t.Errorf("TotalNPUs = %d, want %d", got, want)
+	}
+	if got, want := g.TotalHBMs(), 128*8*2; got != want {
+		t.Errorf("TotalHBMs = %d, want %d", got, want)
+	}
+	if got, want := g.BanksPerHBM(), 2*8*2*4*4; got != want {
+		t.Errorf("BanksPerHBM = %d, want %d", got, want)
+	}
+	if got, want := g.TotalBanks(), g.TotalHBMs()*g.BanksPerHBM(); got != want {
+		t.Errorf("TotalBanks = %d, want %d", got, want)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(node, npu, h, sid, ch, psch, bg, bank, row, col uint32) bool {
+		a := Address{
+			Node:          int(node % (1 << nodeBits)),
+			NPU:           int(npu % (1 << npuBits)),
+			HBM:           int(h % (1 << hbmBits)),
+			SID:           int(sid % (1 << sidBits)),
+			Channel:       int(ch % (1 << chBits)),
+			PseudoChannel: int(psch % (1 << pschBits)),
+			BankGroup:     int(bg % (1 << bgBits)),
+			Bank:          int(bank % (1 << bankBits)),
+			Row:           int(row % (1 << rowBits)),
+			Column:        int(col % (1 << colBits)),
+		}
+		return Unpack(a.Pack()) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackDistinct(t *testing.T) {
+	a := Address{Node: 1, Row: 5}
+	b := Address{Node: 1, Row: 6}
+	if a.Pack() == b.Pack() {
+		t.Fatal("distinct addresses packed to the same value")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	g := DefaultGeometry
+	r := xrand.New(99)
+	for i := 0; i < 500; i++ {
+		a := CellInBank(RandomBank(g, r), r.Intn(g.RowsPerBank), r.Intn(g.ColsPerBank))
+		got, err := ParseAddress(a.String())
+		if err != nil {
+			t.Fatalf("ParseAddress(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Fatalf("round trip mismatch: %v vs %v", got, a)
+		}
+	}
+}
+
+func TestParseAddressErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"n1.u2",
+		"x1.u2.h1.s0.c5.p1.g2.b3.r12345.col87",
+		"n1.u2.h1.s0.c5.p1.g2.b3.rxyz.col87",
+		"n-1.u2.h1.s0.c5.p1.g2.b3.r1.col87",
+		"n1.u2.h1.s0.c5.p1.g2.b3.r1.col87.extra",
+	} {
+		if _, err := ParseAddress(s); err == nil {
+			t.Errorf("ParseAddress(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestValidateAddress(t *testing.T) {
+	g := DefaultGeometry
+	good := Address{Node: g.Nodes - 1, Row: g.RowsPerBank - 1, Column: g.ColsPerBank - 1}
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("valid address rejected: %v", err)
+	}
+	bad := good
+	bad.Row = g.RowsPerBank
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	neg := good
+	neg.Column = -1
+	if err := neg.Validate(g); err == nil {
+		t.Fatal("negative column accepted")
+	}
+}
+
+func TestTruncateHierarchy(t *testing.T) {
+	a := Address{Node: 3, NPU: 7, HBM: 1, SID: 1, Channel: 6, PseudoChannel: 1, BankGroup: 3, Bank: 2, Row: 999, Column: 55}
+	tests := []struct {
+		level Level
+		want  Address
+	}{
+		{LevelRow, Address{Node: 3, NPU: 7, HBM: 1, SID: 1, Channel: 6, PseudoChannel: 1, BankGroup: 3, Bank: 2, Row: 999}},
+		{LevelBank, Address{Node: 3, NPU: 7, HBM: 1, SID: 1, Channel: 6, PseudoChannel: 1, BankGroup: 3, Bank: 2}},
+		{LevelBankGroup, Address{Node: 3, NPU: 7, HBM: 1, SID: 1, Channel: 6, PseudoChannel: 1, BankGroup: 3}},
+		{LevelPseudoChannel, Address{Node: 3, NPU: 7, HBM: 1, SID: 1, Channel: 6, PseudoChannel: 1}},
+		{LevelChannel, Address{Node: 3, NPU: 7, HBM: 1, SID: 1, Channel: 6}},
+		{LevelSID, Address{Node: 3, NPU: 7, HBM: 1, SID: 1}},
+		{LevelHBM, Address{Node: 3, NPU: 7, HBM: 1}},
+		{LevelNPU, Address{Node: 3, NPU: 7}},
+	}
+	for _, tc := range tests {
+		if got := a.Truncate(tc.level); got != tc.want {
+			t.Errorf("Truncate(%v) = %+v, want %+v", tc.level, got, tc.want)
+		}
+	}
+}
+
+func TestEntityKeyGrouping(t *testing.T) {
+	a := Address{Node: 1, NPU: 2, HBM: 1, SID: 0, Channel: 3, PseudoChannel: 1, BankGroup: 2, Bank: 1, Row: 100, Column: 4}
+	b := a
+	b.Row = 200
+	b.Column = 9
+	if a.EntityKey(LevelBank) != b.EntityKey(LevelBank) {
+		t.Fatal("same-bank addresses have different bank keys")
+	}
+	c := a
+	c.Bank = 2
+	if a.EntityKey(LevelBank) == c.EntityKey(LevelBank) {
+		t.Fatal("different banks share a bank key")
+	}
+	if a.EntityKey(LevelBankGroup) != c.EntityKey(LevelBankGroup) {
+		t.Fatal("same-group addresses have different group keys")
+	}
+}
+
+func TestSameBankAndRowKeys(t *testing.T) {
+	a := Address{Node: 1, Row: 10, Column: 3}
+	b := Address{Node: 1, Row: 10, Column: 99}
+	c := Address{Node: 1, Row: 11}
+	if !a.SameBank(b) || !a.SameBank(c) {
+		t.Fatal("SameBank false for same-bank addresses")
+	}
+	if a.RowKey() != b.RowKey() {
+		t.Fatal("same-row addresses have different row keys")
+	}
+	if a.RowKey() == c.RowKey() {
+		t.Fatal("different rows share a row key")
+	}
+}
+
+func TestRowDistance(t *testing.T) {
+	a := Address{Row: 100}
+	b := Address{Row: 228}
+	if got := RowDistance(a, b); got != 128 {
+		t.Fatalf("RowDistance = %d, want 128", got)
+	}
+	if got := RowDistance(b, a); got != 128 {
+		t.Fatalf("RowDistance reversed = %d, want 128", got)
+	}
+	if got := RowDistance(a, a); got != 0 {
+		t.Fatalf("RowDistance self = %d, want 0", got)
+	}
+}
+
+func TestRandomBankWithinBounds(t *testing.T) {
+	g := DefaultGeometry
+	r := xrand.New(7)
+	for i := 0; i < 1000; i++ {
+		b := RandomBank(g, r)
+		if err := b.Validate(g); err != nil {
+			t.Fatalf("RandomBank produced invalid address: %v", err)
+		}
+		if b.Row != 0 || b.Column != 0 {
+			t.Fatalf("RandomBank produced non-zero row/col: %+v", b)
+		}
+	}
+}
+
+func TestClampRow(t *testing.T) {
+	g := DefaultGeometry
+	for _, tc := range []struct{ in, want int }{
+		{-5, 0}, {0, 0}, {100, 100},
+		{g.RowsPerBank - 1, g.RowsPerBank - 1},
+		{g.RowsPerBank, g.RowsPerBank - 1},
+		{g.RowsPerBank + 99, g.RowsPerBank - 1},
+	} {
+		if got := g.ClampRow(tc.in); got != tc.want {
+			t.Errorf("ClampRow(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelPseudoChannel.String() != "PS-CH" {
+		t.Errorf("LevelPseudoChannel.String() = %q", LevelPseudoChannel.String())
+	}
+	if Level(99).String() != "Level(99)" {
+		t.Errorf("unknown level String() = %q", Level(99).String())
+	}
+}
+
+func TestTableLevelsOrder(t *testing.T) {
+	want := []string{"NPU", "HBM", "SID", "PS-CH", "BG", "Bank", "Row"}
+	if len(TableLevels) != len(want) {
+		t.Fatalf("TableLevels has %d entries, want %d", len(TableLevels), len(want))
+	}
+	for i, l := range TableLevels {
+		if l.String() != want[i] {
+			t.Errorf("TableLevels[%d] = %s, want %s", i, l, want[i])
+		}
+	}
+}
+
+func TestCellInBank(t *testing.T) {
+	bank := BankAddress{Node: 2, Bank: 3}
+	a := CellInBank(bank, 77, 12)
+	if a.Row != 77 || a.Column != 12 || a.Node != 2 || a.Bank != 3 {
+		t.Fatalf("CellInBank = %+v", a)
+	}
+	if BankOf(a) != bank {
+		t.Fatalf("BankOf(CellInBank(...)) = %+v, want %+v", BankOf(a), bank)
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	a := Address{Node: 3, NPU: 7, HBM: 1, SID: 1, Channel: 6, PseudoChannel: 1, BankGroup: 3, Bank: 2, Row: 999, Column: 55}
+	for i := 0; i < b.N; i++ {
+		_ = a.Pack()
+	}
+}
+
+func BenchmarkParseAddress(b *testing.B) {
+	s := Address{Node: 3, NPU: 7, Row: 999, Column: 55}.String()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAddress(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package hbm
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// RowMap is a bijective mapping between the logical row numbers that appear
+// in MCE logs and the physical placement of rows on the die. DRAM vendors
+// scramble row addresses (internal remapping, anti-fuse repairs, mirrored
+// sub-array segments), so two logically adjacent rows need not be physical
+// neighbours. The half-total-row pattern of Figure 3(a) is the classic
+// symptom: one physical defect surfaces as two logical clusters exactly half
+// the bank apart because the bank's two sub-array halves mirror an address
+// bit.
+type RowMap interface {
+	// ToPhysical maps a logical row to its physical row.
+	ToPhysical(logical int) int
+	// ToLogical maps a physical row back to its logical row.
+	ToLogical(physical int) int
+	// Rows returns the mapped domain size.
+	Rows() int
+}
+
+// IdentityMap is the trivial mapping (logical == physical).
+type IdentityMap struct {
+	NumRows int
+}
+
+var _ RowMap = IdentityMap{}
+
+// ToPhysical returns the row unchanged.
+func (m IdentityMap) ToPhysical(logical int) int { return logical }
+
+// ToLogical returns the row unchanged.
+func (m IdentityMap) ToLogical(physical int) int { return physical }
+
+// Rows returns the domain size.
+func (m IdentityMap) Rows() int { return m.NumRows }
+
+// XorMap scrambles rows by XOR-ing a fixed mask onto the row bits — its own
+// inverse, and the standard model for address-bit swizzling. A mask with
+// only the top bit set models mirrored sub-array halves: physical neighbours
+// land half the logical bank apart.
+type XorMap struct {
+	NumRows int
+	Mask    int
+}
+
+var _ RowMap = XorMap{}
+
+// NewXorMap builds an XOR scramble over a power-of-two row count. The mask
+// must keep rows in range.
+func NewXorMap(numRows, mask int) (XorMap, error) {
+	if numRows <= 0 || bits.OnesCount(uint(numRows)) != 1 {
+		return XorMap{}, fmt.Errorf("hbm: XorMap needs a power-of-two row count, got %d", numRows)
+	}
+	if mask < 0 || mask >= numRows {
+		return XorMap{}, fmt.Errorf("hbm: XorMap mask %#x out of [0,%d)", mask, numRows)
+	}
+	return XorMap{NumRows: numRows, Mask: mask}, nil
+}
+
+// ToPhysical XORs the mask onto the row.
+func (m XorMap) ToPhysical(logical int) int { return logical ^ m.Mask }
+
+// ToLogical XORs the mask onto the row (XOR is an involution).
+func (m XorMap) ToLogical(physical int) int { return physical ^ m.Mask }
+
+// Rows returns the domain size.
+func (m XorMap) Rows() int { return m.NumRows }
+
+// MirrorMap models per-half mirroring: the bank's upper half stores its rows
+// in reverse order, so logical rows r and NumRows-1-r in the upper half are
+// physical neighbours of their lower-half counterparts. This produces the
+// "two clusters, consistent interval" geometry of the double-row patterns.
+type MirrorMap struct {
+	NumRows int
+}
+
+var _ RowMap = MirrorMap{}
+
+// NewMirrorMap builds a mirror map over an even row count.
+func NewMirrorMap(numRows int) (MirrorMap, error) {
+	if numRows <= 0 || numRows%2 != 0 {
+		return MirrorMap{}, fmt.Errorf("hbm: MirrorMap needs a positive even row count, got %d", numRows)
+	}
+	return MirrorMap{NumRows: numRows}, nil
+}
+
+// ToPhysical reverses the order of the upper half.
+func (m MirrorMap) ToPhysical(logical int) int {
+	half := m.NumRows / 2
+	if logical < half {
+		return logical
+	}
+	return m.NumRows - 1 - (logical - half)
+}
+
+// ToLogical inverts ToPhysical.
+func (m MirrorMap) ToLogical(physical int) int {
+	half := m.NumRows / 2
+	if physical < half {
+		return physical
+	}
+	return half + (m.NumRows - 1 - physical)
+}
+
+// Rows returns the domain size.
+func (m MirrorMap) Rows() int { return m.NumRows }
+
+// PhysicalDistance returns the physical row distance between two logical
+// rows under the map.
+func PhysicalDistance(m RowMap, logicalA, logicalB int) int {
+	d := m.ToPhysical(logicalA) - m.ToPhysical(logicalB)
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// CheckBijective verifies m is a bijection over [0, m.Rows()) — a validation
+// helper for custom maps.
+func CheckBijective(m RowMap) error {
+	n := m.Rows()
+	if n <= 0 {
+		return fmt.Errorf("hbm: row map has non-positive domain %d", n)
+	}
+	seen := make([]bool, n)
+	for r := 0; r < n; r++ {
+		p := m.ToPhysical(r)
+		if p < 0 || p >= n {
+			return fmt.Errorf("hbm: row %d maps to %d, out of [0,%d)", r, p, n)
+		}
+		if seen[p] {
+			return fmt.Errorf("hbm: physical row %d hit twice", p)
+		}
+		seen[p] = true
+		if back := m.ToLogical(p); back != r {
+			return fmt.Errorf("hbm: round trip %d -> %d -> %d", r, p, back)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package hbm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityMap(t *testing.T) {
+	m := IdentityMap{NumRows: 1024}
+	if err := CheckBijective(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.ToPhysical(17) != 17 || m.ToLogical(17) != 17 {
+		t.Fatal("identity map not identity")
+	}
+	if PhysicalDistance(m, 100, 228) != 128 {
+		t.Fatal("identity distance wrong")
+	}
+}
+
+func TestXorMap(t *testing.T) {
+	m, err := NewXorMap(1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBijective(m); err != nil {
+		t.Fatal(err)
+	}
+	// Top-bit mask: logical 0 and 512 are physical 512 and 0 — adjacent
+	// logical clusters half the bank apart share a physical neighbourhood.
+	if m.ToPhysical(0) != 512 || m.ToPhysical(512) != 0 {
+		t.Fatal("top-bit scramble wrong")
+	}
+	// Logical rows 3 and 515 sit half the bank apart logically but map to
+	// physical 515 and 3 — still 512 apart, while logical 3 and 514 map to
+	// physical 515 and 2: the scramble preserves pair distances only up to
+	// the XOR geometry.
+	if d := PhysicalDistance(m, 3, 515); d != 512 {
+		t.Fatalf("distance = %d, want 512", d)
+	}
+	if d := PhysicalDistance(m, 0, 513); d != 511 {
+		t.Fatalf("distance = %d, want 511", d)
+	}
+}
+
+func TestXorMapErrors(t *testing.T) {
+	if _, err := NewXorMap(1000, 1); err == nil {
+		t.Error("non-power-of-two rows accepted")
+	}
+	if _, err := NewXorMap(1024, 1024); err == nil {
+		t.Error("out-of-range mask accepted")
+	}
+	if _, err := NewXorMap(1024, -1); err == nil {
+		t.Error("negative mask accepted")
+	}
+}
+
+func TestXorMapInvolutionProperty(t *testing.T) {
+	m, err := NewXorMap(1<<15, 0x4a5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(row uint16) bool {
+		r := int(row) % m.Rows()
+		return m.ToLogical(m.ToPhysical(r)) == r && m.ToPhysical(m.ToLogical(r)) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMirrorMap(t *testing.T) {
+	m, err := NewMirrorMap(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBijective(m); err != nil {
+		t.Fatal(err)
+	}
+	// Lower half identical; upper half reversed: logical 4..7 → 7..4.
+	for r := 0; r < 4; r++ {
+		if m.ToPhysical(r) != r {
+			t.Fatalf("lower half moved: %d -> %d", r, m.ToPhysical(r))
+		}
+	}
+	if m.ToPhysical(4) != 7 || m.ToPhysical(7) != 4 {
+		t.Fatalf("upper half mirror wrong: 4->%d 7->%d", m.ToPhysical(4), m.ToPhysical(7))
+	}
+	// The half-total-row signature: logical 0 and logical 7 (near half+end)
+	// are physical neighbours... logical 7 -> physical 4; logical 3 ->
+	// physical 3; so logical 3 and 7 (4 apart = half the bank) map to
+	// physical 3 and 4 — adjacent.
+	if d := PhysicalDistance(m, 3, 7); d != 1 {
+		t.Fatalf("mirrored neighbour distance = %d, want 1", d)
+	}
+}
+
+func TestMirrorMapErrors(t *testing.T) {
+	if _, err := NewMirrorMap(7); err == nil {
+		t.Error("odd row count accepted")
+	}
+	if _, err := NewMirrorMap(0); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestMirrorMapBijectiveLarge(t *testing.T) {
+	m, err := NewMirrorMap(DefaultGeometry.RowsPerBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBijective(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// brokenMap violates bijectivity for CheckBijective coverage.
+type brokenMap struct{ n int }
+
+func (b brokenMap) ToPhysical(l int) int { return l / 2 }
+func (b brokenMap) ToLogical(p int) int  { return p * 2 }
+func (b brokenMap) Rows() int            { return b.n }
+
+func TestCheckBijectiveRejectsBrokenMap(t *testing.T) {
+	if err := CheckBijective(brokenMap{n: 8}); err == nil {
+		t.Fatal("broken map accepted")
+	}
+	if err := CheckBijective(brokenMap{n: 0}); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package mcelog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/hbm"
+)
+
+// jsonEvent is the interchange shape for one event in the JSONL codec.
+type jsonEvent struct {
+	Time  time.Time `json:"time"`
+	Addr  string    `json:"addr"`
+	Class string    `json:"class"`
+}
+
+// WriteJSONL writes the log as JSON Lines: one event object per line.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, e := range l.events {
+		je := jsonEvent{Time: e.Time.UTC(), Addr: e.Addr.String(), Class: e.Class.String()}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("mcelog: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON Lines stream produced by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	log := &Log{}
+	for i := 0; ; i++ {
+		var je jsonEvent
+		if err := dec.Decode(&je); err != nil {
+			if errors.Is(err, io.EOF) {
+				return log, nil
+			}
+			return nil, fmt.Errorf("mcelog: decoding line %d: %w", i, err)
+		}
+		addr, err := hbm.ParseAddress(je.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("mcelog: line %d: %w", i, err)
+		}
+		class, err := ecc.ParseClass(je.Class)
+		if err != nil {
+			return nil, fmt.Errorf("mcelog: line %d: %w", i, err)
+		}
+		log.Append(Event{Time: je.Time, Addr: addr, Class: class})
+	}
+}
+
+// Binary format:
+//
+//	header:  magic "MCEL" | uint16 version | uint32 event count
+//	record:  int64 unix-nanos | uint64 packed addr | uint8 class   (×count)
+//	trailer: uint32 CRC-32 (IEEE) over all record bytes
+//
+// All integers are little-endian. The trailer detects truncation and
+// corruption; readers must verify it before trusting the events.
+const (
+	binaryMagic   = "MCEL"
+	binaryVersion = 1
+	recordSize    = 8 + 8 + 1
+)
+
+// WriteBinary writes the log in the compact binary format.
+func (l *Log) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("mcelog: writing magic: %w", err)
+	}
+	var head [6]byte
+	binary.LittleEndian.PutUint16(head[0:2], binaryVersion)
+	binary.LittleEndian.PutUint32(head[2:6], uint32(len(l.events)))
+	if _, err := bw.Write(head[:]); err != nil {
+		return fmt.Errorf("mcelog: writing header: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	var rec [recordSize]byte
+	for _, e := range l.events {
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(e.Time.UnixNano()))
+		binary.LittleEndian.PutUint64(rec[8:16], e.Addr.Pack())
+		rec[16] = byte(e.Class)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("mcelog: writing record: %w", err)
+		}
+		crc.Write(rec[:]) // hash.Hash.Write never errors
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("mcelog: writing checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary format, verifying the checksum.
+func ReadBinary(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+6)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("mcelog: reading header: %w", err)
+	}
+	if string(head[:4]) != binaryMagic {
+		return nil, fmt.Errorf("mcelog: bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != binaryVersion {
+		return nil, fmt.Errorf("mcelog: unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint32(head[6:10])
+	// The count is untrusted input: preallocate only up to a sane bound and
+	// let append grow beyond it, so a corrupt header cannot OOM the reader.
+	prealloc := int(count)
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	log := NewLog(prealloc)
+	crc := crc32.NewIEEE()
+	rec := make([]byte, recordSize)
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("mcelog: reading record %d of %d: %w", i, count, err)
+		}
+		crc.Write(rec)
+		class := ecc.Class(rec[16])
+		if class != ecc.ClassCE && class != ecc.ClassUEO && class != ecc.ClassUER {
+			return nil, fmt.Errorf("mcelog: record %d has invalid class byte %d", i, rec[16])
+		}
+		log.Append(Event{
+			Time:  time.Unix(0, int64(binary.LittleEndian.Uint64(rec[0:8]))).UTC(),
+			Addr:  hbm.Unpack(binary.LittleEndian.Uint64(rec[8:16])),
+			Class: class,
+		})
+	}
+	tail := make([]byte, 4)
+	if _, err := io.ReadFull(br, tail); err != nil {
+		return nil, fmt.Errorf("mcelog: reading checksum: %w", err)
+	}
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("mcelog: checksum mismatch: computed %#x, stored %#x", got, want)
+	}
+	return log, nil
+}

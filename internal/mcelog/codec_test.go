@@ -1,0 +1,218 @@
+package mcelog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	l := FromEvents(randomEvents(200, 3))
+	l.Sort()
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("round trip len = %d, want %d", got.Len(), l.Len())
+	}
+	for i := 0; i < l.Len(); i++ {
+		want, have := l.At(i), got.At(i)
+		if !want.Time.Equal(have.Time) || want.Addr != have.Addr || want.Class != have.Class {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, want, have)
+		}
+	}
+}
+
+func TestJSONLEmpty(t *testing.T) {
+	var l Log
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty round trip len = %d", got.Len())
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"not json at all",
+		`{"time":"2025-01-01T00:00:00Z","addr":"bogus","class":"CE"}`,
+		`{"time":"2025-01-01T00:00:00Z","addr":"n1.u2.h1.s0.c5.p1.g2.b3.r1.col8","class":"WAT"}`,
+	} {
+		if _, err := ReadJSONL(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadJSONL accepted %q", s)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	l := FromEvents(randomEvents(500, 4))
+	l.Sort()
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("round trip len = %d, want %d", got.Len(), l.Len())
+	}
+	for i := 0; i < l.Len(); i++ {
+		want, have := l.At(i), got.At(i)
+		if !want.Time.Equal(have.Time) || want.Addr != have.Addr || want.Class != have.Class {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, want, have)
+		}
+	}
+}
+
+func TestBinaryEmpty(t *testing.T) {
+	var l Log
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty round trip len = %d", got.Len())
+	}
+}
+
+func TestBinaryDetectsTruncation(t *testing.T) {
+	l := FromEvents(randomEvents(50, 5))
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Any strict prefix must fail (header, mid-record, or missing trailer).
+	for _, cut := range []int{0, 3, 9, 11, 40, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes went undetected", cut)
+		}
+	}
+}
+
+func TestBinaryDetectsCorruption(t *testing.T) {
+	l := FromEvents(randomEvents(50, 6))
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one byte inside a record's timestamp region (after the 10-byte
+	// header): the CRC must catch it.
+	corrupted := make([]byte, len(data))
+	copy(corrupted, data)
+	corrupted[12] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupted stream went undetected")
+	}
+}
+
+func TestBinaryRejectsBadMagicAndVersion(t *testing.T) {
+	l := FromEvents(randomEvents(5, 7))
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	badMagic := append([]byte{}, data...)
+	badMagic[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(badMagic)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	badVersion := append([]byte{}, data...)
+	badVersion[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(badVersion)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestBinaryRejectsInvalidClassByte(t *testing.T) {
+	l := FromEvents(randomEvents(3, 8))
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Class byte of record 0 sits at offset 10 + 16.
+	data[10+16] = 0xEE
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("invalid class byte accepted")
+	}
+}
+
+func TestBinaryMoreCompactThanJSONL(t *testing.T) {
+	l := FromEvents(randomEvents(1000, 9))
+	var jb, bb bytes.Buffer
+	if err := l.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteBinary(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Len() >= jb.Len() {
+		t.Fatalf("binary (%d bytes) not smaller than JSONL (%d bytes)", bb.Len(), jb.Len())
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	l := FromEvents(randomEvents(10000, 10))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := l.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	l := FromEvents(randomEvents(10000, 10))
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBinaryHostileCountDoesNotOOM(t *testing.T) {
+	// Regression (found by FuzzReadBinary): a header claiming billions of
+	// records must not preallocate billions of entries. The read must fail
+	// on the truncated body instead of exhausting memory.
+	l := FromEvents(randomEvents(3, 99))
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Overwrite the count field (offset 6) with a huge value.
+	data[6], data[7], data[8], data[9] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package mcelog
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadBinary verifies the binary codec never panics and never silently
+// accepts corrupted input as a different log.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid log and a few mutations.
+	l := FromEvents(randomEvents(10, 1))
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:5])
+	f.Add([]byte{})
+	f.Add([]byte("MCEL"))
+	mutated := append([]byte{}, valid...)
+	mutated[12] ^= 0xff
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Round-trip property: whatever parses must re-serialise and
+		// re-parse identically.
+		var out bytes.Buffer
+		if err := log.WriteBinary(&out); err != nil {
+			t.Fatalf("reserialise: %v", err)
+		}
+		again, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if again.Len() != log.Len() {
+			t.Fatalf("round trip changed length %d -> %d", log.Len(), again.Len())
+		}
+	})
+}
+
+// FuzzReadJSONL verifies the JSONL codec never panics.
+func FuzzReadJSONL(f *testing.F) {
+	l := FromEvents(randomEvents(5, 2))
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"time":"2025-01-01T00:00:00Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r1.col2","class":"CE"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := log.WriteJSONL(&out); err != nil {
+			t.Fatalf("reserialise: %v", err)
+		}
+	})
+}
+
+// FuzzStreamReader verifies the streaming codec never panics and preserves
+// the valid prefix of torn streams.
+func FuzzStreamReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	for _, e := range randomEvents(5, 3) {
+		if err := w.Write(e); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte("MCES\x01\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewStreamReader(bytes.NewReader(data))
+		for i := 0; i < 10000; i++ {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return // any error terminates cleanly
+			}
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package mcelog models the machine-check error log a baseboard management
+// controller (BMC) exports: a stream of timestamped, addressed, classified
+// memory-error events. It is the ingestion substrate for everything above
+// it — the empirical-study statistics, the feature extractors and the
+// Cordial pipeline all consume these records.
+//
+// The package provides a typed Event record, an in-memory Log with the
+// query operations the paper's analyses need (sorting, windowing, grouping
+// by bank and by micro-level), and two interchange codecs: JSON Lines for
+// interoperability and a compact checksummed binary format for volume.
+package mcelog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/hbm"
+)
+
+// Event is a single logged memory-error observation.
+type Event struct {
+	// Time is the moment the error was observed.
+	Time time.Time
+	// Addr locates the error down to row/column granularity.
+	Addr hbm.Address
+	// Class is the ECC classification (CE, UEO or UER).
+	Class ecc.Class
+}
+
+// Validate reports whether the event is well-formed under the geometry.
+func (e Event) Validate(g hbm.Geometry) error {
+	if e.Class != ecc.ClassCE && e.Class != ecc.ClassUEO && e.Class != ecc.ClassUER {
+		return fmt.Errorf("mcelog: event class %v is not a loggable error class", e.Class)
+	}
+	if e.Time.IsZero() {
+		return fmt.Errorf("mcelog: event has zero timestamp")
+	}
+	if err := e.Addr.Validate(g); err != nil {
+		return fmt.Errorf("mcelog: event address: %w", err)
+	}
+	return nil
+}
+
+// Before reports whether e was observed before other, breaking time ties by
+// packed address so sorting is total and deterministic.
+func (e Event) Before(other Event) bool {
+	if !e.Time.Equal(other.Time) {
+		return e.Time.Before(other.Time)
+	}
+	if pa, pb := e.Addr.Pack(), other.Addr.Pack(); pa != pb {
+		return pa < pb
+	}
+	return e.Class < other.Class
+}
+
+// Log is an in-memory collection of events. The zero value is an empty log
+// ready to use. Log is not safe for concurrent mutation.
+type Log struct {
+	events []Event
+}
+
+// NewLog returns a log pre-sized for n events.
+func NewLog(n int) *Log {
+	return &Log{events: make([]Event, 0, n)}
+}
+
+// FromEvents builds a log from a copy of the given events.
+func FromEvents(events []Event) *Log {
+	cp := make([]Event, len(events))
+	copy(cp, events)
+	return &Log{events: cp}
+}
+
+// Append adds events to the log.
+func (l *Log) Append(events ...Event) {
+	l.events = append(l.events, events...)
+}
+
+// Len returns the number of events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns a copy of the log's events in their current order.
+func (l *Log) Events() []Event {
+	cp := make([]Event, len(l.events))
+	copy(cp, l.events)
+	return cp
+}
+
+// At returns the i-th event in current order.
+func (l *Log) At(i int) Event { return l.events[i] }
+
+// Sort orders the log by (time, address, class), in place, deterministically.
+func (l *Log) Sort() {
+	sort.SliceStable(l.events, func(i, j int) bool {
+		return l.events[i].Before(l.events[j])
+	})
+}
+
+// IsSorted reports whether the log is already in (time, address, class) order.
+func (l *Log) IsSorted() bool {
+	return sort.SliceIsSorted(l.events, func(i, j int) bool {
+		return l.events[i].Before(l.events[j])
+	})
+}
+
+// FilterClass returns a new log containing only events of the given classes.
+func (l *Log) FilterClass(classes ...ecc.Class) *Log {
+	want := make(map[ecc.Class]bool, len(classes))
+	for _, c := range classes {
+		want[c] = true
+	}
+	out := &Log{}
+	for _, e := range l.events {
+		if want[e.Class] {
+			out.events = append(out.events, e)
+		}
+	}
+	return out
+}
+
+// Window returns a new log with events in [from, to).
+func (l *Log) Window(from, to time.Time) *Log {
+	out := &Log{}
+	for _, e := range l.events {
+		if !e.Time.Before(from) && e.Time.Before(to) {
+			out.events = append(out.events, e)
+		}
+	}
+	return out
+}
+
+// GroupByBank partitions the log's events by bank, preserving their current
+// relative order within each bank.
+func (l *Log) GroupByBank() map[uint64][]Event {
+	groups := make(map[uint64][]Event)
+	for _, e := range l.events {
+		k := e.Addr.BankKey()
+		groups[k] = append(groups[k], e)
+	}
+	return groups
+}
+
+// BankKeys returns the distinct bank keys present in the log, sorted.
+func (l *Log) BankKeys() []uint64 {
+	seen := make(map[uint64]bool)
+	for _, e := range l.events {
+		seen[e.Addr.BankKey()] = true
+	}
+	keys := make([]uint64, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// CountByClass tallies events per error class.
+func (l *Log) CountByClass() map[ecc.Class]int {
+	counts := make(map[ecc.Class]int, 3)
+	for _, e := range l.events {
+		counts[e.Class]++
+	}
+	return counts
+}
+
+// EntitiesWithClass returns the number of distinct entities at the given
+// micro-level that logged at least one event of the given class. This is the
+// counting primitive behind the paper's Table II.
+func (l *Log) EntitiesWithClass(level hbm.Level, class ecc.Class) int {
+	seen := make(map[uint64]struct{})
+	for _, e := range l.events {
+		if e.Class == class {
+			seen[e.Addr.EntityKey(level)] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Entities returns the number of distinct entities at the given level that
+// logged any event.
+func (l *Log) Entities(level hbm.Level) int {
+	seen := make(map[uint64]struct{})
+	for _, e := range l.events {
+		seen[e.Addr.EntityKey(level)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Merge returns a new sorted log containing the events of both logs.
+func Merge(a, b *Log) *Log {
+	out := NewLog(a.Len() + b.Len())
+	out.events = append(out.events, a.events...)
+	out.events = append(out.events, b.events...)
+	out.Sort()
+	return out
+}
+
+// Dedupe removes consecutive duplicate events (same instant, address and
+// class) from a sorted log, returning the number removed. Run Sort first for
+// global dedupe. Times are compared with Time.Equal, not ==, so events from
+// different sources (parsed vs generated) deduplicate correctly.
+func (l *Log) Dedupe() int {
+	if len(l.events) == 0 {
+		return 0
+	}
+	same := func(a, b Event) bool {
+		return a.Time.Equal(b.Time) && a.Addr == b.Addr && a.Class == b.Class
+	}
+	w := 1
+	removed := 0
+	for i := 1; i < len(l.events); i++ {
+		if same(l.events[i], l.events[i-1]) {
+			removed++
+			continue
+		}
+		l.events[w] = l.events[i]
+		w++
+	}
+	l.events = l.events[:w]
+	return removed
+}
+
+// Span returns the time range [first, last] covered by a sorted log. ok is
+// false for an empty log.
+func (l *Log) Span() (first, last time.Time, ok bool) {
+	if len(l.events) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return l.events[0].Time, l.events[len(l.events)-1].Time, true
+}

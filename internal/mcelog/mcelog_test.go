@@ -1,0 +1,218 @@
+package mcelog
+
+import (
+	"testing"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/hbm"
+	"cordial/internal/xrand"
+)
+
+var epoch = time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func ev(sec int, row int, class ecc.Class) Event {
+	return Event{
+		Time:  epoch.Add(time.Duration(sec) * time.Second),
+		Addr:  hbm.Address{Row: row},
+		Class: class,
+	}
+}
+
+func randomEvents(n int, seed uint64) []Event {
+	r := xrand.New(seed)
+	g := hbm.DefaultGeometry
+	events := make([]Event, 0, n)
+	classes := []ecc.Class{ecc.ClassCE, ecc.ClassUEO, ecc.ClassUER}
+	for i := 0; i < n; i++ {
+		bank := hbm.RandomBank(g, r)
+		addr := hbm.CellInBank(bank, r.Intn(g.RowsPerBank), r.Intn(g.ColsPerBank))
+		events = append(events, Event{
+			Time:  epoch.Add(time.Duration(r.Intn(1_000_000)) * time.Millisecond),
+			Addr:  addr,
+			Class: classes[r.Intn(len(classes))],
+		})
+	}
+	return events
+}
+
+func TestValidate(t *testing.T) {
+	g := hbm.DefaultGeometry
+	good := ev(1, 5, ecc.ClassCE)
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("valid event rejected: %v", err)
+	}
+	noTime := good
+	noTime.Time = time.Time{}
+	if err := noTime.Validate(g); err == nil {
+		t.Error("zero-time event accepted")
+	}
+	badClass := good
+	badClass.Class = ecc.ClassNone
+	if err := badClass.Validate(g); err == nil {
+		t.Error("ClassNone event accepted")
+	}
+	badAddr := good
+	badAddr.Addr.Row = g.RowsPerBank
+	if err := badAddr.Validate(g); err == nil {
+		t.Error("out-of-range address accepted")
+	}
+}
+
+func TestSortDeterministicTotalOrder(t *testing.T) {
+	events := randomEvents(500, 11)
+	a := FromEvents(events)
+	a.Sort()
+	if !a.IsSorted() {
+		t.Fatal("log not sorted after Sort")
+	}
+	// Shuffle and re-sort: identical order (total order, no ties left to
+	// the sort's mercy).
+	shuffled := FromEvents(events)
+	r := xrand.New(22)
+	evs := shuffled.Events()
+	r.Shuffle(len(evs), func(i, j int) { evs[i], evs[j] = evs[j], evs[i] })
+	b := FromEvents(evs)
+	b.Sort()
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("sort order not deterministic at %d", i)
+		}
+	}
+}
+
+func TestFilterClass(t *testing.T) {
+	l := FromEvents([]Event{
+		ev(1, 1, ecc.ClassCE), ev(2, 2, ecc.ClassUEO),
+		ev(3, 3, ecc.ClassUER), ev(4, 4, ecc.ClassCE),
+	})
+	ces := l.FilterClass(ecc.ClassCE)
+	if ces.Len() != 2 {
+		t.Fatalf("FilterClass(CE) len = %d, want 2", ces.Len())
+	}
+	uces := l.FilterClass(ecc.ClassUEO, ecc.ClassUER)
+	if uces.Len() != 2 {
+		t.Fatalf("FilterClass(UEO,UER) len = %d, want 2", uces.Len())
+	}
+	if l.Len() != 4 {
+		t.Fatal("FilterClass mutated the source log")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	l := FromEvents([]Event{ev(0, 0, ecc.ClassCE), ev(5, 1, ecc.ClassCE), ev(10, 2, ecc.ClassCE)})
+	w := l.Window(epoch.Add(1*time.Second), epoch.Add(10*time.Second))
+	if w.Len() != 1 || w.At(0).Addr.Row != 1 {
+		t.Fatalf("Window returned %d events", w.Len())
+	}
+	// Inclusive start, exclusive end.
+	w2 := l.Window(epoch, epoch.Add(10*time.Second))
+	if w2.Len() != 2 {
+		t.Fatalf("Window [0,10) returned %d events, want 2", w2.Len())
+	}
+}
+
+func TestGroupByBank(t *testing.T) {
+	bankA := hbm.Address{Node: 1, Bank: 0}
+	bankB := hbm.Address{Node: 1, Bank: 1}
+	l := FromEvents([]Event{
+		{Time: epoch, Addr: hbm.CellInBank(bankA, 1, 0), Class: ecc.ClassCE},
+		{Time: epoch, Addr: hbm.CellInBank(bankB, 2, 0), Class: ecc.ClassCE},
+		{Time: epoch, Addr: hbm.CellInBank(bankA, 3, 0), Class: ecc.ClassUER},
+	})
+	groups := l.GroupByBank()
+	if len(groups) != 2 {
+		t.Fatalf("GroupByBank returned %d groups, want 2", len(groups))
+	}
+	if got := len(groups[bankA.BankKey()]); got != 2 {
+		t.Fatalf("bank A has %d events, want 2", got)
+	}
+	keys := l.BankKeys()
+	if len(keys) != 2 || keys[0] >= keys[1] {
+		t.Fatalf("BankKeys = %v", keys)
+	}
+}
+
+func TestCountByClassAndEntities(t *testing.T) {
+	bank := hbm.Address{Node: 2}
+	l := FromEvents([]Event{
+		{Time: epoch, Addr: hbm.CellInBank(bank, 1, 0), Class: ecc.ClassCE},
+		{Time: epoch, Addr: hbm.CellInBank(bank, 1, 5), Class: ecc.ClassCE},
+		{Time: epoch, Addr: hbm.CellInBank(bank, 2, 0), Class: ecc.ClassUER},
+	})
+	counts := l.CountByClass()
+	if counts[ecc.ClassCE] != 2 || counts[ecc.ClassUER] != 1 {
+		t.Fatalf("CountByClass = %v", counts)
+	}
+	// Two CE events in the same row: one row entity with CE.
+	if got := l.EntitiesWithClass(hbm.LevelRow, ecc.ClassCE); got != 1 {
+		t.Fatalf("rows with CE = %d, want 1", got)
+	}
+	if got := l.EntitiesWithClass(hbm.LevelBank, ecc.ClassUER); got != 1 {
+		t.Fatalf("banks with UER = %d, want 1", got)
+	}
+	if got := l.Entities(hbm.LevelRow); got != 2 {
+		t.Fatalf("distinct rows = %d, want 2", got)
+	}
+	if got := l.Entities(hbm.LevelNPU); got != 1 {
+		t.Fatalf("distinct NPUs = %d, want 1", got)
+	}
+}
+
+func TestMergePreservesAllAndSorts(t *testing.T) {
+	a := FromEvents(randomEvents(100, 1))
+	b := FromEvents(randomEvents(150, 2))
+	m := Merge(a, b)
+	if m.Len() != 250 {
+		t.Fatalf("Merge len = %d, want 250", m.Len())
+	}
+	if !m.IsSorted() {
+		t.Fatal("Merge result not sorted")
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	e := ev(1, 1, ecc.ClassCE)
+	l := FromEvents([]Event{e, e, e, ev(2, 2, ecc.ClassUER), ev(2, 2, ecc.ClassUER)})
+	l.Sort()
+	removed := l.Dedupe()
+	if removed != 3 {
+		t.Fatalf("Dedupe removed %d, want 3", removed)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("post-dedupe len = %d, want 2", l.Len())
+	}
+	if l.Dedupe() != 0 {
+		t.Fatal("Dedupe not idempotent")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	var empty Log
+	if _, _, ok := empty.Span(); ok {
+		t.Fatal("empty log reported a span")
+	}
+	l := FromEvents([]Event{ev(3, 0, ecc.ClassCE), ev(9, 1, ecc.ClassCE)})
+	l.Sort()
+	first, last, ok := l.Span()
+	if !ok || !first.Equal(epoch.Add(3*time.Second)) || !last.Equal(epoch.Add(9*time.Second)) {
+		t.Fatalf("Span = %v..%v ok=%v", first, last, ok)
+	}
+}
+
+func TestZeroValueLogUsable(t *testing.T) {
+	var l Log
+	l.Append(ev(1, 1, ecc.ClassCE))
+	if l.Len() != 1 {
+		t.Fatal("zero-value Log not usable")
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	l := FromEvents([]Event{ev(1, 1, ecc.ClassCE)})
+	got := l.Events()
+	got[0].Addr.Row = 999
+	if l.At(0).Addr.Row == 999 {
+		t.Fatal("Events returned a view into internal storage")
+	}
+}

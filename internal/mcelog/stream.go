@@ -1,0 +1,154 @@
+package mcelog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/hbm"
+)
+
+// Streaming format: a BMC-style endless event stream with per-record
+// checksums, for collectors that cannot know the event count up front.
+//
+//	header: magic "MCES" | uint16 version
+//	record: int64 unix-nanos | uint64 packed addr | uint8 class | uint32 CRC
+//
+// The per-record CRC (IEEE, over the record's 17 payload bytes) lets a
+// reader detect torn writes at the point of truncation and keep everything
+// before it.
+const (
+	streamMagic      = "MCES"
+	streamVersion    = 1
+	streamRecordSize = recordSize + 4
+)
+
+// StreamWriter appends events to a stream incrementally. Close flushes; the
+// stream needs no trailer, so a crashed writer loses at most one record.
+type StreamWriter struct {
+	w      *bufio.Writer
+	opened bool
+}
+
+// NewStreamWriter returns a writer that lazily emits the stream header
+// before the first record.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{w: bufio.NewWriter(w)}
+}
+
+// writeHeader emits the stream header once.
+func (s *StreamWriter) writeHeader() error {
+	if s.opened {
+		return nil
+	}
+	if _, err := s.w.WriteString(streamMagic); err != nil {
+		return fmt.Errorf("mcelog: writing stream magic: %w", err)
+	}
+	var v [2]byte
+	binary.LittleEndian.PutUint16(v[:], streamVersion)
+	if _, err := s.w.Write(v[:]); err != nil {
+		return fmt.Errorf("mcelog: writing stream version: %w", err)
+	}
+	s.opened = true
+	return nil
+}
+
+// Write appends one event.
+func (s *StreamWriter) Write(e Event) error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	var rec [streamRecordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(e.Time.UnixNano()))
+	binary.LittleEndian.PutUint64(rec[8:16], e.Addr.Pack())
+	rec[16] = byte(e.Class)
+	binary.LittleEndian.PutUint32(rec[17:21], crc32.ChecksumIEEE(rec[:17]))
+	if _, err := s.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("mcelog: writing stream record: %w", err)
+	}
+	return nil
+}
+
+// Flush pushes buffered records to the underlying writer. Flushing a stream
+// with no records still emits the header, so readers can tell an empty
+// stream from a non-stream.
+func (s *StreamWriter) Flush() error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// StreamReader reads events back incrementally.
+type StreamReader struct {
+	r      *bufio.Reader
+	opened bool
+}
+
+// NewStreamReader returns a reader over a stream produced by StreamWriter.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{r: bufio.NewReader(r)}
+}
+
+// ErrCorruptRecord is returned by Next when a record fails its checksum;
+// events read before it remain valid.
+var ErrCorruptRecord = errors.New("mcelog: corrupt stream record")
+
+// Next returns the next event, io.EOF at a clean end of stream, or
+// ErrCorruptRecord (possibly wrapped) on a damaged or torn record.
+func (s *StreamReader) Next() (Event, error) {
+	if !s.opened {
+		head := make([]byte, 6)
+		if _, err := io.ReadFull(s.r, head); err != nil {
+			return Event{}, fmt.Errorf("mcelog: reading stream header: %w", err)
+		}
+		if string(head[:4]) != streamMagic {
+			return Event{}, fmt.Errorf("mcelog: bad stream magic %q", head[:4])
+		}
+		if v := binary.LittleEndian.Uint16(head[4:6]); v != streamVersion {
+			return Event{}, fmt.Errorf("mcelog: unsupported stream version %d", v)
+		}
+		s.opened = true
+	}
+	rec := make([]byte, streamRecordSize)
+	if _, err := io.ReadFull(s.r, rec); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Event{}, io.EOF
+		}
+		// A partial record is a torn write, not a clean end.
+		return Event{}, fmt.Errorf("%w: truncated mid-record: %v", ErrCorruptRecord, err)
+	}
+	if crc32.ChecksumIEEE(rec[:17]) != binary.LittleEndian.Uint32(rec[17:21]) {
+		return Event{}, ErrCorruptRecord
+	}
+	class := ecc.Class(rec[16])
+	if class != ecc.ClassCE && class != ecc.ClassUEO && class != ecc.ClassUER {
+		return Event{}, fmt.Errorf("%w: invalid class byte %d", ErrCorruptRecord, rec[16])
+	}
+	return Event{
+		Time:  time.Unix(0, int64(binary.LittleEndian.Uint64(rec[0:8]))).UTC(),
+		Addr:  hbm.Unpack(binary.LittleEndian.Uint64(rec[8:16])),
+		Class: class,
+	}, nil
+}
+
+// ReadAll drains the stream into a log, stopping at a clean EOF. On a
+// corrupt record it returns the events read so far along with the error.
+func (s *StreamReader) ReadAll() (*Log, error) {
+	log := &Log{}
+	for {
+		e, err := s.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return log, nil
+			}
+			return log, err
+		}
+		log.Append(e)
+	}
+}

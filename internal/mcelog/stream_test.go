@@ -1,0 +1,175 @@
+package mcelog
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	events := randomEvents(300, 21)
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewStreamReader(&buf)
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !got.Time.Equal(want.Time) || got.Addr != want.Addr || got.Class != want.Class {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestStreamReadAll(t *testing.T) {
+	events := randomEvents(50, 22)
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := NewStreamReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 50 {
+		t.Fatalf("ReadAll got %d events", log.Len())
+	}
+}
+
+func TestStreamEmptyFlushWritesHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 6 {
+		t.Fatalf("empty stream is %d bytes, want 6", buf.Len())
+	}
+	log, err := NewStreamReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 0 {
+		t.Fatalf("empty stream yielded %d events", log.Len())
+	}
+}
+
+func TestStreamTornWriteKeepsPrefix(t *testing.T) {
+	events := randomEvents(20, 23)
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half.
+	torn := buf.Bytes()[:buf.Len()-10]
+	log, err := NewStreamReader(bytes.NewReader(torn)).ReadAll()
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("torn stream error = %v", err)
+	}
+	if log.Len() != 19 {
+		t.Fatalf("kept %d events before the tear, want 19", log.Len())
+	}
+}
+
+func TestStreamBitFlipDetected(t *testing.T) {
+	events := randomEvents(5, 24)
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte in record 2's payload (header 6 + 2 records + offset 3).
+	data[6+2*streamRecordSize+3] ^= 0x40
+	log, err := NewStreamReader(bytes.NewReader(data)).ReadAll()
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("bit flip error = %v", err)
+	}
+	if log.Len() != 2 {
+		t.Fatalf("kept %d events before corruption, want 2", log.Len())
+	}
+}
+
+func TestStreamRejectsBadHeader(t *testing.T) {
+	if _, err := NewStreamReader(bytes.NewReader([]byte("XXXX\x01\x00"))).Next(); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewStreamReader(bytes.NewReader([]byte("MCES\x63\x00"))).Next(); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := NewStreamReader(bytes.NewReader(nil)).Next(); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestStreamRejectsInvalidClassEvenWithValidCRC(t *testing.T) {
+	// Hand-craft a record with class byte 0xEE and a matching CRC.
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	if err := w.Write(randomEvents(1, 25)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[6+16] = 0xEE
+	// Recompute the CRC so only the class check can reject it.
+	rec := data[6 : 6+17]
+	crc := crc32ChecksumIEEE(rec)
+	data[6+17] = byte(crc)
+	data[6+18] = byte(crc >> 8)
+	data[6+19] = byte(crc >> 16)
+	data[6+20] = byte(crc >> 24)
+	if _, err := NewStreamReader(bytes.NewReader(data)).Next(); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("invalid class error = %v", err)
+	}
+}
+
+func BenchmarkStreamWrite(b *testing.B) {
+	events := randomEvents(1, 26)
+	w := NewStreamWriter(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(events[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// crc32ChecksumIEEE avoids importing hash/crc32 twice in the test file.
+func crc32ChecksumIEEE(b []byte) uint32 {
+	return crc32.ChecksumIEEE(b)
+}

@@ -1,0 +1,102 @@
+package mltree
+
+import (
+	"fmt"
+
+	"cordial/internal/xrand"
+)
+
+// FoldResult is one cross-validation fold's outcome.
+type FoldResult struct {
+	// Accuracy on the held-out fold.
+	Accuracy float64
+	// TrainSize and TestSize are the fold's sample counts.
+	TrainSize, TestSize int
+}
+
+// CVResult summarises a k-fold cross-validation.
+type CVResult struct {
+	Folds []FoldResult
+}
+
+// MeanAccuracy returns the average held-out accuracy across folds.
+func (r *CVResult) MeanAccuracy() float64 {
+	if len(r.Folds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, f := range r.Folds {
+		sum += f.Accuracy
+	}
+	return sum / float64(len(r.Folds))
+}
+
+// StdAccuracy returns the (population) standard deviation of fold accuracy.
+func (r *CVResult) StdAccuracy() float64 {
+	if len(r.Folds) < 2 {
+		return 0
+	}
+	m := r.MeanAccuracy()
+	ss := 0.0
+	for _, f := range r.Folds {
+		d := f.Accuracy - m
+		ss += d * d
+	}
+	return sqrt(ss / float64(len(r.Folds)))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton's method: plenty for a diagnostic statistic.
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// CrossValidate runs k-fold cross-validation: the dataset is shuffled and cut
+// into k folds; for each fold, newModel() supplies a fresh classifier fitted
+// on the other k-1 folds and scored on the held-out one.
+func CrossValidate(ds *Dataset, k int, rng *xrand.RNG, newModel func() Classifier) (*CVResult, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("mltree: cross-validation needs k ≥ 2, got %d", k)
+	}
+	n := ds.NumSamples()
+	if n < k {
+		return nil, fmt.Errorf("mltree: %d samples cannot fill %d folds", n, k)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("mltree: nil RNG")
+	}
+	if newModel == nil {
+		return nil, fmt.Errorf("mltree: nil model factory")
+	}
+	perm := rng.Perm(n)
+	result := &CVResult{Folds: make([]FoldResult, 0, k)}
+	for fold := 0; fold < k; fold++ {
+		lo := fold * n / k
+		hi := (fold + 1) * n / k
+		test := perm[lo:hi]
+		train := make([]int, 0, n-len(test))
+		train = append(train, perm[:lo]...)
+		train = append(train, perm[hi:]...)
+
+		model := newModel()
+		if err := model.Fit(ds.Subset(train)); err != nil {
+			return nil, fmt.Errorf("mltree: fold %d: %w", fold, err)
+		}
+		testDS := ds.Subset(test)
+		result.Folds = append(result.Folds, FoldResult{
+			Accuracy:  datasetAccuracy(model, testDS),
+			TrainSize: len(train),
+			TestSize:  len(test),
+		})
+	}
+	return result, nil
+}

@@ -1,0 +1,181 @@
+// Package mltree is a from-scratch, stdlib-only implementation of the
+// tree-based learners the Cordial paper uses: CART decision trees, Random
+// Forest (bagging with feature subsampling), XGBoost-style second-order
+// gradient boosting, and LightGBM-style histogram gradient boosting with
+// GOSS. Go has no mainstream counterpart to these libraries, so this package
+// is the substitution substrate for the paper's model zoo (DESIGN.md §1).
+//
+// All learners implement the Classifier interface over a shared Dataset
+// type, draw randomness exclusively from an injected deterministic RNG, and
+// serialise to JSON.
+package mltree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cordial/internal/xrand"
+)
+
+// Dataset is a dense feature matrix with integer class labels. Labels may be
+// any ints (not necessarily contiguous); learners remap them internally.
+type Dataset struct {
+	// Features is sample-major: Features[i][j] is feature j of sample i.
+	Features [][]float64
+	// Labels holds one class label per sample.
+	Labels []int
+	// Names optionally names the feature columns (used in diagnostics and
+	// serialisation); when non-nil its length must equal the feature count.
+	Names []string
+}
+
+// NumSamples returns the number of samples.
+func (d *Dataset) NumSamples() int { return len(d.Features) }
+
+// NumFeatures returns the number of feature columns (0 for an empty set).
+func (d *Dataset) NumFeatures() int {
+	if len(d.Features) == 0 {
+		return 0
+	}
+	return len(d.Features[0])
+}
+
+// Validate checks rectangularity, label consistency and value sanity.
+func (d *Dataset) Validate() error {
+	if len(d.Features) == 0 {
+		return fmt.Errorf("mltree: dataset has no samples")
+	}
+	if len(d.Labels) != len(d.Features) {
+		return fmt.Errorf("mltree: %d samples but %d labels", len(d.Features), len(d.Labels))
+	}
+	width := len(d.Features[0])
+	if width == 0 {
+		return fmt.Errorf("mltree: dataset has no features")
+	}
+	if d.Names != nil && len(d.Names) != width {
+		return fmt.Errorf("mltree: %d feature names for %d features", len(d.Names), width)
+	}
+	for i, row := range d.Features {
+		if len(row) != width {
+			return fmt.Errorf("mltree: sample %d has %d features, want %d", i, len(row), width)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("mltree: sample %d feature %d is %g", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Classes returns the sorted distinct labels.
+func (d *Dataset) Classes() []int {
+	seen := make(map[int]bool)
+	for _, l := range d.Labels {
+		seen[l] = true
+	}
+	out := make([]int, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Subset returns a new dataset view built from copies of the selected rows.
+// Indices may repeat (bootstrap sampling).
+func (d *Dataset) Subset(indices []int) *Dataset {
+	out := &Dataset{
+		Features: make([][]float64, len(indices)),
+		Labels:   make([]int, len(indices)),
+		Names:    d.Names,
+	}
+	for k, i := range indices {
+		out.Features[k] = d.Features[i]
+		out.Labels[k] = d.Labels[i]
+	}
+	return out
+}
+
+// Split partitions the dataset into train and test sets with the given train
+// fraction, shuffling with rng. It returns an error if either side would be
+// empty.
+func (d *Dataset) Split(rng *xrand.RNG, trainFrac float64) (train, test *Dataset, err error) {
+	n := d.NumSamples()
+	k := int(math.Round(float64(n) * trainFrac))
+	if k <= 0 || k >= n {
+		return nil, nil, fmt.Errorf("mltree: split fraction %g leaves an empty side (n=%d)", trainFrac, n)
+	}
+	perm := rng.Perm(n)
+	return d.Subset(perm[:k]), d.Subset(perm[k:]), nil
+}
+
+// StratifiedSplit partitions the dataset preserving per-class proportions.
+// Classes with a single sample go to the training side.
+func (d *Dataset) StratifiedSplit(rng *xrand.RNG, trainFrac float64) (train, test *Dataset, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("mltree: stratified split fraction %g out of (0,1)", trainFrac)
+	}
+	byClass := make(map[int][]int)
+	for i, l := range d.Labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	var trainIdx, testIdx []int
+	// Deterministic class order for reproducibility.
+	for _, class := range d.Classes() {
+		idx := byClass[class]
+		rng.ShuffleInts(idx)
+		k := int(math.Round(float64(len(idx)) * trainFrac))
+		if k == 0 {
+			k = 1
+		}
+		if k > len(idx) {
+			k = len(idx)
+		}
+		trainIdx = append(trainIdx, idx[:k]...)
+		testIdx = append(testIdx, idx[k:]...)
+	}
+	if len(trainIdx) == 0 || len(testIdx) == 0 {
+		return nil, nil, fmt.Errorf("mltree: stratified split produced an empty side")
+	}
+	rng.ShuffleInts(trainIdx)
+	rng.ShuffleInts(testIdx)
+	return d.Subset(trainIdx), d.Subset(testIdx), nil
+}
+
+// Classifier is a multi-class probabilistic classifier. Implementations are
+// fitted once and then read-only; Predict* methods are safe for concurrent
+// use after Fit returns.
+type Classifier interface {
+	// Fit trains on the dataset.
+	Fit(ds *Dataset) error
+	// Classes returns the sorted class labels seen during Fit.
+	Classes() []int
+	// PredictProba returns one probability per class, aligned with
+	// Classes(), summing to 1.
+	PredictProba(x []float64) []float64
+}
+
+// Predict returns the label with the highest predicted probability, breaking
+// ties toward the smaller label.
+func Predict(c Classifier, x []float64) int {
+	probs := c.PredictProba(x)
+	classes := c.Classes()
+	best, bestP := 0, math.Inf(-1)
+	for i, p := range probs {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return classes[best]
+}
+
+// classIndex builds a label→index map for the sorted class list.
+func classIndex(classes []int) map[int]int {
+	idx := make(map[int]int, len(classes))
+	for i, c := range classes {
+		idx[c] = i
+	}
+	return idx
+}

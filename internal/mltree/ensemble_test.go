@@ -1,0 +1,511 @@
+package mltree
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cordial/internal/xrand"
+)
+
+// noisyBlobs builds overlapping clusters plus label noise, a task where
+// ensembles beat single trees.
+func noisyBlobs(seed uint64, k, n int) (*Dataset, *Dataset) {
+	r := xrand.New(seed)
+	mk := func(n int) *Dataset {
+		ds := &Dataset{}
+		for c := 0; c < k; c++ {
+			for i := 0; i < n; i++ {
+				row := make([]float64, 6)
+				for d := range row {
+					row[d] = 3*float64((c+d)%k) + r.Normal(0, 2.5)
+				}
+				label := c
+				if r.Bool(0.05) {
+					label = (c + 1) % k
+				}
+				ds.Features = append(ds.Features, row)
+				ds.Labels = append(ds.Labels, label)
+			}
+		}
+		return ds
+	}
+	return mk(n), mk(n / 3)
+}
+
+func TestForestLearnsAndBeatsChance(t *testing.T) {
+	train, test := noisyBlobs(1, 3, 200)
+	f := NewForest(ForestConfig{NumTrees: 40, Tree: TreeConfig{MaxDepth: 8}, Seed: 1})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(f, test); acc < 0.7 {
+		t.Fatalf("forest accuracy = %.3f", acc)
+	}
+	if f.NumTrees() != 40 {
+		t.Fatalf("NumTrees = %d", f.NumTrees())
+	}
+}
+
+func TestForestOOBScoreReasonable(t *testing.T) {
+	train, test := noisyBlobs(2, 3, 200)
+	f := NewForest(ForestConfig{NumTrees: 40, Tree: TreeConfig{MaxDepth: 8}, Seed: 2})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	oob := f.OOBScore()
+	if oob < 0 || oob > 1 {
+		t.Fatalf("OOB = %g out of [0,1]", oob)
+	}
+	// OOB should roughly track test accuracy.
+	if math.Abs(oob-accuracy(f, test)) > 0.15 {
+		t.Fatalf("OOB %.3f far from test accuracy %.3f", oob, accuracy(f, test))
+	}
+}
+
+func TestForestDeterministicPerSeed(t *testing.T) {
+	train, _ := noisyBlobs(3, 3, 100)
+	fit := func() *Forest {
+		f := NewForest(ForestConfig{NumTrees: 10, Seed: 9})
+		if err := f.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := fit(), fit()
+	for _, x := range train.Features[:50] {
+		pa, pb := a.PredictProba(x), b.PredictProba(x)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("forest not deterministic for fixed seed")
+			}
+		}
+	}
+}
+
+func TestForestProbaSumsToOne(t *testing.T) {
+	train, test := noisyBlobs(4, 4, 80)
+	f := NewForest(ForestConfig{NumTrees: 15, Seed: 4})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range test.Features {
+		sum := 0.0
+		for _, p := range f.PredictProba(x) {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("forest probs sum to %g", sum)
+		}
+	}
+}
+
+func TestForestHandlesRareClassMissingFromBags(t *testing.T) {
+	// One sample of a rare class: many bootstrap bags will miss it; the
+	// forest must still align probabilities correctly.
+	train, _ := noisyBlobs(5, 2, 100)
+	train.Features = append(train.Features, []float64{99, 99, 99, 99, 99, 99})
+	train.Labels = append(train.Labels, 7)
+	f := NewForest(ForestConfig{NumTrees: 20, Seed: 5})
+	if err := f.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Classes()); got != 3 {
+		t.Fatalf("classes = %v", f.Classes())
+	}
+	probs := f.PredictProba([]float64{99, 99, 99, 99, 99, 99})
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %g", sum)
+	}
+}
+
+func TestGBDTLearnsBinary(t *testing.T) {
+	train, test := noisyBlobs(6, 2, 250)
+	g := NewGBDT(GBDTConfig{Rounds: 60, MaxDepth: 3, Seed: 6})
+	if err := g.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(g, test); acc < 0.8 {
+		t.Fatalf("GBDT binary accuracy = %.3f", acc)
+	}
+	if g.NumTrees() != 60 {
+		t.Fatalf("NumTrees = %d", g.NumTrees())
+	}
+}
+
+func TestGBDTLearnsMulticlass(t *testing.T) {
+	train, test := noisyBlobs(7, 3, 200)
+	g := NewGBDT(GBDTConfig{Rounds: 40, MaxDepth: 3, Seed: 7})
+	if err := g.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(g, test); acc < 0.7 {
+		t.Fatalf("GBDT multiclass accuracy = %.3f", acc)
+	}
+	// 3 one-vs-rest arms × 40 rounds.
+	if g.NumTrees() != 120 {
+		t.Fatalf("NumTrees = %d", g.NumTrees())
+	}
+}
+
+func TestGBDTSubsampling(t *testing.T) {
+	train, test := noisyBlobs(8, 2, 250)
+	g := NewGBDT(GBDTConfig{Rounds: 60, MaxDepth: 3, SubsampleRatio: 0.7, ColsampleRatio: 0.7, Seed: 8})
+	if err := g.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(g, test); acc < 0.75 {
+		t.Fatalf("subsampled GBDT accuracy = %.3f", acc)
+	}
+}
+
+func TestGBDTRejectsSingleClass(t *testing.T) {
+	ds := &Dataset{Features: [][]float64{{1}, {2}}, Labels: []int{0, 0}}
+	if err := NewGBDT(GBDTConfig{Rounds: 2}).Fit(ds); err == nil {
+		t.Fatal("single-class dataset accepted")
+	}
+}
+
+func TestGBDTProbaSumsToOne(t *testing.T) {
+	train, test := noisyBlobs(9, 3, 100)
+	g := NewGBDT(GBDTConfig{Rounds: 15, Seed: 9})
+	if err := g.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range test.Features {
+		sum := 0.0
+		for _, p := range g.PredictProba(x) {
+			if p < 0 {
+				t.Fatalf("negative probability %g", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("GBDT probs sum to %g", sum)
+		}
+	}
+}
+
+func TestHistGBDTLearnsBinary(t *testing.T) {
+	train, test := noisyBlobs(10, 2, 250)
+	h := NewHistGBDT(HistGBDTConfig{Rounds: 60, MaxLeaves: 15, Seed: 10})
+	if err := h.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(h, test); acc < 0.8 {
+		t.Fatalf("HistGBDT binary accuracy = %.3f", acc)
+	}
+	if h.NumTrees() != 60 {
+		t.Fatalf("NumTrees = %d", h.NumTrees())
+	}
+}
+
+func TestHistGBDTLearnsMulticlass(t *testing.T) {
+	train, test := noisyBlobs(11, 3, 200)
+	h := NewHistGBDT(HistGBDTConfig{Rounds: 40, MaxLeaves: 15, Seed: 11})
+	if err := h.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(h, test); acc < 0.7 {
+		t.Fatalf("HistGBDT multiclass accuracy = %.3f", acc)
+	}
+}
+
+func TestHistGBDTGOSSDisabled(t *testing.T) {
+	train, test := noisyBlobs(12, 2, 150)
+	// TopRate+OtherRate ≥ 1 disables GOSS (full data per tree).
+	h := NewHistGBDT(HistGBDTConfig{Rounds: 40, TopRate: 0.6, OtherRate: 0.5, Seed: 12})
+	if err := h.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(h, test); acc < 0.75 {
+		t.Fatalf("no-GOSS HistGBDT accuracy = %.3f", acc)
+	}
+}
+
+func TestHistGBDTRejectsSingleClass(t *testing.T) {
+	ds := &Dataset{Features: [][]float64{{1}, {2}}, Labels: []int{3, 3}}
+	if err := NewHistGBDT(HistGBDTConfig{Rounds: 2}).Fit(ds); err == nil {
+		t.Fatal("single-class dataset accepted")
+	}
+}
+
+func TestBinnerMonotone(t *testing.T) {
+	features := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	b := newBinner(features, 4)
+	prev := -1
+	for v := 0.5; v <= 8.5; v += 0.5 {
+		bin := b.bin(0, v)
+		if bin < prev {
+			t.Fatalf("bin index not monotone at %g", v)
+		}
+		prev = bin
+		if bin < 0 || bin >= b.numBins(0) {
+			t.Fatalf("bin %d out of range", bin)
+		}
+	}
+}
+
+func TestBinnerConstantFeature(t *testing.T) {
+	features := [][]float64{{5}, {5}, {5}}
+	b := newBinner(features, 8)
+	if b.numBins(0) != 1 {
+		t.Fatalf("constant feature has %d bins, want 1", b.numBins(0))
+	}
+	if b.bin(0, 5) != 0 || b.bin(0, 99) != 0 {
+		t.Fatal("constant feature binning wrong")
+	}
+}
+
+func TestSerializeRoundTripAllModels(t *testing.T) {
+	train, test := noisyBlobs(13, 3, 120)
+	models := []Classifier{
+		NewTree(TreeConfig{MaxDepth: 6}, nil),
+		NewForest(ForestConfig{NumTrees: 10, Seed: 13}),
+		NewGBDT(GBDTConfig{Rounds: 10, Seed: 13}),
+		NewHistGBDT(HistGBDTConfig{Rounds: 10, Seed: 13}),
+	}
+	for _, m := range models {
+		if err := m.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatalf("%T: Save: %v", m, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%T: Load: %v", m, err)
+		}
+		if got, want := len(loaded.Classes()), len(m.Classes()); got != want {
+			t.Fatalf("%T: classes %d vs %d", m, got, want)
+		}
+		for _, x := range test.Features[:60] {
+			pa, pb := m.PredictProba(x), loaded.PredictProba(x)
+			for i := range pa {
+				if math.Abs(pa[i]-pb[i]) > 1e-12 {
+					t.Fatalf("%T: prediction changed after round trip", m)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"kind":"alien","classes":[],"payload":{}}`))); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"kind":"tree","classes":[0],"payload":{}}`))); err == nil {
+		t.Fatal("rootless tree accepted")
+	}
+}
+
+func TestEnsemblesBeatSingleTreeOnNoisyData(t *testing.T) {
+	// The paper's rationale for tree ensembles: variance reduction. On a
+	// noisy task the forest should not do worse than a deep single tree.
+	train, test := noisyBlobs(14, 3, 250)
+	tree := NewTree(TreeConfig{}, nil) // fully grown, overfits
+	if err := tree.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	forest := NewForest(ForestConfig{NumTrees: 50, Seed: 14})
+	if err := forest.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	ta, fa := accuracy(tree, test), accuracy(forest, test)
+	if fa < ta-0.02 {
+		t.Fatalf("forest (%.3f) worse than single tree (%.3f)", fa, ta)
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	train, _ := noisyBlobs(1, 3, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewForest(ForestConfig{NumTrees: 20, Seed: uint64(i)})
+		if err := f.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGBDTFit(b *testing.B) {
+	train, _ := noisyBlobs(1, 2, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGBDT(GBDTConfig{Rounds: 20, Seed: uint64(i)})
+		if err := g.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistGBDTFit(b *testing.B) {
+	train, _ := noisyBlobs(1, 2, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewHistGBDT(HistGBDTConfig{Rounds: 20, Seed: uint64(i)})
+		if err := h.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGBDTEarlyStopping(t *testing.T) {
+	train, test := noisyBlobs(15, 2, 250)
+	full := NewGBDT(GBDTConfig{Rounds: 150, MaxDepth: 3, Seed: 15})
+	if err := full.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	early := NewGBDT(GBDTConfig{Rounds: 150, MaxDepth: 3, Seed: 15, EarlyStopRounds: 10})
+	if err := early.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if early.NumTrees() >= full.NumTrees() {
+		t.Fatalf("early stopping kept %d trees vs %d without", early.NumTrees(), full.NumTrees())
+	}
+	// Accuracy must not collapse.
+	fa, ea := accuracy(full, test), accuracy(early, test)
+	if ea < fa-0.05 {
+		t.Fatalf("early-stopped accuracy %.3f far below full %.3f", ea, fa)
+	}
+}
+
+func TestGBDTPositiveWeightRaisesRecall(t *testing.T) {
+	// Heavily imbalanced binary task: 95% negatives.
+	r := xrand.New(16)
+	mk := func(n int) *Dataset {
+		ds := &Dataset{}
+		for i := 0; i < n; i++ {
+			label := 0
+			if r.Bool(0.05) {
+				label = 1
+			}
+			row := []float64{float64(label)*2 + r.Normal(0, 1.6), r.Normal(0, 1)}
+			ds.Features = append(ds.Features, row)
+			ds.Labels = append(ds.Labels, label)
+		}
+		return ds
+	}
+	train, test := mk(2000), mk(1000)
+	recallOf := func(weight float64) float64 {
+		g := NewGBDT(GBDTConfig{Rounds: 30, MaxDepth: 3, Seed: 16, PositiveWeight: weight})
+		if err := g.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		tp, fn := 0, 0
+		for i, x := range test.Features {
+			if test.Labels[i] != 1 {
+				continue
+			}
+			if Predict(g, x) == 1 {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		if tp+fn == 0 {
+			t.Skip("no positives in test draw")
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	plain := recallOf(1)
+	weighted := recallOf(8)
+	if weighted <= plain {
+		t.Fatalf("positive weighting did not raise recall: %.3f vs %.3f", weighted, plain)
+	}
+}
+
+func TestHistGBDTEarlyStopping(t *testing.T) {
+	train, test := noisyBlobs(17, 2, 250)
+	full := NewHistGBDT(HistGBDTConfig{Rounds: 150, MaxLeaves: 15, Seed: 17})
+	if err := full.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	early := NewHistGBDT(HistGBDTConfig{Rounds: 150, MaxLeaves: 15, Seed: 17, EarlyStopRounds: 10})
+	if err := early.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if early.NumTrees() >= full.NumTrees() {
+		t.Fatalf("early stopping kept %d trees vs %d without", early.NumTrees(), full.NumTrees())
+	}
+	fa, ea := accuracy(full, test), accuracy(early, test)
+	if ea < fa-0.05 {
+		t.Fatalf("early-stopped accuracy %.3f far below full %.3f", ea, fa)
+	}
+}
+
+func TestHistGBDTPositiveWeightChangesOperatingPoint(t *testing.T) {
+	r := xrand.New(18)
+	mk := func(n int) *Dataset {
+		ds := &Dataset{}
+		for i := 0; i < n; i++ {
+			label := 0
+			if r.Bool(0.05) {
+				label = 1
+			}
+			row := []float64{float64(label)*2 + r.Normal(0, 1.6), r.Normal(0, 1)}
+			ds.Features = append(ds.Features, row)
+			ds.Labels = append(ds.Labels, label)
+		}
+		return ds
+	}
+	train, test := mk(2000), mk(1000)
+	recallOf := func(weight float64) float64 {
+		h := NewHistGBDT(HistGBDTConfig{Rounds: 30, MaxLeaves: 7, Seed: 18, PositiveWeight: weight})
+		if err := h.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		tp, fn := 0, 0
+		for i, x := range test.Features {
+			if test.Labels[i] != 1 {
+				continue
+			}
+			if Predict(h, x) == 1 {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		if tp+fn == 0 {
+			t.Skip("no positives in test draw")
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	plain := recallOf(1)
+	weighted := recallOf(8)
+	if weighted <= plain {
+		t.Fatalf("positive weighting did not raise recall: %.3f vs %.3f", weighted, plain)
+	}
+}
+
+func TestForestParallelFitDeterministic(t *testing.T) {
+	train, test := noisyBlobs(19, 3, 150)
+	fit := func(parallelism int) *Forest {
+		f := NewForest(ForestConfig{NumTrees: 16, Seed: 19, Parallelism: parallelism})
+		if err := f.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	serial := fit(1)
+	parallel := fit(4)
+	if serial.OOBScore() != parallel.OOBScore() {
+		t.Fatalf("OOB differs: %g vs %g", serial.OOBScore(), parallel.OOBScore())
+	}
+	for _, x := range test.Features {
+		ps, pp := serial.PredictProba(x), parallel.PredictProba(x)
+		for i := range ps {
+			if ps[i] != pp[i] {
+				t.Fatal("parallel fit changed predictions")
+			}
+		}
+	}
+}

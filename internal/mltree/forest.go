@@ -1,0 +1,225 @@
+package mltree
+
+import (
+	"fmt"
+	"sync"
+
+	"cordial/internal/xrand"
+)
+
+// ForestConfig configures a Random Forest classifier.
+type ForestConfig struct {
+	// NumTrees is the ensemble size (default 100).
+	NumTrees int
+	// Tree configures each member; MaxFeatures defaults to sqrt when 0.
+	Tree TreeConfig
+	// BootstrapRatio is the bootstrap sample size as a fraction of the
+	// training set (default 1.0).
+	BootstrapRatio float64
+	// Parallelism is the number of goroutines fitting member trees
+	// (default 1). Results are deterministic regardless of the value:
+	// every member's RNG is derived up front and trees land at their
+	// index.
+	Parallelism int
+	// Seed drives bootstrapping and feature subsampling.
+	Seed uint64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 100
+	}
+	if c.BootstrapRatio <= 0 {
+		c.BootstrapRatio = 1
+	}
+	if c.Tree.MaxFeatures == 0 {
+		c.Tree.MaxFeatures = -1 // sqrt
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	return c
+}
+
+// Forest is a Random Forest classifier: bootstrap-aggregated CART trees with
+// per-split feature subsampling, predictions averaged over members.
+type Forest struct {
+	Config  ForestConfig
+	trees   []*Tree
+	classes []int
+	// oobScore is the out-of-bag accuracy estimated during Fit, or -1.
+	oobScore float64
+}
+
+// NewForest returns an unfitted Random Forest.
+func NewForest(cfg ForestConfig) *Forest {
+	return &Forest{Config: cfg.withDefaults(), oobScore: -1}
+}
+
+var _ Classifier = (*Forest)(nil)
+
+// Classes returns the labels seen during Fit.
+func (f *Forest) Classes() []int { return f.classes }
+
+// NumTrees returns the number of fitted members.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// OOBScore returns the out-of-bag accuracy estimate from Fit, or -1 when it
+// could not be computed (e.g. every sample was in every bag).
+func (f *Forest) OOBScore() float64 { return f.oobScore }
+
+// Fit trains the ensemble.
+func (f *Forest) Fit(ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	f.classes = ds.Classes()
+	idx := classIndex(f.classes)
+	n := ds.NumSamples()
+	bag := int(float64(n) * f.Config.BootstrapRatio)
+	if bag < 1 {
+		bag = 1
+	}
+	rng := xrand.New(f.Config.Seed)
+
+	// Out-of-bag vote accumulation: votes[i][c] sums probabilities from
+	// trees whose bag excluded sample i.
+	votes := make([][]float64, n)
+	for i := range votes {
+		votes[i] = make([]float64, len(f.classes))
+	}
+	oobSeen := make([]bool, n)
+
+	// Derive every member's RNG up front so fitting order cannot change
+	// the result, then fan the members out over a bounded worker pool.
+	type member struct {
+		tree  *Tree
+		inBag []bool
+		err   error
+	}
+	members := make([]member, f.Config.NumTrees)
+	rngs := make([]*xrand.RNG, f.Config.NumTrees)
+	for t := range rngs {
+		rngs[t] = rng.Split()
+	}
+
+	workers := f.Config.Parallelism
+	if workers > f.Config.NumTrees {
+		workers = f.Config.NumTrees
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range work {
+				treeRNG := rngs[t]
+				indices := make([]int, bag)
+				inBag := make([]bool, n)
+				for i := range indices {
+					s := treeRNG.Intn(n)
+					indices[i] = s
+					inBag[s] = true
+				}
+				tree := NewTree(f.Config.Tree, treeRNG)
+				if err := tree.Fit(ds.Subset(indices)); err != nil {
+					members[t] = member{err: fmt.Errorf("mltree: fitting tree %d: %w", t, err)}
+					continue
+				}
+				members[t] = member{tree: tree, inBag: inBag}
+			}
+		}()
+	}
+	for t := 0; t < f.Config.NumTrees; t++ {
+		work <- t
+	}
+	close(work)
+	wg.Wait()
+
+	f.trees = make([]*Tree, 0, f.Config.NumTrees)
+	for t := range members {
+		m := members[t]
+		if m.err != nil {
+			return m.err
+		}
+		f.trees = append(f.trees, m.tree)
+		for i := 0; i < n; i++ {
+			if m.inBag[i] {
+				continue
+			}
+			oobSeen[i] = true
+			probs := m.tree.predictProbaAligned(ds.Features[i], f.classes)
+			for c, p := range probs {
+				votes[i][c] += p
+			}
+		}
+	}
+
+	// OOB accuracy.
+	correct, counted := 0, 0
+	for i := 0; i < n; i++ {
+		if !oobSeen[i] {
+			continue
+		}
+		counted++
+		best, bestV := 0, votes[i][0]
+		for c, v := range votes[i] {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		if best == idx[ds.Labels[i]] {
+			correct++
+		}
+	}
+	if counted > 0 {
+		f.oobScore = float64(correct) / float64(counted)
+	} else {
+		f.oobScore = -1
+	}
+	return nil
+}
+
+// predictProbaAligned re-aligns a member tree's class probabilities onto the
+// forest's class list (a bootstrap bag can miss rare classes entirely).
+func (t *Tree) predictProbaAligned(x []float64, classes []int) []float64 {
+	raw := t.PredictProba(x)
+	if len(t.classes) == len(classes) {
+		same := true
+		for i := range classes {
+			if t.classes[i] != classes[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return raw
+		}
+	}
+	out := make([]float64, len(classes))
+	idx := classIndex(classes)
+	for i, c := range t.classes {
+		out[idx[c]] = raw[i]
+	}
+	return out
+}
+
+// PredictProba averages the member trees' leaf distributions.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	out := make([]float64, len(f.classes))
+	if len(f.trees) == 0 {
+		return out
+	}
+	for _, tree := range f.trees {
+		probs := tree.predictProbaAligned(x, f.classes)
+		for c, p := range probs {
+			out[c] += p
+		}
+	}
+	inv := 1 / float64(len(f.trees))
+	for c := range out {
+		out[c] *= inv
+	}
+	return out
+}

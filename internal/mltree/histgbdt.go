@@ -1,0 +1,509 @@
+package mltree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cordial/internal/xrand"
+)
+
+// HistGBDTConfig configures the LightGBM-style histogram gradient booster.
+type HistGBDTConfig struct {
+	// Rounds is the number of boosting rounds per class (default 100).
+	Rounds int
+	// LearningRate is the shrinkage applied to every tree (default 0.1).
+	LearningRate float64
+	// MaxLeaves bounds leaf-wise growth (default 31).
+	MaxLeaves int
+	// MaxBins is the histogram resolution per feature (default 64).
+	MaxBins int
+	// MinSamplesLeaf is the minimum samples per leaf (default 5).
+	MinSamplesLeaf int
+	// Lambda is the L2 regularisation on leaf values (default 1).
+	Lambda float64
+	// MinChildWeight is the minimum hessian sum per child (default 1e-3).
+	MinChildWeight float64
+	// TopRate is the GOSS large-gradient keep fraction (default 0.2).
+	// Set TopRate+OtherRate ≥ 1 to disable GOSS.
+	TopRate float64
+	// OtherRate is the GOSS small-gradient sample fraction (default 0.1).
+	OtherRate float64
+	// PositiveWeight scales the gradient/hessian of positive samples to
+	// counter class imbalance (default 1; like scale_pos_weight).
+	PositiveWeight float64
+	// EarlyStopRounds stops boosting when the held-out log-loss has not
+	// improved for this many rounds (0 disables). A 20% validation split
+	// is carved from the training data.
+	EarlyStopRounds int
+	// Seed drives GOSS sampling and the early-stop split.
+	Seed uint64
+}
+
+func (c HistGBDTConfig) withDefaults() HistGBDTConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.MaxLeaves <= 1 {
+		c.MaxLeaves = 31
+	}
+	if c.MaxBins <= 1 {
+		c.MaxBins = 64
+	}
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 5
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 1
+	}
+	if c.MinChildWeight <= 0 {
+		c.MinChildWeight = 1e-3
+	}
+	if c.TopRate <= 0 {
+		c.TopRate = 0.2
+	}
+	if c.OtherRate <= 0 {
+		c.OtherRate = 0.1
+	}
+	if c.PositiveWeight <= 0 {
+		c.PositiveWeight = 1
+	}
+	if c.EarlyStopRounds < 0 {
+		c.EarlyStopRounds = 0
+	}
+	return c
+}
+
+// binner maps feature values to histogram bins via per-feature quantile
+// boundaries. Upper[f][b] is the inclusive upper value of bin b; the last
+// bin is unbounded.
+type binner struct {
+	Upper [][]float64 `json:"upper"`
+}
+
+// newBinner computes quantile-spaced bin boundaries from the training data.
+func newBinner(features [][]float64, maxBins int) *binner {
+	numFeatures := len(features[0])
+	b := &binner{Upper: make([][]float64, numFeatures)}
+	vals := make([]float64, len(features))
+	for f := 0; f < numFeatures; f++ {
+		for i, row := range features {
+			vals[i] = row[f]
+		}
+		sort.Float64s(vals)
+		// Distinct quantile cut points. A cut equal to the feature's
+		// maximum would leave the last bin empty (and a constant feature
+		// needs no cuts at all), so cuts stay strictly below the max.
+		maxVal := vals[len(vals)-1]
+		var cuts []float64
+		for k := 1; k < maxBins; k++ {
+			v := vals[k*(len(vals)-1)/maxBins]
+			if v >= maxVal {
+				continue
+			}
+			if len(cuts) == 0 || v > cuts[len(cuts)-1] {
+				cuts = append(cuts, v)
+			}
+		}
+		b.Upper[f] = cuts
+	}
+	return b
+}
+
+// bin returns the bin index of value v for feature f.
+func (b *binner) bin(f int, v float64) int {
+	cuts := b.Upper[f]
+	lo, hi := 0, len(cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// numBins returns the bin count for feature f (len(cuts)+1).
+func (b *binner) numBins(f int) int { return len(b.Upper[f]) + 1 }
+
+// threshold returns the split value for "bin ≤ b": the upper boundary of b.
+func (b *binner) threshold(f, bin int) float64 { return b.Upper[f][bin] }
+
+// HistGBDT is a LightGBM-style gradient booster: per-feature histogram
+// binning, leaf-wise (best-first) tree growth bounded by MaxLeaves, and
+// Gradient-based One-Side Sampling (GOSS). Loss and multi-class handling
+// match GBDT (logistic, one-vs-rest).
+type HistGBDT struct {
+	Config   HistGBDTConfig
+	classes  []int
+	boosters []*booster
+}
+
+// NewHistGBDT returns an unfitted histogram booster.
+func NewHistGBDT(cfg HistGBDTConfig) *HistGBDT {
+	return &HistGBDT{Config: cfg.withDefaults()}
+}
+
+var _ Classifier = (*HistGBDT)(nil)
+
+// Classes returns the labels seen during Fit.
+func (h *HistGBDT) Classes() []int { return h.classes }
+
+// NumTrees returns the total tree count across all arms.
+func (h *HistGBDT) NumTrees() int {
+	n := 0
+	for _, b := range h.boosters {
+		n += len(b.Trees)
+	}
+	return n
+}
+
+// Fit trains one boosting chain per class (a single chain for binary).
+func (h *HistGBDT) Fit(ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	h.classes = ds.Classes()
+	if len(h.classes) < 2 {
+		return fmt.Errorf("mltree: HistGBDT needs ≥2 classes, got %d", len(h.classes))
+	}
+	rng := xrand.New(h.Config.Seed)
+	bins := newBinner(ds.Features, h.Config.MaxBins)
+
+	// Pre-bin the whole matrix once.
+	binned := make([][]uint16, ds.NumSamples())
+	for i, row := range ds.Features {
+		br := make([]uint16, len(row))
+		for f, v := range row {
+			br[f] = uint16(bins.bin(f, v))
+		}
+		binned[i] = br
+	}
+
+	arms := len(h.classes)
+	if arms == 2 {
+		arms = 1
+	}
+	h.boosters = make([]*booster, arms)
+	for a := 0; a < arms; a++ {
+		positive := h.classes[a]
+		if len(h.classes) == 2 {
+			positive = h.classes[1]
+		}
+		y := make([]float64, ds.NumSamples())
+		for i, l := range ds.Labels {
+			if l == positive {
+				y[i] = 1
+			}
+		}
+		b, err := h.fitBinary(ds, binned, bins, y, rng.Split())
+		if err != nil {
+			return fmt.Errorf("mltree: HistGBDT arm %d: %w", a, err)
+		}
+		h.boosters[a] = b
+	}
+	return nil
+}
+
+func (h *HistGBDT) fitBinary(ds *Dataset, binned [][]uint16, bins *binner, y []float64, rng *xrand.RNG) (*booster, error) {
+	cfg := h.Config
+	n := ds.NumSamples()
+
+	// Optional early-stopping validation split.
+	trainIdx := make([]int, 0, n)
+	var valIdx []int
+	if cfg.EarlyStopRounds > 0 && n >= 20 {
+		perm := rng.Perm(n)
+		cut := n / 5
+		valIdx = perm[:cut]
+		trainIdx = append(trainIdx, perm[cut:]...)
+	} else {
+		for i := 0; i < n; i++ {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+
+	pos := 0.0
+	for _, i := range trainIdx {
+		pos += y[i]
+	}
+	p0 := (pos + 1) / (float64(len(trainIdx)) + 2)
+	b := &booster{Bias: math.Log(p0 / (1 - p0)), LR: cfg.LearningRate}
+
+	margin := make([]float64, n)
+	for i := range margin {
+		margin[i] = b.Bias
+	}
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+
+	bestLoss := math.Inf(1)
+	bestLen := 0
+	sinceBest := 0
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, i := range trainIdx {
+			p := sigmoid(margin[i])
+			w := 1.0
+			if y[i] == 1 {
+				w = cfg.PositiveWeight
+			}
+			grad[i] = w * (p - y[i])
+			hess[i] = w * p * (1 - p)
+		}
+		samples, scale := h.goss(grad, trainIdx, rng)
+		g := &histGrower{
+			cfg:    cfg,
+			bins:   bins,
+			binned: binned,
+			grad:   grad,
+			hess:   hess,
+			scale:  scale,
+		}
+		root := g.grow(samples)
+		b.Trees = append(b.Trees, root)
+		for i := 0; i < n; i++ {
+			margin[i] += cfg.LearningRate * root.navigate(ds.Features[i]).Value
+		}
+
+		if len(valIdx) > 0 {
+			loss := 0.0
+			for _, i := range valIdx {
+				loss += logLoss(y[i], sigmoid(margin[i]))
+			}
+			loss /= float64(len(valIdx))
+			if loss < bestLoss-1e-9 {
+				bestLoss = loss
+				bestLen = len(b.Trees)
+				sinceBest = 0
+			} else {
+				sinceBest++
+				if sinceBest >= cfg.EarlyStopRounds {
+					b.Trees = b.Trees[:bestLen]
+					break
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+// goss performs Gradient-based One-Side Sampling over the training indices:
+// keep the TopRate fraction with the largest |gradient|, sample OtherRate of
+// the rest, and return a per-sample weight multiplier that compensates the
+// downsampling.
+func (h *HistGBDT) goss(grad []float64, trainIdx []int, rng *xrand.RNG) (samples []int, scale []float64) {
+	n := len(trainIdx)
+	cfg := h.Config
+	scale = make([]float64, len(grad))
+	if cfg.TopRate+cfg.OtherRate >= 1 {
+		for _, i := range trainIdx {
+			scale[i] = 1
+		}
+		return trainIdx, scale
+	}
+	order := append([]int(nil), trainIdx...)
+	sort.Slice(order, func(a, b int) bool {
+		return math.Abs(grad[order[a]]) > math.Abs(grad[order[b]])
+	})
+	topN := int(cfg.TopRate * float64(n))
+	if topN < 1 {
+		topN = 1
+	}
+	restN := int(cfg.OtherRate * float64(n))
+	if restN < 1 {
+		restN = 1
+	}
+	if topN+restN > n {
+		restN = n - topN
+	}
+	samples = append(samples, order[:topN]...)
+	for _, i := range samples {
+		scale[i] = 1
+	}
+	rest := order[topN:]
+	amplify := (1 - cfg.TopRate) / cfg.OtherRate
+	if len(rest) > 0 && restN > 0 {
+		for _, k := range rng.SampleInts(len(rest), min(restN, len(rest))) {
+			i := rest[k]
+			samples = append(samples, i)
+			scale[i] = amplify
+		}
+	}
+	return samples, scale
+}
+
+// histGrower grows one tree leaf-wise over binned features.
+type histGrower struct {
+	cfg    HistGBDTConfig
+	bins   *binner
+	binned [][]uint16
+	grad   []float64
+	hess   []float64
+	scale  []float64
+}
+
+// leafState tracks a grown leaf and its best candidate split.
+type leafState struct {
+	node    *treeNode
+	samples []int
+	sumG    float64
+	sumH    float64
+
+	bestGain float64
+	bestFeat int
+	bestBin  int
+}
+
+func (g *histGrower) grow(samples []int) *treeNode {
+	root := &treeNode{}
+	rootLeaf := g.newLeaf(root, samples)
+	leaves := []*leafState{rootLeaf}
+
+	for len(leaves) < g.cfg.MaxLeaves {
+		// Pick the splittable leaf with the largest gain.
+		var best *leafState
+		for _, l := range leaves {
+			if l.bestGain > 0 && (best == nil || l.bestGain > best.bestGain) {
+				best = l
+			}
+		}
+		if best == nil {
+			break
+		}
+		left, right := g.split(best)
+		if left == nil {
+			best.bestGain = 0 // split fell through; stop considering it
+			continue
+		}
+		// Replace the split leaf with its children.
+		for i, l := range leaves {
+			if l == best {
+				leaves[i] = left
+				leaves = append(leaves, right)
+				break
+			}
+		}
+	}
+	// Finalise leaf values.
+	for _, l := range leaves {
+		l.node.Left, l.node.Right = nil, nil
+		l.node.Value = -l.sumG / (l.sumH + g.cfg.Lambda)
+	}
+	return root
+}
+
+func (g *histGrower) newLeaf(node *treeNode, samples []int) *leafState {
+	l := &leafState{node: node, samples: samples}
+	for _, i := range samples {
+		l.sumG += g.grad[i] * g.scale[i]
+		l.sumH += g.hess[i] * g.scale[i]
+	}
+	g.findBestSplit(l)
+	return l
+}
+
+// findBestSplit scans per-feature histograms for the best bin split.
+func (g *histGrower) findBestSplit(l *leafState) {
+	l.bestGain = 0
+	if len(l.samples) < 2*g.cfg.MinSamplesLeaf {
+		return
+	}
+	numFeatures := len(g.binned[0])
+	score := func(gs, hs float64) float64 { return gs * gs / (hs + g.cfg.Lambda) }
+	parent := score(l.sumG, l.sumH)
+
+	for f := 0; f < numFeatures; f++ {
+		nb := g.bins.numBins(f)
+		if nb < 2 {
+			continue
+		}
+		histG := make([]float64, nb)
+		histH := make([]float64, nb)
+		histN := make([]int, nb)
+		for _, i := range l.samples {
+			b := g.binned[i][f]
+			w := g.scale[i]
+			histG[b] += g.grad[i] * w
+			histH[b] += g.hess[i] * w
+			histN[b]++
+		}
+		var gl, hl float64
+		var nl int
+		for b := 0; b < nb-1; b++ {
+			gl += histG[b]
+			hl += histH[b]
+			nl += histN[b]
+			if nl < g.cfg.MinSamplesLeaf || len(l.samples)-nl < g.cfg.MinSamplesLeaf {
+				continue
+			}
+			gr, hr := l.sumG-gl, l.sumH-hl
+			if hl < g.cfg.MinChildWeight || hr < g.cfg.MinChildWeight {
+				continue
+			}
+			gain := 0.5 * (score(gl, hl) + score(gr, hr) - parent)
+			if gain > l.bestGain {
+				l.bestGain = gain
+				l.bestFeat = f
+				l.bestBin = b
+			}
+		}
+	}
+}
+
+// split applies a leaf's best split, converting it into an internal node and
+// returning the two child leaves. It returns nil children when the split
+// degenerates (e.g. all samples on one side).
+func (g *histGrower) split(l *leafState) (left, right *leafState) {
+	var ls, rs []int
+	for _, i := range l.samples {
+		if int(g.binned[i][l.bestFeat]) <= l.bestBin {
+			ls = append(ls, i)
+		} else {
+			rs = append(rs, i)
+		}
+	}
+	if len(ls) == 0 || len(rs) == 0 {
+		return nil, nil
+	}
+	l.node.Feature = l.bestFeat
+	l.node.Threshold = g.bins.threshold(l.bestFeat, l.bestBin)
+	l.node.Left = &treeNode{}
+	l.node.Right = &treeNode{}
+	return g.newLeaf(l.node.Left, ls), g.newLeaf(l.node.Right, rs)
+}
+
+// PredictProba returns class probabilities (see GBDT.PredictProba).
+func (h *HistGBDT) PredictProba(x []float64) []float64 {
+	out := make([]float64, len(h.classes))
+	if len(h.boosters) == 0 {
+		return out
+	}
+	if len(h.classes) == 2 {
+		p := sigmoid(h.boosters[0].raw(x))
+		out[0] = 1 - p
+		out[1] = p
+		return out
+	}
+	total := 0.0
+	for a, b := range h.boosters {
+		p := sigmoid(b.raw(x))
+		out[a] = p
+		total += p
+	}
+	if total > 0 {
+		for a := range out {
+			out[a] /= total
+		}
+	} else {
+		for a := range out {
+			out[a] = 1 / float64(len(out))
+		}
+	}
+	return out
+}

@@ -1,0 +1,453 @@
+package mltree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cordial/internal/xrand"
+)
+
+// Criterion selects the impurity measure for classification splits.
+type Criterion int
+
+// Split criteria.
+const (
+	// Gini is the Gini impurity (CART default).
+	Gini Criterion = iota + 1
+	// Entropy is the Shannon-entropy information gain.
+	Entropy
+)
+
+// String names the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case Gini:
+		return "gini"
+	case Entropy:
+		return "entropy"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// TreeConfig configures a single CART decision tree.
+type TreeConfig struct {
+	// MaxDepth bounds tree depth; <=0 means unlimited.
+	MaxDepth int
+	// MinSamplesSplit is the minimum node size eligible for splitting.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the minimum samples in each child.
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features considered per split;
+	// 0 means all, -1 means round(sqrt(numFeatures)).
+	MaxFeatures int
+	// Criterion selects the impurity measure (default Gini).
+	Criterion Criterion
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MinSamplesSplit < 2 {
+		c.MinSamplesSplit = 2
+	}
+	if c.MinSamplesLeaf < 1 {
+		c.MinSamplesLeaf = 1
+	}
+	if c.Criterion == 0 {
+		c.Criterion = Gini
+	}
+	return c
+}
+
+// resolveMaxFeatures turns the MaxFeatures convention into a concrete count.
+func (c TreeConfig) resolveMaxFeatures(numFeatures int) int {
+	switch {
+	case c.MaxFeatures == 0 || c.MaxFeatures >= numFeatures:
+		return numFeatures
+	case c.MaxFeatures == -1:
+		k := int(math.Round(math.Sqrt(float64(numFeatures))))
+		if k < 1 {
+			k = 1
+		}
+		return k
+	case c.MaxFeatures > 0:
+		return c.MaxFeatures
+	default:
+		return numFeatures
+	}
+}
+
+// treeNode is one node of a fitted tree. Leaves carry a class-probability
+// vector (classification) or a scalar (regression boosting).
+type treeNode struct {
+	Feature   int       `json:"f"`
+	Threshold float64   `json:"t"`
+	Left      *treeNode `json:"l,omitempty"`
+	Right     *treeNode `json:"r,omitempty"`
+	Probs     []float64 `json:"p,omitempty"`
+	Value     float64   `json:"v,omitempty"`
+}
+
+func (n *treeNode) isLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// navigate walks the tree for sample x and returns the leaf.
+func (n *treeNode) navigate(x []float64) *treeNode {
+	cur := n
+	for !cur.isLeaf() {
+		if x[cur.Feature] <= cur.Threshold {
+			cur = cur.Left
+		} else {
+			cur = cur.Right
+		}
+	}
+	return cur
+}
+
+func (n *treeNode) depth() int {
+	if n == nil || n.isLeaf() {
+		return 0
+	}
+	l, r := n.Left.depth(), n.Right.depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func (n *treeNode) countLeaves() int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	return n.Left.countLeaves() + n.Right.countLeaves()
+}
+
+// Tree is a CART decision-tree classifier.
+type Tree struct {
+	Config  TreeConfig
+	root    *treeNode
+	classes []int
+	rng     *xrand.RNG
+}
+
+// NewTree returns a tree classifier. rng drives feature subsampling; pass
+// nil to consider all features deterministically.
+func NewTree(cfg TreeConfig, rng *xrand.RNG) *Tree {
+	return &Tree{Config: cfg.withDefaults(), rng: rng}
+}
+
+var _ Classifier = (*Tree)(nil)
+
+// Classes returns the labels seen during Fit.
+func (t *Tree) Classes() []int { return t.classes }
+
+// Depth returns the fitted tree's depth (0 for a stump/leaf-only tree).
+func (t *Tree) Depth() int { return t.root.depth() }
+
+// NumLeaves returns the fitted tree's leaf count.
+func (t *Tree) NumLeaves() int { return t.root.countLeaves() }
+
+// Fit grows the tree on the dataset.
+func (t *Tree) Fit(ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	t.classes = ds.Classes()
+	idx := classIndex(t.classes)
+	y := make([]int, ds.NumSamples())
+	for i, l := range ds.Labels {
+		y[i] = idx[l]
+	}
+	samples := make([]int, ds.NumSamples())
+	for i := range samples {
+		samples[i] = i
+	}
+	b := &classBuilder{
+		cfg:      t.Config,
+		features: ds.Features,
+		y:        y,
+		k:        len(t.classes),
+		rng:      t.rng,
+		maxFeat:  t.Config.resolveMaxFeatures(ds.NumFeatures()),
+	}
+	t.root = b.build(samples, 0)
+	return nil
+}
+
+// PredictProba returns the class distribution of the leaf x lands in.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	leaf := t.root.navigate(x)
+	out := make([]float64, len(leaf.Probs))
+	copy(out, leaf.Probs)
+	return out
+}
+
+// classBuilder grows a classification tree recursively.
+type classBuilder struct {
+	cfg      TreeConfig
+	features [][]float64
+	y        []int
+	k        int
+	rng      *xrand.RNG
+	maxFeat  int
+}
+
+func (b *classBuilder) build(samples []int, depth int) *treeNode {
+	counts := make([]float64, b.k)
+	for _, i := range samples {
+		counts[b.y[i]]++
+	}
+	leaf := func() *treeNode {
+		probs := make([]float64, b.k)
+		n := float64(len(samples))
+		for c, v := range counts {
+			probs[c] = v / n
+		}
+		return &treeNode{Probs: probs}
+	}
+	if len(samples) < b.cfg.MinSamplesSplit ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) ||
+		isPure(counts) {
+		return leaf()
+	}
+	feat, thr, ok := b.bestSplit(samples, counts)
+	if !ok {
+		return leaf()
+	}
+	var left, right []int
+	for _, i := range samples {
+		if b.features[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
+		return leaf()
+	}
+	return &treeNode{
+		Feature:   feat,
+		Threshold: thr,
+		Left:      b.build(left, depth+1),
+		Right:     b.build(right, depth+1),
+	}
+}
+
+func isPure(counts []float64) bool {
+	nonZero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonZero++
+		}
+	}
+	return nonZero <= 1
+}
+
+// impurity computes Gini or entropy from class counts summing to n.
+func impurity(counts []float64, n float64, crit Criterion) float64 {
+	if n == 0 {
+		return 0
+	}
+	switch crit {
+	case Entropy:
+		h := 0.0
+		for _, c := range counts {
+			if c > 0 {
+				p := c / n
+				h -= p * math.Log2(p)
+			}
+		}
+		return h
+	default: // Gini
+		g := 1.0
+		for _, c := range counts {
+			p := c / n
+			g -= p * p
+		}
+		return g
+	}
+}
+
+// bestSplit searches the sampled feature subset for the split with the
+// largest impurity decrease. It returns ok=false when no valid split exists.
+func (b *classBuilder) bestSplit(samples []int, parentCounts []float64) (feat int, thr float64, ok bool) {
+	n := float64(len(samples))
+	parentImp := impurity(parentCounts, n, b.cfg.Criterion)
+	bestGain := 1e-12
+
+	numFeatures := len(b.features[0])
+	candidates := b.featureCandidates(numFeatures)
+
+	type pair struct {
+		v float64
+		y int
+	}
+	pairs := make([]pair, len(samples))
+	leftCounts := make([]float64, b.k)
+	rightCounts := make([]float64, b.k)
+
+	for _, f := range candidates {
+		for i, s := range samples {
+			pairs[i] = pair{v: b.features[s][f], y: b.y[s]}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		if pairs[0].v == pairs[len(pairs)-1].v {
+			continue // constant feature
+		}
+		for c := range leftCounts {
+			leftCounts[c] = 0
+			rightCounts[c] = parentCounts[c]
+		}
+		for i := 0; i < len(pairs)-1; i++ {
+			leftCounts[pairs[i].y]++
+			rightCounts[pairs[i].y]--
+			if pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			nl, nr := float64(i+1), n-float64(i+1)
+			if int(nl) < b.cfg.MinSamplesLeaf || int(nr) < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			childImp := (nl*impurity(leftCounts, nl, b.cfg.Criterion) +
+				nr*impurity(rightCounts, nr, b.cfg.Criterion)) / n
+			gain := parentImp - childImp
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = (pairs[i].v + pairs[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// featureCandidates returns the features to consider at one split.
+func (b *classBuilder) featureCandidates(numFeatures int) []int {
+	if b.maxFeat >= numFeatures || b.rng == nil {
+		all := make([]int, numFeatures)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return b.rng.SampleInts(numFeatures, b.maxFeat)
+}
+
+// regTree grows regression trees on gradient/hessian pairs with the
+// XGBoost-style regularised gain; it is the weak learner inside GBDT.
+type regTree struct {
+	cfg     TreeConfig
+	lambda  float64
+	gamma   float64
+	minHess float64
+	rng     *xrand.RNG
+	maxFeat int
+
+	features [][]float64
+	grad     []float64
+	hess     []float64
+}
+
+// fit grows the tree over the given sample indices and returns its root.
+func (r *regTree) fit(samples []int) *treeNode {
+	return r.build(samples, 0)
+}
+
+func (r *regTree) build(samples []int, depth int) *treeNode {
+	var g, h float64
+	for _, i := range samples {
+		g += r.grad[i]
+		h += r.hess[i]
+	}
+	leaf := func() *treeNode {
+		return &treeNode{Value: -g / (h + r.lambda)}
+	}
+	if len(samples) < r.cfg.MinSamplesSplit ||
+		(r.cfg.MaxDepth > 0 && depth >= r.cfg.MaxDepth) {
+		return leaf()
+	}
+	feat, thr, ok := r.bestSplit(samples, g, h)
+	if !ok {
+		return leaf()
+	}
+	var left, right []int
+	for _, i := range samples {
+		if r.features[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < r.cfg.MinSamplesLeaf || len(right) < r.cfg.MinSamplesLeaf {
+		return leaf()
+	}
+	return &treeNode{
+		Feature:   feat,
+		Threshold: thr,
+		Left:      r.build(left, depth+1),
+		Right:     r.build(right, depth+1),
+	}
+}
+
+// bestSplit maximises the XGBoost structure-score gain
+// 0.5*(GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)) − γ.
+func (r *regTree) bestSplit(samples []int, g, h float64) (feat int, thr float64, ok bool) {
+	score := func(gs, hs float64) float64 { return gs * gs / (hs + r.lambda) }
+	parent := score(g, h)
+	bestGain := 0.0
+
+	numFeatures := len(r.features[0])
+	candidates := r.featureCandidates(numFeatures)
+
+	type pair struct {
+		v    float64
+		g, h float64
+	}
+	pairs := make([]pair, len(samples))
+	for _, f := range candidates {
+		for i, s := range samples {
+			pairs[i] = pair{v: r.features[s][f], g: r.grad[s], h: r.hess[s]}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		if pairs[0].v == pairs[len(pairs)-1].v {
+			continue
+		}
+		var gl, hl float64
+		for i := 0; i < len(pairs)-1; i++ {
+			gl += pairs[i].g
+			hl += pairs[i].h
+			if pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			if i+1 < r.cfg.MinSamplesLeaf || len(pairs)-i-1 < r.cfg.MinSamplesLeaf {
+				continue
+			}
+			gr, hr := g-gl, h-hl
+			if hl < r.minHess || hr < r.minHess {
+				continue
+			}
+			gain := 0.5*(score(gl, hl)+score(gr, hr)-parent) - r.gamma
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = (pairs[i].v + pairs[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func (r *regTree) featureCandidates(numFeatures int) []int {
+	if r.maxFeat >= numFeatures || r.rng == nil {
+		all := make([]int, numFeatures)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return r.rng.SampleInts(numFeatures, r.maxFeat)
+}

@@ -1,0 +1,221 @@
+package sparing
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cordial/internal/xrand"
+)
+
+// Technique is a concrete recovery mechanism. The paper (§I) stresses that
+// recovery techniques must be selected by fault rate: data copying can be
+// interrupted when pages are locked, hard repairs cost a reboot window, and
+// bank replacement burns scarce redundancy.
+type Technique int
+
+// Recovery techniques.
+const (
+	// TechniqueSoftPPR is soft post-package repair: the row remap lives in
+	// volatile registers; fast, no reboot, lost on power cycle.
+	TechniqueSoftPPR Technique = iota + 1
+	// TechniqueHardPPR is hard post-package repair: the remap is burned
+	// into fuses; permanent but needs a maintenance window.
+	TechniqueHardPPR
+	// TechniquePageOffline retires the OS page after copying its contents
+	// away; can fail when the page is locked by a running workload.
+	TechniquePageOffline
+	// TechniqueBankReplace remaps the whole bank onto a spare.
+	TechniqueBankReplace
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	switch t {
+	case TechniqueSoftPPR:
+		return "soft-PPR"
+	case TechniqueHardPPR:
+		return "hard-PPR"
+	case TechniquePageOffline:
+		return "page-offline"
+	case TechniqueBankReplace:
+		return "bank-replace"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// TechniqueProfile models one technique's operational cost and risk.
+type TechniqueProfile struct {
+	// Latency is the time the repair occupies the device.
+	Latency time.Duration
+	// SuccessProb is the chance the repair completes; page offlining
+	// fails when the page is locked mid-copy.
+	SuccessProb float64
+	// Persistent reports whether the repair survives a power cycle.
+	Persistent bool
+	// NeedsWindow reports whether a maintenance window (job drain) is
+	// required.
+	NeedsWindow bool
+}
+
+// DefaultProfiles returns operationally plausible technique profiles.
+func DefaultProfiles() map[Technique]TechniqueProfile {
+	return map[Technique]TechniqueProfile{
+		TechniqueSoftPPR: {
+			Latency:     200 * time.Millisecond,
+			SuccessProb: 0.995,
+			Persistent:  false,
+			NeedsWindow: false,
+		},
+		TechniqueHardPPR: {
+			Latency:     2 * time.Second,
+			SuccessProb: 0.99,
+			Persistent:  true,
+			NeedsWindow: true,
+		},
+		TechniquePageOffline: {
+			Latency:     50 * time.Millisecond,
+			SuccessProb: 0.92, // locked pages abort the copy
+			Persistent:  false,
+			NeedsWindow: false,
+		},
+		TechniqueBankReplace: {
+			Latency:     5 * time.Second,
+			SuccessProb: 0.999,
+			Persistent:  true,
+			NeedsWindow: true,
+		},
+	}
+}
+
+// Validate checks a profile.
+func (p TechniqueProfile) Validate() error {
+	if p.Latency < 0 {
+		return fmt.Errorf("sparing: negative latency %v", p.Latency)
+	}
+	if p.SuccessProb < 0 || p.SuccessProb > 1 {
+		return fmt.Errorf("sparing: success probability %g out of [0,1]", p.SuccessProb)
+	}
+	return nil
+}
+
+// Planner selects recovery techniques by fault rate and urgency, per the
+// paper's observation that one fixed technique does not fit all fault
+// profiles.
+type Planner struct {
+	Profiles map[Technique]TechniqueProfile
+	// SoftPPRRateLimit is the per-bank UER-rows-per-day rate above which
+	// volatile repairs stop being trusted and hard repairs are scheduled.
+	SoftPPRRateLimit float64
+	// BankReplaceRowLimit is the distinct-UER-row count above which
+	// row-granular repair is abandoned for bank replacement (the
+	// scattered-pattern policy).
+	BankReplaceRowLimit int
+}
+
+// NewPlanner returns a planner with the default profiles and limits.
+func NewPlanner() *Planner {
+	return &Planner{
+		Profiles:            DefaultProfiles(),
+		SoftPPRRateLimit:    2.0,
+		BankReplaceRowLimit: 12,
+	}
+}
+
+// Plan chooses the technique for a bank given its observed distinct UER
+// rows, the measured UER-row rate (rows/day), and whether a maintenance
+// window is currently available.
+func (p *Planner) Plan(uerRows int, rowsPerDay float64, windowAvailable bool) Technique {
+	if uerRows > p.BankReplaceRowLimit {
+		if windowAvailable {
+			return TechniqueBankReplace
+		}
+		// Cannot drain now: shed load via page offlining until a window
+		// opens.
+		return TechniquePageOffline
+	}
+	if rowsPerDay > p.SoftPPRRateLimit && windowAvailable {
+		return TechniqueHardPPR
+	}
+	if !windowAvailable {
+		return TechniqueSoftPPR
+	}
+	// Low-rate fault with a window available: prefer the persistent fix.
+	return TechniqueHardPPR
+}
+
+// RepairResult is the outcome of attempting one repair.
+type RepairResult struct {
+	Technique Technique
+	Succeeded bool
+	Latency   time.Duration
+	// Retried counts extra attempts after failures.
+	Retried int
+}
+
+// Attempt simulates executing a repair with up to maxRetries retries,
+// drawing success from the technique's profile.
+func (p *Planner) Attempt(t Technique, rng *xrand.RNG, maxRetries int) (RepairResult, error) {
+	profile, ok := p.Profiles[t]
+	if !ok {
+		return RepairResult{}, fmt.Errorf("sparing: no profile for technique %v", t)
+	}
+	if err := profile.Validate(); err != nil {
+		return RepairResult{}, err
+	}
+	if rng == nil {
+		return RepairResult{}, fmt.Errorf("sparing: nil RNG")
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	res := RepairResult{Technique: t}
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		res.Latency += profile.Latency
+		if rng.Bool(profile.SuccessProb) {
+			res.Succeeded = true
+			res.Retried = attempt
+			return res, nil
+		}
+	}
+	res.Retried = maxRetries
+	return res, nil
+}
+
+// PlanSummary tallies a batch of planning decisions.
+type PlanSummary struct {
+	Counts map[Technique]int
+}
+
+// Summarise plans a batch of (rows, rate, window) triples and tallies the
+// chosen techniques, most used first.
+func (p *Planner) Summarise(cases []PlanCase) PlanSummary {
+	s := PlanSummary{Counts: make(map[Technique]int)}
+	for _, c := range cases {
+		s.Counts[p.Plan(c.UERRows, c.RowsPerDay, c.WindowAvailable)]++
+	}
+	return s
+}
+
+// PlanCase is one bank's situation for batch planning.
+type PlanCase struct {
+	UERRows         int
+	RowsPerDay      float64
+	WindowAvailable bool
+}
+
+// Ranked returns the techniques by descending use count.
+func (s PlanSummary) Ranked() []Technique {
+	out := make([]Technique, 0, len(s.Counts))
+	for t := range s.Counts {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if s.Counts[out[i]] != s.Counts[out[j]] {
+			return s.Counts[out[i]] > s.Counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

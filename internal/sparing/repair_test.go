@@ -1,0 +1,141 @@
+package sparing
+
+import (
+	"testing"
+	"time"
+
+	"cordial/internal/xrand"
+)
+
+func TestDefaultProfilesValid(t *testing.T) {
+	for tech, p := range DefaultProfiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v: %v", tech, err)
+		}
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	if err := (TechniqueProfile{Latency: -time.Second, SuccessProb: 0.5}).Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if err := (TechniqueProfile{SuccessProb: 1.5}).Validate(); err == nil {
+		t.Error("probability >1 accepted")
+	}
+}
+
+func TestPlannerPolicy(t *testing.T) {
+	p := NewPlanner()
+	tests := []struct {
+		name   string
+		rows   int
+		rate   float64
+		window bool
+		want   Technique
+	}{
+		{"scattered with window", 20, 1, true, TechniqueBankReplace},
+		{"scattered without window", 20, 1, false, TechniquePageOffline},
+		{"hot bank with window", 5, 5, true, TechniqueHardPPR},
+		{"hot bank without window", 5, 5, false, TechniqueSoftPPR},
+		{"quiet bank with window", 2, 0.5, true, TechniqueHardPPR},
+		{"quiet bank without window", 2, 0.5, false, TechniqueSoftPPR},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.Plan(tc.rows, tc.rate, tc.window); got != tc.want {
+				t.Fatalf("Plan(%d, %g, %v) = %v, want %v", tc.rows, tc.rate, tc.window, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAttemptSucceedsEventually(t *testing.T) {
+	p := NewPlanner()
+	rng := xrand.New(1)
+	successes := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		res, err := p.Attempt(TechniquePageOffline, rng, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Succeeded {
+			successes++
+		}
+		if res.Latency <= 0 {
+			t.Fatal("zero latency result")
+		}
+		if res.Retried > 3 {
+			t.Fatalf("retried %d times with cap 3", res.Retried)
+		}
+	}
+	// 0.92 per try with 3 retries → ~0.99996 overall.
+	if successes < trials-5 {
+		t.Fatalf("only %d/%d repairs succeeded", successes, trials)
+	}
+}
+
+func TestAttemptLatencyAccumulatesOnRetry(t *testing.T) {
+	p := NewPlanner()
+	p.Profiles[TechniquePageOffline] = TechniqueProfile{
+		Latency:     time.Second,
+		SuccessProb: 0, // always fails
+	}
+	res, err := p.Attempt(TechniquePageOffline, xrand.New(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded {
+		t.Fatal("impossible repair succeeded")
+	}
+	if res.Latency != 3*time.Second {
+		t.Fatalf("latency = %v, want 3s (1 try + 2 retries)", res.Latency)
+	}
+}
+
+func TestAttemptErrors(t *testing.T) {
+	p := NewPlanner()
+	if _, err := p.Attempt(Technique(99), xrand.New(1), 0); err == nil {
+		t.Error("unknown technique accepted")
+	}
+	if _, err := p.Attempt(TechniqueSoftPPR, nil, 0); err == nil {
+		t.Error("nil RNG accepted")
+	}
+}
+
+func TestSummariseAndRanked(t *testing.T) {
+	p := NewPlanner()
+	cases := []PlanCase{
+		{UERRows: 3, RowsPerDay: 0.5, WindowAvailable: false}, // soft PPR
+		{UERRows: 3, RowsPerDay: 0.5, WindowAvailable: false}, // soft PPR
+		{UERRows: 3, RowsPerDay: 0.5, WindowAvailable: false}, // soft PPR
+		{UERRows: 20, RowsPerDay: 2, WindowAvailable: true},   // bank replace
+		{UERRows: 4, RowsPerDay: 10, WindowAvailable: true},   // hard PPR
+		{UERRows: 30, RowsPerDay: 10, WindowAvailable: false}, // page offline
+	}
+	s := p.Summarise(cases)
+	if s.Counts[TechniqueSoftPPR] != 3 || s.Counts[TechniqueBankReplace] != 1 ||
+		s.Counts[TechniqueHardPPR] != 1 || s.Counts[TechniquePageOffline] != 1 {
+		t.Fatalf("summary = %v", s.Counts)
+	}
+	ranked := s.Ranked()
+	if ranked[0] != TechniqueSoftPPR {
+		t.Fatalf("top technique = %v", ranked[0])
+	}
+	if len(ranked) != 4 {
+		t.Fatalf("ranked %d techniques", len(ranked))
+	}
+}
+
+func TestTechniqueString(t *testing.T) {
+	for tech, want := range map[Technique]string{
+		TechniqueSoftPPR:     "soft-PPR",
+		TechniqueHardPPR:     "hard-PPR",
+		TechniquePageOffline: "page-offline",
+		TechniqueBankReplace: "bank-replace",
+	} {
+		if got := tech.String(); got != want {
+			t.Errorf("%d.String() = %q", int(tech), got)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package sparing
+
+import (
+	"testing"
+	"time"
+
+	"cordial/internal/hbm"
+)
+
+var t0 = time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(h int) time.Time { return t0.Add(time.Duration(h) * time.Hour) }
+
+func newEngine(t *testing.T, b Budget) *Engine {
+	t.Helper()
+	e, err := NewEngine(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineRejectsNegativeBudget(t *testing.T) {
+	if _, err := NewEngine(Budget{RowSparesPerBank: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestSpareRowsBasics(t *testing.T) {
+	e := newEngine(t, DefaultBudget())
+	bank := hbm.BankAddress{Node: 1}
+	applied := e.SpareRows(bank, []int{10, 5, 7}, at(1))
+	if len(applied) != 3 || applied[0] != 5 || applied[2] != 10 {
+		t.Fatalf("applied = %v", applied)
+	}
+	if !e.IsRowIsolatedBefore(bank, 7, at(2)) {
+		t.Fatal("row 7 not isolated before hour 2")
+	}
+	if e.IsRowIsolatedBefore(bank, 7, at(1)) {
+		t.Fatal("isolation at t must not cover strictly-before t")
+	}
+	if e.IsRowIsolatedBefore(bank, 99, at(5)) {
+		t.Fatal("unspared row reported isolated")
+	}
+}
+
+func TestSpareRowsRespectsBudget(t *testing.T) {
+	e := newEngine(t, Budget{RowSparesPerBank: 2, BankSparesPerChannel: 1, OfflinePagesPerHBM: 10})
+	bank := hbm.BankAddress{}
+	applied := e.SpareRows(bank, []int{1, 2, 3, 4}, at(1))
+	if len(applied) != 2 {
+		t.Fatalf("applied %d rows with budget 2", len(applied))
+	}
+	// Second call: budget exhausted.
+	if got := e.SpareRows(bank, []int{9}, at(2)); len(got) != 0 {
+		t.Fatalf("over-budget sparing applied %v", got)
+	}
+	// A different bank has its own budget.
+	other := hbm.BankAddress{Bank: 1}
+	if got := e.SpareRows(other, []int{1}, at(2)); len(got) != 1 {
+		t.Fatalf("other bank sparing applied %v", got)
+	}
+}
+
+func TestSpareRowsSkipsAlreadyIsolatedWithoutConsumingBudget(t *testing.T) {
+	e := newEngine(t, Budget{RowSparesPerBank: 2, BankSparesPerChannel: 1, OfflinePagesPerHBM: 0})
+	bank := hbm.BankAddress{}
+	e.SpareRows(bank, []int{5}, at(1))
+	applied := e.SpareRows(bank, []int{5, 6}, at(2))
+	if len(applied) != 1 || applied[0] != 6 {
+		t.Fatalf("re-sparing applied %v", applied)
+	}
+	if e.Usage().RowSpares != 2 {
+		t.Fatalf("row spares used = %d, want 2", e.Usage().RowSpares)
+	}
+}
+
+func TestSpareBank(t *testing.T) {
+	e := newEngine(t, Budget{RowSparesPerBank: 1, BankSparesPerChannel: 1, OfflinePagesPerHBM: 0})
+	bank := hbm.BankAddress{Node: 2}
+	if err := e.SpareBank(bank, at(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Bank sparing covers every row in the bank.
+	if !e.IsRowIsolatedBefore(bank, 12345, at(4)) {
+		t.Fatal("bank sparing does not cover rows")
+	}
+	// Re-sparing the same bank is a no-op (keeps earliest time).
+	if err := e.SpareBank(bank, at(10)); err != nil {
+		t.Fatal(err)
+	}
+	// A second bank on the same channel exhausts the channel budget.
+	sibling := bank
+	sibling.Bank = 3
+	if err := e.SpareBank(sibling, at(4)); err == nil {
+		t.Fatal("channel bank-spare budget not enforced")
+	}
+	// A bank on a different channel succeeds.
+	elsewhere := bank
+	elsewhere.Channel = 5
+	if err := e.SpareBank(elsewhere, at(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpareBankKeepsEarliestTime(t *testing.T) {
+	e := newEngine(t, DefaultBudget())
+	bank := hbm.BankAddress{}
+	if err := e.SpareBank(bank, at(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SpareBank(bank, at(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsRowIsolatedBefore(bank, 1, at(3)) {
+		t.Fatal("earlier re-isolation time not kept")
+	}
+}
+
+func TestOfflinePages(t *testing.T) {
+	e := newEngine(t, Budget{RowSparesPerBank: 0, BankSparesPerChannel: 0, OfflinePagesPerHBM: 3})
+	bank := hbm.BankAddress{Node: 1}
+	applied := e.OfflinePages(bank, []int{1, 2}, at(1))
+	if len(applied) != 2 {
+		t.Fatalf("offlined %v", applied)
+	}
+	// Same HBM, different bank shares the per-HBM budget.
+	sibling := bank
+	sibling.Bank = 2
+	applied = e.OfflinePages(sibling, []int{7, 8, 9}, at(2))
+	if len(applied) != 1 {
+		t.Fatalf("offlined %v with 1 page left", applied)
+	}
+	// Different HBM has fresh budget.
+	other := bank
+	other.HBM = 1
+	if got := e.OfflinePages(other, []int{1}, at(2)); len(got) != 1 {
+		t.Fatalf("other HBM offlined %v", got)
+	}
+	if !e.IsRowIsolatedBefore(bank, 1, at(2)) {
+		t.Fatal("offlined row not isolated")
+	}
+}
+
+func TestUsageAndActions(t *testing.T) {
+	e := newEngine(t, DefaultBudget())
+	bank := hbm.BankAddress{}
+	e.SpareRows(bank, []int{1, 2}, at(1))
+	if err := e.SpareBank(hbm.BankAddress{Bank: 1}, at(2)); err != nil {
+		t.Fatal(err)
+	}
+	e.OfflinePages(hbm.BankAddress{Bank: 2}, []int{5}, at(3))
+
+	u := e.Usage()
+	if u.RowSpares != 2 || u.BankSpares != 1 || u.OfflinedPages != 1 {
+		t.Fatalf("usage = %+v", u)
+	}
+	if u.IsolatedBanks != 1 || u.IsolatedRows != 3 {
+		t.Fatalf("usage = %+v", u)
+	}
+	acts := e.Actions()
+	if len(acts) != 3 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	if acts[0].Kind != ActionRowSpare || acts[1].Kind != ActionBankSpare || acts[2].Kind != ActionPageOffline {
+		t.Fatalf("action kinds = %v %v %v", acts[0].Kind, acts[1].Kind, acts[2].Kind)
+	}
+	// Actions() returns a copy.
+	acts[0].Kind = ActionBankSpare
+	if e.Actions()[0].Kind != ActionRowSpare {
+		t.Fatal("Actions returned internal storage")
+	}
+}
+
+func TestActionKindString(t *testing.T) {
+	for k, want := range map[ActionKind]string{
+		ActionRowSpare:    "row-spare",
+		ActionBankSpare:   "bank-spare",
+		ActionPageOffline: "page-offline",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q", int(k), got)
+		}
+	}
+}
+
+func TestRowSpareKeepsEarliestTime(t *testing.T) {
+	e := newEngine(t, DefaultBudget())
+	bank := hbm.BankAddress{}
+	e.SpareRows(bank, []int{4}, at(5))
+	// Row 4 already isolated at hour 5; offline attempt at hour 1 should
+	// still isolate at the earlier time... but OfflinePages skips already
+	// isolated rows only if isolated at-or-before t; at hour 1 it is not
+	// yet isolated, so it records the earlier time.
+	e.OfflinePages(bank, []int{4}, at(1))
+	if !e.IsRowIsolatedBefore(bank, 4, at(2)) {
+		t.Fatal("earliest isolation time not kept for row")
+	}
+}

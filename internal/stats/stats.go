@@ -1,0 +1,301 @@
+// Package stats provides the statistical machinery behind the paper's
+// empirical study: descriptive statistics, histograms, and chi-square tests
+// (goodness-of-fit and contingency) with p-values computed from the
+// regularised incomplete gamma function. It is dependency-free and operates
+// on plain float64 slices.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by descriptive statistics invoked on empty data.
+var ErrEmpty = errors.New("stats: empty data")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs. It requires at
+// least two observations.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: variance needs ≥2 observations, got %d", len(xs))
+	}
+	m, _ := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (minV, maxV float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	minV, maxV = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	return minV, maxV, nil
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g out of [0,1]", q)
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// Histogram is a fixed-width binning of observations over [Lo, Hi). Values
+// outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+}
+
+// NewHistogram builds a histogram with the given number of bins over
+// [lo, hi). It returns an error for a non-positive bin count or an empty
+// range.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bins, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%g,%g) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // floating-point edge at Hi
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// ChiSquareGoodnessOfFit returns the chi-square statistic and degrees of
+// freedom for observed counts against expected counts. Cells with expected
+// value zero but non-zero observed count make the statistic +Inf; cells with
+// both zero are skipped (and reduce the degrees of freedom).
+func ChiSquareGoodnessOfFit(observed, expected []float64) (stat float64, df int, err error) {
+	if len(observed) != len(expected) {
+		return 0, 0, fmt.Errorf("stats: observed has %d cells, expected %d", len(observed), len(expected))
+	}
+	if len(observed) < 2 {
+		return 0, 0, fmt.Errorf("stats: chi-square needs ≥2 cells, got %d", len(observed))
+	}
+	used := 0
+	for i := range observed {
+		o, e := observed[i], expected[i]
+		if e < 0 || o < 0 {
+			return 0, 0, fmt.Errorf("stats: negative count in cell %d", i)
+		}
+		if e == 0 {
+			if o != 0 {
+				return math.Inf(1), len(observed) - 1, nil
+			}
+			continue
+		}
+		d := o - e
+		stat += d * d / e
+		used++
+	}
+	if used < 2 {
+		return 0, 0, errors.New("stats: fewer than 2 usable cells")
+	}
+	return stat, used - 1, nil
+}
+
+// ChiSquareContingency returns the chi-square statistic and degrees of
+// freedom for an r×c contingency table of counts, testing independence of
+// rows and columns.
+func ChiSquareContingency(table [][]float64) (stat float64, df int, err error) {
+	r := len(table)
+	if r < 2 {
+		return 0, 0, fmt.Errorf("stats: contingency table needs ≥2 rows, got %d", r)
+	}
+	c := len(table[0])
+	if c < 2 {
+		return 0, 0, fmt.Errorf("stats: contingency table needs ≥2 columns, got %d", c)
+	}
+	rowSum := make([]float64, r)
+	colSum := make([]float64, c)
+	total := 0.0
+	for i, row := range table {
+		if len(row) != c {
+			return 0, 0, fmt.Errorf("stats: row %d has %d cells, want %d", i, len(row), c)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return 0, 0, fmt.Errorf("stats: negative count at (%d,%d)", i, j)
+			}
+			rowSum[i] += v
+			colSum[j] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		return 0, 0, errors.New("stats: contingency table is all zeros")
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			e := rowSum[i] * colSum[j] / total
+			if e == 0 {
+				continue
+			}
+			d := table[i][j] - e
+			stat += d * d / e
+		}
+	}
+	return stat, (r - 1) * (c - 1), nil
+}
+
+// ChiSquarePValue returns P(X ≥ stat) for a chi-square distribution with df
+// degrees of freedom: the upper regularised incomplete gamma Q(df/2, stat/2).
+func ChiSquarePValue(stat float64, df int) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: degrees of freedom must be positive, got %d", df)
+	}
+	if stat < 0 {
+		return 0, fmt.Errorf("stats: chi-square statistic must be non-negative, got %g", stat)
+	}
+	if math.IsInf(stat, 1) {
+		return 0, nil
+	}
+	return upperIncompleteGammaRegularized(float64(df)/2, stat/2), nil
+}
+
+// upperIncompleteGammaRegularized computes Q(a, x) = Γ(a, x)/Γ(a) using the
+// series expansion for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes §6.2).
+func upperIncompleteGammaRegularized(a, x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - lowerGammaSeries(a, x)
+	}
+	return upperGammaContinuedFraction(a, x)
+}
+
+const (
+	gammaEps     = 1e-14
+	gammaMaxIter = 500
+)
+
+// lowerGammaSeries computes P(a, x) by series expansion (x < a+1).
+func lowerGammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// upperGammaContinuedFraction computes Q(a, x) by the Lentz continued
+// fraction (x ≥ a+1).
+func upperGammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
