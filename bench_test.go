@@ -6,7 +6,10 @@ package cordial
 // regenerates the full-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"testing"
 
 	"cordial/internal/core"
@@ -180,6 +183,108 @@ func BenchmarkClassifyPattern(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := pipe.ClassifyPattern(events); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// streamBenchState shares one trained pipeline and one replay log across
+// the StreamIngest benchmarks; training dominates setup and must not be
+// re-paid per shard count.
+var streamBenchState = sync.OnceValues(func() (*Pipeline, []Event) {
+	spec := DefaultFleetSpec()
+	spec.UERBanks = 60
+	spec.BenignBanks = 0
+	spec.Seed = 21
+	trainFleet, err := Simulate(spec)
+	if err != nil {
+		panic(err)
+	}
+	cfg := DefaultConfig(RandomForest)
+	cfg.Params = ModelParams{Trees: 10, Depth: 8}
+	pipe, err := TrainWithConfig(cfg, trainFleet.Faults)
+	if err != nil {
+		panic(err)
+	}
+	liveSpec := spec
+	liveSpec.UERBanks = 40
+	liveSpec.BenignBanks = 120
+	liveSpec.Seed = 22
+	live, err := Simulate(liveSpec)
+	if err != nil {
+		panic(err)
+	}
+	live.Log.Sort()
+	return pipe, live.Log.Events()
+})
+
+// benchmarkStreamIngest replays the shared fleet log through a fresh
+// engine and reports end-to-end ingest throughput (enqueue + session +
+// inference) for one shard count. This is the perf baseline for the hot
+// online path; shard scaling should be roughly linear up to GOMAXPROCS on
+// multicore hosts.
+func benchmarkStreamIngest(b *testing.B, shards int) {
+	pipe, events := streamBenchState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultStreamConfig(pipe)
+		cfg.Shards = shards
+		cfg.QueueDepth = 4096
+		engine, err := NewStreamEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range engine.Actions() {
+			}
+		}()
+		for _, e := range events {
+			if err := engine.Ingest(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := engine.Close(); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkStreamIngest measures online ingest throughput at 1 shard, 4
+// shards and GOMAXPROCS shards (the cordial-serve default).
+func BenchmarkStreamIngest(b *testing.B) {
+	shardCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, n := range shardCounts {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) { benchmarkStreamIngest(b, n) })
+	}
+}
+
+// BenchmarkStreamSessionOnEvent isolates per-event session cost (feature
+// extraction + ensemble inference) without the engine around it.
+func BenchmarkStreamSessionOnEvent(b *testing.B) {
+	pipe, events := streamBenchState()
+	strategy := NewStrategy(pipe, DefaultGeometry)
+	perBank := make(map[uint64][]Event)
+	for _, e := range events {
+		k := e.Addr.BankKey()
+		perBank[k] = append(perBank[k], e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bankEvents := range perBank {
+			sess := strategy.NewSession(BankOf(bankEvents[0].Addr))
+			for _, e := range bankEvents {
+				sess.OnEvent(e)
+			}
 		}
 	}
 }

@@ -1,0 +1,175 @@
+// Command cordial-serve is the online prediction daemon: it loads (or
+// self-trains) a Cordial pipeline, starts the sharded stream engine, and
+// serves the ingestion API until interrupted.
+//
+// Usage:
+//
+//	cordial-serve -models models.json -addr 127.0.0.1:8080
+//	cordial-serve -selftrain -seed 1 -addr 127.0.0.1:0
+//
+// Endpoints:
+//
+//	POST /v1/events        JSONL batch ingest (the cordial-gen -format jsonl shape)
+//	GET  /v1/actions       mitigation actions emitted so far
+//	GET  /v1/banks/{addr}  one bank's session snapshot
+//	GET  /healthz          liveness
+//	GET  /statsz           ingest rate, queue depths, latency snapshots
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests, drains every
+// in-flight event through the engine, and prints a final stats line.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cordial/internal/core"
+	"cordial/internal/hbm"
+	"cordial/internal/stream"
+	"cordial/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cordial-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		modelsPath = flag.String("models", "", "model path from cordial-train")
+		selftrain  = flag.Bool("selftrain", false, "train a pipeline on a simulated fleet at startup (demo mode)")
+		seed       = flag.Uint64("seed", 1, "selftrain simulation seed")
+		trainBanks = flag.Int("train-banks", 120, "selftrain faulty-bank count")
+		trees      = flag.Int("trees", 15, "selftrain ensemble size")
+		shards     = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+		policy     = flag.String("policy", "block", "full-queue ingest policy: block or drop")
+	)
+	flag.Parse()
+
+	// Validate cheap configuration before the (possibly slow) model load.
+	cfg := stream.Config{
+		Geometry:   hbm.DefaultGeometry,
+		Shards:     *shards,
+		QueueDepth: *queue,
+	}
+	switch *policy {
+	case "block":
+		cfg.Policy = stream.IngestBlock
+	case "drop":
+		cfg.Policy = stream.IngestDrop
+	default:
+		return fmt.Errorf("unknown ingest policy %q (want block or drop)", *policy)
+	}
+	if *modelsPath != "" && *selftrain {
+		return fmt.Errorf("-models and -selftrain are mutually exclusive")
+	}
+	if *modelsPath == "" && !*selftrain {
+		return fmt.Errorf("need -models <path> or -selftrain")
+	}
+
+	pipe, err := loadPipeline(*modelsPath, *selftrain, *seed, *trainBanks, *trees)
+	if err != nil {
+		return err
+	}
+	cfg.Strategy = &core.CordialStrategy{Pipeline: pipe, Geometry: hbm.DefaultGeometry}
+	engine, err := stream.New(cfg)
+	if err != nil {
+		return err
+	}
+	api := stream.NewServer(engine, stream.ServerConfig{})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is load-bearing: with -addr :0 it is how
+	// test harnesses and wrapper scripts learn the real port.
+	fmt.Printf("cordial-serve: listening on %s (%d shards, policy %v)\n",
+		ln.Addr(), engine.Config().Shards, engine.Config().Policy)
+
+	srv := &http.Server{Handler: api, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("cordial-serve: %v, shutting down\n", s)
+	case err := <-errc:
+		engine.Close()
+		return err
+	}
+
+	// Graceful shutdown: stop HTTP intake, then drain the engine (every
+	// accepted event still flows through its session), then collect the
+	// tail of emitted actions.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "cordial-serve: http shutdown:", err)
+	}
+	engine.Close()
+	api.AwaitDrained()
+	st := engine.Stats()
+	fmt.Printf("cordial-serve: drained; ingested=%d processed=%d sessions=%d actions=%d dropped=%d\n",
+		st.Ingested, st.Processed, st.SessionsLive, st.ActionsEmitted, st.Dropped)
+	return nil
+}
+
+// loadPipeline restores a saved model or trains a small demonstration
+// pipeline on a simulated fleet.
+func loadPipeline(modelsPath string, selftrain bool, seed uint64, banks, trees int) (*core.Pipeline, error) {
+	switch {
+	case modelsPath != "":
+		f, err := os.Open(modelsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		pipe, err := core.New(core.DefaultConfig(core.RandomForest))
+		if err != nil {
+			return nil, err
+		}
+		if err := pipe.LoadModels(f); err != nil {
+			return nil, err
+		}
+		return pipe, nil
+	case selftrain:
+		spec := trace.DefaultSpec(hbm.DefaultGeometry)
+		spec.UERBanks = banks
+		spec.BenignBanks = 0
+		spec.Seed = seed
+		fleet, err := trace.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig(core.RandomForest)
+		cfg.Params = core.ModelParams{Trees: trees, Depth: 8}
+		cfg.Seed = seed
+		pipe, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := pipe.Fit(fleet.Faults); err != nil {
+			return nil, err
+		}
+		fmt.Printf("cordial-serve: self-trained on %d simulated banks (seed %d, %d trees)\n",
+			len(fleet.Faults), seed, trees)
+		return pipe, nil
+	default:
+		return nil, fmt.Errorf("need -models <path> or -selftrain")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"cordial/internal/mcelog"
 	"cordial/internal/mltree"
 	"cordial/internal/sparing"
+	"cordial/internal/stream"
 	"cordial/internal/trace"
 	"cordial/internal/xrand"
 )
@@ -299,3 +300,79 @@ const (
 	PatternScattered    = faultsim.PatternScattered
 	PatternWholeColumn  = faultsim.PatternWholeColumn
 )
+
+// StreamEngine is the concurrent, sharded online prediction engine: events
+// ingested from the whole fleet are routed to per-bank sessions and typed
+// mitigation Actions are emitted on StreamEngine.Actions the moment the
+// pipeline decides them. Construct with NewStreamEngine.
+type StreamEngine = stream.Engine
+
+// StreamConfig configures a StreamEngine (shard count, queue depths,
+// full-queue ingest policy).
+type StreamConfig = stream.Config
+
+// Action is one mitigation the stream engine recommends (row-spare rows or
+// bank-spare), with the triggering event time and assigned failure class.
+type Action = stream.Action
+
+// ActionKind is the mitigation mechanism of an Action.
+type ActionKind = sparing.ActionKind
+
+// Mitigation mechanisms.
+const (
+	ActionRowSpare    = sparing.ActionRowSpare
+	ActionBankSpare   = sparing.ActionBankSpare
+	ActionPageOffline = sparing.ActionPageOffline
+)
+
+// SessionStats is a point-in-time snapshot of one bank's streaming session.
+type SessionStats = stream.SessionStats
+
+// StreamStats is a point-in-time snapshot of the whole engine: ingest
+// rate, queue depths, sessions live, actions emitted, latency snapshots.
+type StreamStats = stream.EngineStats
+
+// IngestPolicy selects what StreamEngine.Ingest does when a shard queue is
+// full: apply backpressure or shed load.
+type IngestPolicy = stream.IngestPolicy
+
+// Full-queue ingest policies.
+const (
+	// IngestBlock waits for queue space (backpressure).
+	IngestBlock = stream.IngestBlock
+	// IngestDrop sheds the event and returns stream.ErrDropped.
+	IngestDrop = stream.IngestDrop
+)
+
+// NewStreamEngine starts a sharded online prediction engine over a fitted
+// pipeline's strategy. Close it to drain in-flight events and release the
+// shard goroutines:
+//
+//	engine, _ := cordial.NewStreamEngine(cordial.DefaultStreamConfig(pipe))
+//	go func() {
+//		for a := range engine.Actions() {
+//			fmt.Println(a.Kind, a.Bank, a.Rows)
+//		}
+//	}()
+//	for _, e := range events {
+//		engine.Ingest(e)
+//	}
+//	engine.Close()
+func NewStreamEngine(cfg StreamConfig) (*StreamEngine, error) { return stream.New(cfg) }
+
+// DefaultStreamConfig returns a StreamConfig serving the given fitted
+// pipeline with the default geometry, GOMAXPROCS shards and backpressure
+// ingest.
+func DefaultStreamConfig(p *Pipeline) StreamConfig {
+	return StreamConfig{
+		Strategy: NewStrategy(p, DefaultGeometry),
+		Geometry: DefaultGeometry,
+	}
+}
+
+// NewStreamServer wraps a StreamEngine with the cordial-serve HTTP API
+// (JSONL batch ingest, action retrieval, session inspection, health and
+// stats endpoints); mount the returned handler on any mux or server.
+func NewStreamServer(e *StreamEngine) *stream.Server {
+	return stream.NewServer(e, stream.ServerConfig{})
+}

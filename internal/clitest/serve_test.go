@@ -1,0 +1,288 @@
+package clitest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lockedBuf is a concurrency-safe output capture: the daemon's reader
+// goroutine appends while test assertions read.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// serveProc is a running cordial-serve under test.
+type serveProc struct {
+	cmd  *exec.Cmd
+	addr string
+	out  *lockedBuf
+}
+
+// startServe builds nothing (the binary comes from buildAll), launches the
+// daemon on an ephemeral port and waits for its resolved-address line.
+func startServe(t *testing.T, bin string, extraArgs ...string) *serveProc {
+	t.Helper()
+	args := append([]string{
+		"-selftrain", "-seed", "7", "-train-banks", "50", "-trees", "10",
+		"-addr", "127.0.0.1:0",
+	}, extraArgs...)
+	cmd := exec.Command(filepath.Join(bin, "cordial-serve"), args...)
+	out := &lockedBuf{}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, out: out}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(p.out, line)
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					select {
+					case addrc <- fields[0]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	// Self-training dominates startup; allow generous slack on slow CI.
+	select {
+	case p.addr = <-addrc:
+	case <-time.After(3 * time.Minute):
+		t.Fatalf("cordial-serve never reported its address; output:\n%s", p.out)
+	}
+	return p
+}
+
+func (p *serveProc) url(path string) string { return "http://" + p.addr + path }
+
+// postBody POSTs raw bytes to /v1/events and decodes the result.
+func (p *serveProc) postBody(t *testing.T, body []byte) map[string]any {
+	t.Helper()
+	resp, err := http.Post(p.url("/v1/events"), "application/jsonl", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/events = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func (p *serveProc) getJSON(t *testing.T, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(p.url(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestCLIServeEndToEnd drives the daemon over a localhost port: JSONL
+// ingest of a generated fleet log, session inspection, stats, action
+// retrieval, malformed-batch resilience, a mid-batch disconnect, and
+// graceful SIGTERM shutdown with a drain report.
+func TestCLIServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and trains a model")
+	}
+	bin := buildAll(t)
+	work := t.TempDir()
+
+	// A JSONL fleet log for ingestion.
+	logPath := filepath.Join(work, "fleet.jsonl")
+	out := run(t, bin, "cordial-gen", "-seed", "9", "-uer-banks", "50",
+		"-benign-banks", "60", "-log", logPath, "-format", "jsonl", "-truth", "")
+	if !strings.Contains(out, "50 faulty banks") {
+		t.Fatalf("gen output: %s", out)
+	}
+	logBytes, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(logBytes)), "\n")
+
+	p := startServe(t, bin)
+
+	// Liveness first.
+	if code := p.getJSON(t, "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+
+	// Ingest the whole month in one batch.
+	res := p.postBody(t, logBytes)
+	if int(res["accepted"].(float64)) != len(lines) {
+		t.Fatalf("accepted %v of %d lines: %v", res["accepted"], len(lines), res)
+	}
+
+	// Wait until every event has flowed through its session.
+	var stats map[string]any
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if code := p.getJSON(t, "/statsz", &stats); code != http.StatusOK {
+			t.Fatalf("statsz = %d", code)
+		}
+		if stats["processed"] == stats["ingested"] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never drained: %v", stats)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if int(stats["ingested"].(float64)) != len(lines) {
+		t.Errorf("statsz ingested %v, want %d", stats["ingested"], len(lines))
+	}
+	if int(stats["sessionsLive"].(float64)) == 0 {
+		t.Error("no live sessions after ingest")
+	}
+
+	// 50 faulty banks with a same-scale model: actions are expected.
+	var acts struct {
+		Actions []struct {
+			Kind string `json:"kind"`
+			Bank string `json:"bank"`
+		} `json:"actions"`
+	}
+	if code := p.getJSON(t, "/v1/actions", &acts); code != http.StatusOK {
+		t.Fatalf("actions = %d", code)
+	}
+	if len(acts.Actions) == 0 {
+		t.Fatalf("no actions emitted; stats %v\noutput:\n%s", stats, p.out)
+	}
+
+	// Inspect the bank behind the first action.
+	var sess struct {
+		Bank   string `json:"bank"`
+		Events int    `json:"events"`
+	}
+	if code := p.getJSON(t, "/v1/banks/"+acts.Actions[0].Bank, &sess); code != http.StatusOK {
+		t.Fatalf("banks/{addr} = %d", code)
+	}
+	if sess.Events == 0 || sess.Bank != acts.Actions[0].Bank {
+		t.Errorf("session %+v for bank %s", sess, acts.Actions[0].Bank)
+	}
+	// Unknown bank and garbage address.
+	if code := p.getJSON(t, "/v1/banks/n127.u7.h1.s1.c7.p1.g3.b3.r0.col0", nil); code != http.StatusNotFound {
+		t.Errorf("unknown bank = %d", code)
+	}
+	if code := p.getJSON(t, "/v1/banks/junk", nil); code != http.StatusBadRequest {
+		t.Errorf("junk bank = %d", code)
+	}
+
+	// Malformed batch: good line + garbage + bad class; daemon keeps the
+	// good line and reports the rest.
+	batch := lines[0] + "\nnot json\n" +
+		`{"time":"2026-01-01T00:00:00Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r1.col1","class":"??"}` + "\n"
+	res = p.postBody(t, []byte(batch))
+	if int(res["accepted"].(float64)) != 1 || int(res["rejected"].(float64)) != 2 {
+		t.Fatalf("malformed batch result %v", res)
+	}
+
+	// Mid-batch disconnect: declare a large body, send half a line, slam
+	// the connection. The daemon must stay healthy.
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "POST /v1/events HTTP/1.1\r\nHost: %s\r\nContent-Length: 1000000\r\nContent-Type: application/jsonl\r\n\r\n", p.addr)
+	fmt.Fprintf(conn, "%s\n{\"time\":\"2026-01-01T", lines[0])
+	conn.Close()
+	time.Sleep(100 * time.Millisecond)
+	if code := p.getJSON(t, "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz after disconnect = %d", code)
+	}
+	if code := p.getJSON(t, "/statsz", &stats); code != http.StatusOK {
+		t.Fatalf("statsz after disconnect = %d", code)
+	}
+
+	// Graceful shutdown: SIGTERM → drain report → clean exit.
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\noutput:\n%s", err, p.out)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit on SIGTERM; output:\n%s", p.out)
+	}
+	time.Sleep(50 * time.Millisecond) // let the reader goroutine flush
+	if !strings.Contains(p.out.String(), "drained") {
+		t.Errorf("no drain report in output:\n%s", p.out)
+	}
+}
+
+// TestCLIServeFlagErrors covers startup validation.
+func TestCLIServeFlagErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildAll(t)
+	for _, args := range [][]string{
+		{},                                 // neither -models nor -selftrain
+		{"-models", "/nonexistent"},        // missing model file
+		{"-selftrain", "-models", "x"},     // mutually exclusive
+		{"-selftrain", "-policy", "bogus"}, // unknown ingest policy
+	} {
+		cmd := exec.Command(filepath.Join(bin, "cordial-serve"), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("cordial-serve %v succeeded: %s", args, out)
+		}
+	}
+}

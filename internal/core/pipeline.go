@@ -319,6 +319,16 @@ type Session interface {
 	OnEvent(e mcelog.Event) Decision
 }
 
+// ClassifiedSession is optionally implemented by sessions that expose the
+// failure class their pattern stage assigned. Streaming consumers use it
+// for inspection without re-deriving the classification.
+type ClassifiedSession interface {
+	Session
+	// Class returns the assigned class; ok is false until the pattern
+	// stage has fired.
+	Class() (class faultsim.Class, ok bool)
+}
+
 // Decision is a mitigation step taken at one event.
 type Decision struct {
 	// SpareBank requests bank sparing (scattered pattern policy).
@@ -370,6 +380,10 @@ type cordialSession struct {
 	classified bool
 	class      faultsim.Class
 }
+
+// Class returns the pattern class assigned at the UER budget; ok is false
+// before classification.
+func (s *cordialSession) Class() (faultsim.Class, bool) { return s.class, s.classified }
 
 func (s *cordialSession) OnEvent(e mcelog.Event) Decision {
 	s.events = append(s.events, e)

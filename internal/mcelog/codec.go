@@ -34,6 +34,28 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
+// ParseJSONEvent parses one JSONL-encoded event (the per-line shape
+// WriteJSONL emits). Unlike ReadJSONL it is line-granular, so tolerant
+// ingestors can reject a malformed line and keep the rest of the batch.
+func ParseJSONEvent(line []byte) (Event, error) {
+	var je jsonEvent
+	if err := json.Unmarshal(line, &je); err != nil {
+		return Event{}, fmt.Errorf("mcelog: decoding event: %w", err)
+	}
+	addr, err := hbm.ParseAddress(je.Addr)
+	if err != nil {
+		return Event{}, fmt.Errorf("mcelog: %w", err)
+	}
+	class, err := ecc.ParseClass(je.Class)
+	if err != nil {
+		return Event{}, fmt.Errorf("mcelog: %w", err)
+	}
+	if je.Time.IsZero() {
+		return Event{}, fmt.Errorf("mcelog: event has zero timestamp")
+	}
+	return Event{Time: je.Time, Addr: addr, Class: class}, nil
+}
+
 // ReadJSONL parses a JSON Lines stream produced by WriteJSONL.
 func ReadJSONL(r io.Reader) (*Log, error) {
 	dec := json.NewDecoder(r)

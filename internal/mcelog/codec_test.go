@@ -43,6 +43,35 @@ func TestJSONLEmpty(t *testing.T) {
 	}
 }
 
+func TestParseJSONEvent(t *testing.T) {
+	l := FromEvents(randomEvents(20, 3))
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		got, err := ParseJSONEvent([]byte(line))
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		want := l.At(i)
+		if !got.Time.Equal(want.Time) || got.Addr != want.Addr || got.Class != want.Class {
+			t.Fatalf("line %d: %+v != %+v", i, got, want)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"not json",
+		`{"time":"2026-01-01T00:00:00Z","addr":"bogus","class":"CE"}`,
+		`{"time":"2026-01-01T00:00:00Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r1.col1","class":"??"}`,
+		`{"addr":"n0.u0.h0.s0.c0.p0.g0.b0.r1.col1","class":"CE"}`,
+	} {
+		if _, err := ParseJSONEvent([]byte(bad)); err == nil {
+			t.Errorf("ParseJSONEvent(%q) accepted", bad)
+		}
+	}
+}
+
 func TestReadJSONLRejectsGarbage(t *testing.T) {
 	for _, s := range []string{
 		"not json at all",

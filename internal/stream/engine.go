@@ -1,0 +1,521 @@
+// Package stream is Cordial's fleet-scale online prediction engine: the
+// piece that turns the trained pipeline into a service. Events from the
+// whole fleet are ingested concurrently, routed to one of N shards by
+// packed bank address, and replayed through per-bank strategy sessions —
+// the exact same sessions the offline evaluator drives — so the online
+// feature vectors match offline training bit-for-bit. The moment a bank
+// crosses the first-3-UER budget the pipeline fires and the engine emits
+// typed mitigation Actions (row-spare / bank-spare) on a bounded output
+// channel.
+//
+// Concurrency model: each shard owns its bank-session map and is mutated
+// only by its single consumer goroutine; a per-shard mutex makes the map
+// readable for inspection (GET /v1/banks/{addr}) without stopping the
+// world. Ingest is wait-free apart from the queue send; per-bank event
+// order is preserved because one bank always hashes to the same shard and
+// shard queues are FIFO.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cordial/internal/core"
+	"cordial/internal/ecc"
+	"cordial/internal/faultsim"
+	"cordial/internal/hbm"
+	"cordial/internal/mcelog"
+	"cordial/internal/sparing"
+)
+
+// IngestPolicy selects what Ingest does when a shard queue is full.
+type IngestPolicy int
+
+const (
+	// IngestBlock applies backpressure: Ingest waits for queue space.
+	IngestBlock IngestPolicy = iota
+	// IngestDrop sheds load: Ingest drops the event, counts it, and
+	// returns ErrDropped.
+	IngestDrop
+)
+
+// String names the policy.
+func (p IngestPolicy) String() string {
+	switch p {
+	case IngestBlock:
+		return "block"
+	case IngestDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("IngestPolicy(%d)", int(p))
+	}
+}
+
+// Sentinel errors returned by Ingest.
+var (
+	// ErrClosed is returned by Ingest after Close.
+	ErrClosed = errors.New("stream: engine closed")
+	// ErrDropped is returned under IngestDrop when a full queue sheds the
+	// event.
+	ErrDropped = errors.New("stream: event dropped (shard queue full)")
+)
+
+// Config configures an Engine. Strategy is required; everything else has a
+// serviceable default.
+type Config struct {
+	// Strategy supplies per-bank prediction sessions (normally
+	// core.CordialStrategy over a fitted pipeline).
+	Strategy core.Strategy
+	// Geometry validates incoming addresses. Zero means DefaultGeometry.
+	Geometry hbm.Geometry
+	// Shards is the number of session shards (and consumer goroutines).
+	// Zero means GOMAXPROCS.
+	Shards int
+	// QueueDepth is the per-shard input queue capacity. Zero means 1024.
+	QueueDepth int
+	// ActionBuffer is the output channel capacity. Zero means 4096. When
+	// the consumer falls behind, the oldest queued action is dropped to
+	// admit the newest (counted in EngineStats.ActionsDropped) so a slow
+	// reader can never wedge a shard.
+	ActionBuffer int
+	// Policy selects the full-queue behaviour of Ingest.
+	Policy IngestPolicy
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.ActionBuffer == 0 {
+		c.ActionBuffer = 4096
+	}
+	if c.Geometry == (hbm.Geometry{}) {
+		c.Geometry = hbm.DefaultGeometry
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Strategy == nil {
+		return fmt.Errorf("stream: nil strategy")
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("stream: shard count %d < 1", c.Shards)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("stream: queue depth %d < 1", c.QueueDepth)
+	}
+	if c.ActionBuffer < 1 {
+		return fmt.Errorf("stream: action buffer %d < 1", c.ActionBuffer)
+	}
+	if c.Policy != IngestBlock && c.Policy != IngestDrop {
+		return fmt.Errorf("stream: invalid ingest policy %d", int(c.Policy))
+	}
+	return c.Geometry.Validate()
+}
+
+// Action is one mitigation the engine recommends, emitted on the output
+// channel the moment the pipeline decides it.
+type Action struct {
+	// Kind is the mitigation mechanism (row-spare or bank-spare).
+	Kind sparing.ActionKind
+	// Bank is the affected bank.
+	Bank hbm.BankAddress
+	// Rows lists newly isolated rows for row-granular actions; nil for
+	// bank sparing. Rows already isolated by an earlier action on the same
+	// bank are not re-emitted.
+	Rows []int
+	// Class is the failure class the pipeline assigned the bank.
+	Class faultsim.Class
+	// Time is the timestamp of the event that triggered the action.
+	Time time.Time
+}
+
+// SessionStats is a point-in-time snapshot of one bank's session, for
+// inspection endpoints and operator tooling.
+type SessionStats struct {
+	// Bank is the session's bank address.
+	Bank hbm.BankAddress
+	// Events counts all events routed to the bank.
+	Events int
+	// UEREvents counts UER-class events.
+	UEREvents int
+	// DistinctUERRows counts distinct rows with at least one UER.
+	DistinctUERRows int
+	// Classified reports whether the pattern stage has fired.
+	Classified bool
+	// Class is the assigned failure class (valid when Classified).
+	Class faultsim.Class
+	// BankSpared reports whether a bank-spare action was emitted.
+	BankSpared bool
+	// RowsIsolated counts distinct rows isolated by emitted actions.
+	RowsIsolated int
+	// Actions counts actions emitted for the bank.
+	Actions int
+	// FirstEvent and LastEvent bound the session's observed window.
+	FirstEvent, LastEvent time.Time
+}
+
+// EngineStats is a point-in-time snapshot of the whole engine.
+type EngineStats struct {
+	// Uptime is the time since New.
+	Uptime time.Duration
+	// Ingested counts events accepted by Ingest (enqueued to a shard).
+	Ingested uint64
+	// Dropped counts events shed at ingest under IngestDrop.
+	Dropped uint64
+	// Processed counts events fully run through a session.
+	Processed uint64
+	// ActionsEmitted counts actions delivered to the output channel.
+	ActionsEmitted uint64
+	// ActionsDropped counts actions evicted from a full output channel.
+	ActionsDropped uint64
+	// SessionsLive is the number of live per-bank sessions.
+	SessionsLive int
+	// Shards is the configured shard count.
+	Shards int
+	// IngestRate is accepted events per second since New.
+	IngestRate float64
+	// QueueDepths is the current per-shard input queue occupancy.
+	QueueDepths []int
+	// IngestWait samples the time Ingest spent enqueueing (the
+	// backpressure signal).
+	IngestWait LatencySnapshot
+	// Process samples per-event session time (feature extraction +
+	// model inference).
+	Process LatencySnapshot
+}
+
+// Engine is the sharded online prediction engine. Construct with New; all
+// exported methods are safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	start  time.Time
+
+	actions        chan Action
+	ingested       atomic.Uint64
+	dropped        atomic.Uint64
+	actionsEmitted atomic.Uint64
+	actionsDropped atomic.Uint64
+	ingestWait     latencySampler
+
+	mu     sync.RWMutex // guards closed against in-flight Ingest sends
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// shard is one session partition, consumed by a single goroutine.
+type shard struct {
+	in        chan mcelog.Event
+	processed atomic.Uint64
+	process   latencySampler
+
+	mu       sync.Mutex // guards sessions for cross-goroutine inspection
+	sessions map[uint64]*bankSession
+}
+
+// bankSession couples a strategy session with the bookkeeping the engine
+// layers on top. Mutated only under the owning shard's mutex.
+type bankSession struct {
+	bank    hbm.BankAddress
+	sess    core.Session
+	stats   SessionStats
+	uerRows map[int]struct{}
+	spared  map[int]struct{}
+}
+
+// New validates cfg (after defaulting) and starts the shard consumers.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		shards:  make([]*shard, cfg.Shards),
+		start:   time.Now(),
+		actions: make(chan Action, cfg.ActionBuffer),
+	}
+	for i := range e.shards {
+		s := &shard{
+			in:       make(chan mcelog.Event, cfg.QueueDepth),
+			sessions: make(map[uint64]*bankSession),
+		}
+		e.shards[i] = s
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for ev := range s.in {
+				e.process(s, ev)
+			}
+		}()
+	}
+	return e, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// shardFor routes a bank key to its shard. Bank keys are packed addresses
+// with the row/column bits zeroed, so the low bits carry no entropy; a
+// splitmix64 finaliser spreads them before the modulo.
+func (e *Engine) shardFor(bankKey uint64) *shard {
+	return e.shards[mix64(bankKey)%uint64(len(e.shards))]
+}
+
+// mix64 is the splitmix64 finaliser, a fast full-avalanche bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Ingest routes one event to its bank's shard. Under IngestBlock a full
+// queue applies backpressure; under IngestDrop the event is shed and
+// ErrDropped returned. Ingest returns ErrClosed after Close. Events for
+// the same bank ingested from the same goroutine are processed in order.
+func (e *Engine) Ingest(ev mcelog.Event) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	s := e.shardFor(ev.Addr.BankKey())
+	switch e.cfg.Policy {
+	case IngestDrop:
+		select {
+		case s.in <- ev:
+		default:
+			e.dropped.Add(1)
+			return ErrDropped
+		}
+	default:
+		t0 := time.Now()
+		s.in <- ev
+		e.ingestWait.observe(time.Since(t0))
+	}
+	e.ingested.Add(1)
+	return nil
+}
+
+// IngestLog feeds every event of a log through Ingest, returning the
+// number accepted and the first non-drop error.
+func (e *Engine) IngestLog(l *mcelog.Log) (accepted int, err error) {
+	for i := 0; i < l.Len(); i++ {
+		switch ierr := e.Ingest(l.At(i)); {
+		case ierr == nil:
+			accepted++
+		case errors.Is(ierr, ErrDropped):
+			// Counted by the engine; load shedding is not a caller error.
+		default:
+			return accepted, ierr
+		}
+	}
+	return accepted, nil
+}
+
+// process runs one event through its bank session and emits any resulting
+// actions. Runs on the shard's consumer goroutine only.
+func (e *Engine) process(s *shard, ev mcelog.Event) {
+	key := ev.Addr.BankKey()
+	s.mu.Lock()
+	bs, ok := s.sessions[key]
+	if !ok {
+		bank := hbm.BankOf(ev.Addr)
+		bs = &bankSession{
+			bank:    bank,
+			sess:    e.cfg.Strategy.NewSession(bank),
+			uerRows: make(map[int]struct{}),
+			spared:  make(map[int]struct{}),
+		}
+		bs.stats.Bank = bank
+		bs.stats.FirstEvent = ev.Time
+		s.sessions[key] = bs
+	}
+	t0 := time.Now()
+	d := bs.sess.OnEvent(ev)
+	s.process.observe(time.Since(t0))
+
+	bs.stats.Events++
+	bs.stats.LastEvent = ev.Time
+	if ev.Class == ecc.ClassUER {
+		bs.stats.UEREvents++
+		if _, seen := bs.uerRows[ev.Addr.Row]; !seen {
+			bs.uerRows[ev.Addr.Row] = struct{}{}
+			bs.stats.DistinctUERRows++
+		}
+	}
+	if cs, ok := bs.sess.(core.ClassifiedSession); ok && !bs.stats.Classified {
+		if class, fired := cs.Class(); fired {
+			bs.stats.Classified = true
+			bs.stats.Class = class
+		}
+	}
+
+	var out []Action
+	if d.SpareBank && !bs.stats.BankSpared {
+		bs.stats.BankSpared = true
+		bs.stats.Actions++
+		out = append(out, Action{
+			Kind:  sparing.ActionBankSpare,
+			Bank:  bs.bank,
+			Class: bs.stats.Class,
+			Time:  ev.Time,
+		})
+	}
+	if len(d.IsolateRows) > 0 {
+		// Emit each row at most once per bank: repeat predictions of an
+		// already-isolated row are no-ops, exactly as the offline sparing
+		// engine treats them.
+		var fresh []int
+		for _, r := range d.IsolateRows {
+			if _, done := bs.spared[r]; !done {
+				bs.spared[r] = struct{}{}
+				fresh = append(fresh, r)
+			}
+		}
+		if len(fresh) > 0 {
+			bs.stats.RowsIsolated += len(fresh)
+			bs.stats.Actions++
+			out = append(out, Action{
+				Kind:  sparing.ActionRowSpare,
+				Bank:  bs.bank,
+				Rows:  fresh,
+				Class: bs.stats.Class,
+				Time:  ev.Time,
+			})
+		}
+	}
+	s.mu.Unlock()
+	s.processed.Add(1)
+	for _, a := range out {
+		e.emit(a)
+	}
+}
+
+// emit delivers an action, evicting the oldest queued action when the
+// buffer is full so a slow consumer can never block a shard.
+func (e *Engine) emit(a Action) {
+	for {
+		select {
+		case e.actions <- a:
+			e.actionsEmitted.Add(1)
+			return
+		default:
+		}
+		select {
+		case <-e.actions:
+			e.actionsDropped.Add(1)
+		default:
+		}
+	}
+}
+
+// Actions returns the engine's output channel. It is closed by Close after
+// all in-flight events have drained.
+func (e *Engine) Actions() <-chan Action { return e.actions }
+
+// Session returns a snapshot of one bank's session state.
+func (e *Engine) Session(bank hbm.BankAddress) (SessionStats, bool) {
+	key := bank.BankKey()
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.sessions[key]
+	if !ok {
+		return SessionStats{}, false
+	}
+	return bs.stats, true
+}
+
+// SessionCount returns the number of live sessions.
+func (e *Engine) SessionCount() int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += len(s.sessions)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a point-in-time snapshot of the engine's counters, queue
+// depths and latency distributions.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Uptime:         time.Since(e.start),
+		Ingested:       e.ingested.Load(),
+		Dropped:        e.dropped.Load(),
+		ActionsEmitted: e.actionsEmitted.Load(),
+		ActionsDropped: e.actionsDropped.Load(),
+		Shards:         len(e.shards),
+		QueueDepths:    make([]int, len(e.shards)),
+		IngestWait:     e.ingestWait.snapshot(),
+	}
+	var proc latencySampler
+	for i, s := range e.shards {
+		st.Processed += s.processed.Load()
+		st.QueueDepths[i] = len(s.in)
+		s.mu.Lock()
+		st.SessionsLive += len(s.sessions)
+		s.mu.Unlock()
+		proc.merge(&s.process)
+	}
+	st.Process = proc.snapshot()
+	if secs := st.Uptime.Seconds(); secs > 0 {
+		st.IngestRate = float64(st.Ingested) / secs
+	}
+	return st
+}
+
+// Drain blocks until every accepted event has been processed (or the
+// context budget d elapses; d <= 0 means wait forever). It does not stop
+// the engine — use it to checkpoint a replay before reading stats.
+func (e *Engine) Drain(d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		var processed uint64
+		for _, s := range e.shards {
+			processed += s.processed.Load()
+		}
+		if processed >= e.ingested.Load() {
+			return nil
+		}
+		if d > 0 && time.Now().After(deadline) {
+			return fmt.Errorf("stream: drain timed out after %v (%d of %d processed)",
+				d, processed, e.ingested.Load())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Close stops intake, drains every shard queue through the sessions, then
+// closes the Actions channel. Safe to call more than once.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	e.wg.Wait()
+	close(e.actions)
+	return nil
+}

@@ -1,0 +1,349 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cordial/internal/hbm"
+	"cordial/internal/mcelog"
+)
+
+// ServerConfig bounds the HTTP ingestion front-end. Zero fields take the
+// defaults noted per field.
+type ServerConfig struct {
+	// MaxBodyBytes caps one POST /v1/events body. Default 32 MiB.
+	MaxBodyBytes int64
+	// MaxLineBytes caps one JSONL line. Default 1 MiB.
+	MaxLineBytes int
+	// MaxStoredActions caps the in-memory action store served by
+	// GET /v1/actions; the oldest actions are evicted past it. Default 4096.
+	MaxStoredActions int
+	// MaxBatchErrors caps per-line error messages echoed in one ingest
+	// response. Default 16.
+	MaxBatchErrors int
+}
+
+// withDefaults fills zero fields.
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxLineBytes == 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+	if c.MaxStoredActions == 0 {
+		c.MaxStoredActions = 4096
+	}
+	if c.MaxBatchErrors == 0 {
+		c.MaxBatchErrors = 16
+	}
+	return c
+}
+
+// Server is the HTTP front-end over an Engine: JSONL batch ingest, action
+// retrieval, per-bank session inspection, health and stats. It implements
+// http.Handler; mount it directly or under a prefix.
+type Server struct {
+	engine *Engine
+	cfg    ServerConfig
+	mux    *http.ServeMux
+
+	requests atomic.Uint64
+	decode   latencySampler
+
+	mu      sync.Mutex
+	stored  []Action
+	evicted uint64
+	drained chan struct{}
+}
+
+// NewServer wraps an engine with the HTTP API and starts collecting its
+// actions. The collector goroutine exits when the engine is closed.
+func NewServer(e *Engine, cfg ServerConfig) *Server {
+	s := &Server{
+		engine:  e,
+		cfg:     cfg.withDefaults(),
+		mux:     http.NewServeMux(),
+		drained: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/actions", s.handleActions)
+	s.mux.HandleFunc("GET /v1/banks/{addr}", s.handleBank)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	go s.collect()
+	return s
+}
+
+// collect drains the engine's action channel into the bounded store.
+func (s *Server) collect() {
+	defer close(s.drained)
+	for a := range s.engine.Actions() {
+		s.mu.Lock()
+		s.stored = append(s.stored, a)
+		if over := len(s.stored) - s.cfg.MaxStoredActions; over > 0 {
+			s.evicted += uint64(over)
+			s.stored = append(s.stored[:0:0], s.stored[over:]...)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// AwaitDrained blocks until the engine has been closed and every emitted
+// action has been collected (graceful-shutdown ordering: close the engine,
+// then await, then report).
+func (s *Server) AwaitDrained() { <-s.drained }
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// IngestResult is the response body of POST /v1/events.
+type IngestResult struct {
+	// Accepted counts events enqueued to the engine.
+	Accepted int `json:"accepted"`
+	// Rejected counts malformed or invalid lines.
+	Rejected int `json:"rejected"`
+	// Dropped counts events shed by a full shard queue (IngestDrop).
+	Dropped int `json:"dropped"`
+	// Errors samples per-line failure messages (capped).
+	Errors []string `json:"errors,omitempty"`
+	// Truncated reports that the batch ended early (oversized line or a
+	// mid-body disconnect); counts cover the prefix that was read.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// handleEvents ingests a JSONL batch. Malformed lines are rejected
+// individually — one bad line never sinks the batch, and a mid-batch
+// disconnect keeps everything already accepted.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), s.cfg.MaxLineBytes)
+
+	var res IngestResult
+	geo := s.engine.Config().Geometry
+	lineNo := 0
+	reject := func(err error) {
+		res.Rejected++
+		if len(res.Errors) < s.cfg.MaxBatchErrors {
+			res.Errors = append(res.Errors, fmt.Sprintf("line %d: %v", lineNo, err))
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		t0 := time.Now()
+		ev, err := mcelog.ParseJSONEvent(line)
+		s.decode.observe(time.Since(t0))
+		if err != nil {
+			reject(err)
+			continue
+		}
+		if err := ev.Validate(geo); err != nil {
+			reject(err)
+			continue
+		}
+		switch err := s.engine.Ingest(ev); err {
+		case nil:
+			res.Accepted++
+		case ErrDropped:
+			res.Dropped++
+		default:
+			// Engine closed mid-batch: report what landed.
+			reject(err)
+			res.Truncated = true
+			writeJSON(w, http.StatusServiceUnavailable, res)
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		res.Truncated = true
+		if len(res.Errors) < s.cfg.MaxBatchErrors {
+			res.Errors = append(res.Errors, fmt.Sprintf("after line %d: %v", lineNo, err))
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// jsonAction is the wire shape of one action.
+type jsonAction struct {
+	Kind  string    `json:"kind"`
+	Bank  string    `json:"bank"`
+	Rows  []int     `json:"rows,omitempty"`
+	Class string    `json:"class"`
+	Time  time.Time `json:"time"`
+}
+
+// handleActions returns collected actions, oldest first. ?limit=N keeps
+// only the newest N.
+func (s *Server) handleActions(w http.ResponseWriter, r *http.Request) {
+	limit := -1
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q", q), http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	s.mu.Lock()
+	actions := make([]Action, len(s.stored))
+	copy(actions, s.stored)
+	evicted := s.evicted
+	s.mu.Unlock()
+	if limit >= 0 && len(actions) > limit {
+		actions = actions[len(actions)-limit:]
+	}
+	out := struct {
+		Actions []jsonAction `json:"actions"`
+		Evicted uint64       `json:"evicted"`
+	}{Actions: make([]jsonAction, len(actions)), Evicted: evicted}
+	for i, a := range actions {
+		out.Actions[i] = jsonAction{
+			Kind:  a.Kind.String(),
+			Bank:  a.Bank.String(),
+			Rows:  a.Rows,
+			Class: a.Class.String(),
+			Time:  a.Time.UTC(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jsonSession is the wire shape of one bank session snapshot.
+type jsonSession struct {
+	Bank            string    `json:"bank"`
+	Events          int       `json:"events"`
+	UEREvents       int       `json:"uerEvents"`
+	DistinctUERRows int       `json:"distinctUERRows"`
+	Classified      bool      `json:"classified"`
+	Class           string    `json:"class,omitempty"`
+	BankSpared      bool      `json:"bankSpared"`
+	RowsIsolated    int       `json:"rowsIsolated"`
+	Actions         int       `json:"actions"`
+	FirstEvent      time.Time `json:"firstEvent"`
+	LastEvent       time.Time `json:"lastEvent"`
+}
+
+// handleBank returns one bank's session snapshot. The address may be any
+// cell in the bank; it is truncated to bank granularity.
+func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
+	addr, err := hbm.ParseAddress(r.PathValue("addr"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, ok := s.engine.Session(hbm.BankOf(addr))
+	if !ok {
+		http.Error(w, "no session for bank", http.StatusNotFound)
+		return
+	}
+	js := jsonSession{
+		Bank:            st.Bank.String(),
+		Events:          st.Events,
+		UEREvents:       st.UEREvents,
+		DistinctUERRows: st.DistinctUERRows,
+		Classified:      st.Classified,
+		BankSpared:      st.BankSpared,
+		RowsIsolated:    st.RowsIsolated,
+		Actions:         st.Actions,
+		FirstEvent:      st.FirstEvent.UTC(),
+		LastEvent:       st.LastEvent.UTC(),
+	}
+	if st.Classified {
+		js.Class = st.Class.String()
+	}
+	writeJSON(w, http.StatusOK, js)
+}
+
+// handleHealth answers liveness probes.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// jsonLatency is the wire shape of a latency snapshot.
+type jsonLatency struct {
+	Count uint64 `json:"count"`
+	Mean  string `json:"mean"`
+	P50   string `json:"p50"`
+	P90   string `json:"p90"`
+	P99   string `json:"p99"`
+	Max   string `json:"max"`
+}
+
+func toJSONLatency(l LatencySnapshot) jsonLatency {
+	return jsonLatency{
+		Count: l.Count,
+		Mean:  l.Mean.String(),
+		P50:   l.P50.String(),
+		P90:   l.P90.String(),
+		P99:   l.P99.String(),
+		Max:   l.Max.String(),
+	}
+}
+
+// handleStats reports engine and server counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	es := s.engine.Stats()
+	s.mu.Lock()
+	stored, evicted := len(s.stored), s.evicted
+	s.mu.Unlock()
+	out := struct {
+		Uptime         string      `json:"uptime"`
+		Ingested       uint64      `json:"ingested"`
+		Dropped        uint64      `json:"dropped"`
+		Processed      uint64      `json:"processed"`
+		IngestRate     float64     `json:"ingestRatePerSec"`
+		SessionsLive   int         `json:"sessionsLive"`
+		Shards         int         `json:"shards"`
+		QueueDepths    []int       `json:"queueDepths"`
+		ActionsEmitted uint64      `json:"actionsEmitted"`
+		ActionsDropped uint64      `json:"actionsDropped"`
+		ActionsStored  int         `json:"actionsStored"`
+		ActionsEvicted uint64      `json:"actionsEvicted"`
+		HTTPRequests   uint64      `json:"httpRequests"`
+		Decode         jsonLatency `json:"decodeLatency"`
+		IngestWait     jsonLatency `json:"ingestWaitLatency"`
+		Process        jsonLatency `json:"processLatency"`
+	}{
+		Uptime:         es.Uptime.String(),
+		Ingested:       es.Ingested,
+		Dropped:        es.Dropped,
+		Processed:      es.Processed,
+		IngestRate:     es.IngestRate,
+		SessionsLive:   es.SessionsLive,
+		Shards:         es.Shards,
+		QueueDepths:    es.QueueDepths,
+		ActionsEmitted: es.ActionsEmitted,
+		ActionsDropped: es.ActionsDropped,
+		ActionsStored:  stored,
+		ActionsEvicted: evicted,
+		HTTPRequests:   s.requests.Load(),
+		Decode:         toJSONLatency(s.decode.snapshot()),
+		IngestWait:     toJSONLatency(es.IngestWait),
+		Process:        toJSONLatency(es.Process),
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the connection may already be gone; nothing to do
+}

@@ -1,0 +1,309 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/mcelog"
+)
+
+// newTestServer wraps a fake-strategy engine in the HTTP API.
+func newTestServer(t *testing.T, cfg Config) (*Engine, *Server) {
+	t.Helper()
+	e := newTestEngine(t, cfg)
+	t.Cleanup(func() { e.Close() })
+	return e, NewServer(e, ServerConfig{})
+}
+
+// jsonlBody renders events in the POST /v1/events wire shape.
+func jsonlBody(t *testing.T, events ...mcelog.Event) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mcelog.FromEvents(events).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// post ingests a body and decodes the IngestResult.
+func post(t *testing.T, srv *Server, body *bytes.Buffer) IngestResult {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/events", body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /v1/events = %d: %s", rec.Code, rec.Body)
+	}
+	var res IngestResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func get(t *testing.T, srv *Server, path string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec, rec.Body.Bytes()
+}
+
+func TestServerIngestInspectStats(t *testing.T) {
+	engine, srv := newTestServer(t, Config{Shards: 2})
+	bank := testBank(1)
+	res := post(t, srv, jsonlBody(t,
+		uerAt(bank, 100, 0), uerAt(bank, 101, 1), uerAt(bank, 102, 2)))
+	if res.Accepted != 3 || res.Rejected != 0 || res.Dropped != 0 {
+		t.Fatalf("ingest result %+v", res)
+	}
+	if err := engine.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session inspection by any cell address inside the bank.
+	rec, body := get(t, srv, "/v1/banks/"+uerAt(bank, 100, 0).Addr.String())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("banks = %d: %s", rec.Code, body)
+	}
+	var sess struct {
+		Bank            string `json:"bank"`
+		Events          int    `json:"events"`
+		DistinctUERRows int    `json:"distinctUERRows"`
+		Classified      bool   `json:"classified"`
+		RowsIsolated    int    `json:"rowsIsolated"`
+	}
+	if err := json.Unmarshal(body, &sess); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Events != 3 || sess.DistinctUERRows != 3 || !sess.Classified || sess.RowsIsolated != 2 {
+		t.Errorf("session %+v", sess)
+	}
+	if sess.Bank != bank.String() {
+		t.Errorf("session bank %q, want %q", sess.Bank, bank)
+	}
+
+	// Actions arrive in the store via the collector goroutine.
+	var acts struct {
+		Actions []jsonAction `json:"actions"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body = get(t, srv, "/v1/actions")
+		if err := json.Unmarshal(body, &acts); err != nil {
+			t.Fatal(err)
+		}
+		if len(acts.Actions) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(acts.Actions) != 1 || acts.Actions[0].Kind != "row-spare" {
+		t.Fatalf("actions %+v", acts.Actions)
+	}
+	if fmt.Sprint(acts.Actions[0].Rows) != "[102 103]" {
+		t.Errorf("action rows %v", acts.Actions[0].Rows)
+	}
+
+	// limit=0 returns none; a bad limit is a 400.
+	_, body = get(t, srv, "/v1/actions?limit=0")
+	if err := json.Unmarshal(body, &acts); err != nil || len(acts.Actions) != 0 {
+		t.Errorf("limit=0 returned %s", body)
+	}
+	if rec, _ := get(t, srv, "/v1/actions?limit=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit = %d", rec.Code)
+	}
+
+	if rec, body := get(t, srv, "/healthz"); rec.Code != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz = %d %q", rec.Code, body)
+	}
+	var stats map[string]any
+	if _, body := get(t, srv, "/statsz"); json.Unmarshal(body, &stats) != nil {
+		t.Fatalf("statsz not JSON: %s", body)
+	}
+	for _, key := range []string{"ingested", "processed", "sessionsLive", "queueDepths",
+		"ingestRatePerSec", "actionsEmitted", "processLatency", "decodeLatency"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("statsz missing %q", key)
+		}
+	}
+	if got := stats["ingested"].(float64); got != 3 {
+		t.Errorf("statsz ingested = %v", got)
+	}
+}
+
+// TestServerMalformedLines injects every flavour of bad line; the batch
+// must report per-line rejections, keep the good lines, and leave the
+// engine healthy for the next batch.
+func TestServerMalformedLines(t *testing.T) {
+	engine, srv := newTestServer(t, Config{Shards: 2})
+	good := uerAt(testBank(1), 50, 0)
+	var buf bytes.Buffer
+	if err := mcelog.FromEvents([]mcelog.Event{good}).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("not json at all\n")
+	buf.WriteString(`{"time":"2026-01-01T00:00:01Z","addr":"garbage","class":"UER"}` + "\n")
+	buf.WriteString(`{"time":"2026-01-01T00:00:02Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r5.col0","class":"XYZ"}` + "\n")
+	buf.WriteString(`{"addr":"n0.u0.h0.s0.c0.p0.g0.b0.r5.col0","class":"UER"}` + "\n") // zero time
+	// Out-of-range address (row beyond geometry).
+	buf.WriteString(`{"time":"2026-01-01T00:00:03Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r99999999.col0","class":"UER"}` + "\n")
+	buf.WriteString("\n") // blank lines are skipped, not rejected
+
+	res := post(t, srv, &buf)
+	if res.Accepted != 1 || res.Rejected != 5 {
+		t.Fatalf("ingest result %+v", res)
+	}
+	if len(res.Errors) != 5 {
+		t.Fatalf("errors %v", res.Errors)
+	}
+	for i, want := range []string{"line 2", "line 3", "line 4", "line 5", "line 6"} {
+		if !strings.Contains(res.Errors[i], want) {
+			t.Errorf("error %d = %q, want prefix %q", i, res.Errors[i], want)
+		}
+	}
+
+	// The engine is not wedged: a follow-up batch lands normally.
+	res = post(t, srv, jsonlBody(t, uerAt(testBank(1), 51, 1), uerAt(testBank(1), 52, 2)))
+	if res.Accepted != 2 || res.Rejected != 0 {
+		t.Fatalf("follow-up result %+v", res)
+	}
+	if err := engine.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := engine.Stats()
+	if st.Ingested != 3 || st.Processed != 3 || st.SessionsLive != 1 {
+		t.Errorf("engine stats after injection %+v", st)
+	}
+}
+
+// TestServerOutOfOrderAndDuplicates feeds timestamp regressions and exact
+// duplicates: both are accepted (the log layer is append-only), sessions
+// must not wedge, and duplicate UERs must not double-count distinct rows.
+func TestServerOutOfOrderAndDuplicates(t *testing.T) {
+	engine, srv := newTestServer(t, Config{Shards: 2})
+	bank := testBank(1)
+	e1, e2 := uerAt(bank, 10, 5), uerAt(bank, 11, 3) // e2 earlier than e1
+	res := post(t, srv, jsonlBody(t, e1, e2, e2, e1, uerAt(bank, 12, 6)))
+	if res.Accepted != 5 || res.Rejected != 0 {
+		t.Fatalf("ingest result %+v", res)
+	}
+	if err := engine.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := engine.Session(bank)
+	if !ok {
+		t.Fatal("no session")
+	}
+	if st.Events != 5 || st.DistinctUERRows != 3 {
+		t.Errorf("session %+v: want 5 events over 3 distinct rows", st)
+	}
+}
+
+func TestServerBankErrors(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	if rec, _ := get(t, srv, "/v1/banks/not-an-address"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad address = %d", rec.Code)
+	}
+	if rec, _ := get(t, srv, "/v1/banks/"+testBank(5).String()); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown bank = %d", rec.Code)
+	}
+	if rec, _ := get(t, srv, "/v1/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown route = %d", rec.Code)
+	}
+	// Method mismatch on a defined route.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/events", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/events = %d", rec.Code)
+	}
+}
+
+// TestServerOversizedLine hits the line cap: the batch truncates but the
+// prefix survives and the connection-level failure is reported.
+func TestServerOversizedLine(t *testing.T) {
+	engine, srv := newTestServer(t, Config{Shards: 1})
+	var buf bytes.Buffer
+	if err := mcelog.FromEvents([]mcelog.Event{uerAt(testBank(1), 1, 0)}).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(strings.Repeat("x", 2<<20) + "\n")
+	res := post(t, srv, &buf)
+	if res.Accepted != 1 || !res.Truncated {
+		t.Fatalf("ingest result %+v", res)
+	}
+	if err := engine.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerIngestAfterEngineClose: a batch against a closed engine fails
+// with 503 and reports the partial state instead of panicking.
+func TestServerIngestAfterEngineClose(t *testing.T) {
+	engine, srv := newTestServer(t, Config{})
+	engine.Close()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/events",
+		jsonlBody(t, uerAt(testBank(1), 1, 0))))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST after close = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestServerActionStoreEviction bounds the action store.
+func TestServerActionStoreEviction(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 1})
+	t.Cleanup(func() { e.Close() })
+	srv := NewServer(e, ServerConfig{MaxStoredActions: 2})
+	// Three even banks -> three bank-spare actions.
+	var events []mcelog.Event
+	for i := 0; i < 3; i++ {
+		bank := testBank(2 + 4*i)
+		for j, row := range []int{1, 2, 3} {
+			events = append(events, uerAt(bank, row, 10*i+j))
+		}
+	}
+	res := post(t, srv, jsonlBody(t, events...))
+	if res.Accepted != 9 {
+		t.Fatalf("ingest %+v", res)
+	}
+	e.Close()
+	srv.AwaitDrained()
+	var acts struct {
+		Actions []jsonAction `json:"actions"`
+		Evicted uint64       `json:"evicted"`
+	}
+	_, body := get(t, srv, "/v1/actions")
+	if err := json.Unmarshal(body, &acts); err != nil {
+		t.Fatal(err)
+	}
+	if len(acts.Actions) != 2 || acts.Evicted != 1 {
+		t.Fatalf("store %d actions, evicted %d; want 2/1", len(acts.Actions), acts.Evicted)
+	}
+}
+
+// TestServerEventJSONRoundTrip guards the wire shape: what cordial-gen
+// -format jsonl writes is exactly what POST /v1/events accepts.
+func TestServerEventJSONRoundTrip(t *testing.T) {
+	ev := mcelog.Event{
+		Time:  time.Date(2026, 2, 3, 4, 5, 6, 0, time.UTC),
+		Addr:  uerAt(testBank(3), 42, 0).Addr,
+		Class: ecc.ClassUEO,
+	}
+	var buf bytes.Buffer
+	if err := mcelog.FromEvents([]mcelog.Event{ev}).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mcelog.ParseJSONEvent(bytes.TrimSpace(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Time.Equal(ev.Time) || got.Addr != ev.Addr || got.Class != ev.Class {
+		t.Fatalf("round trip %+v != %+v", got, ev)
+	}
+}

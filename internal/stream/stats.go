@@ -1,0 +1,93 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySamplerSize bounds the quantile reservoir. 1024 recent samples
+// give stable p50/p99 for a monitoring endpoint without unbounded memory.
+const latencySamplerSize = 1024
+
+// latencySampler accumulates duration observations: exact count/sum/max
+// plus a ring of recent samples for quantiles. Safe for concurrent use.
+type latencySampler struct {
+	mu    sync.Mutex
+	count uint64
+	sum   time.Duration
+	max   time.Duration
+	ring  [latencySamplerSize]time.Duration
+	next  int
+}
+
+// observe records one duration.
+func (l *latencySampler) observe(d time.Duration) {
+	l.mu.Lock()
+	l.count++
+	l.sum += d
+	if d > l.max {
+		l.max = d
+	}
+	l.ring[l.next%latencySamplerSize] = d
+	l.next++
+	l.mu.Unlock()
+}
+
+// merge folds other's observations into l (used to aggregate per-shard
+// samplers into one snapshot).
+func (l *latencySampler) merge(other *latencySampler) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	l.count += other.count
+	l.sum += other.sum
+	if other.max > l.max {
+		l.max = other.max
+	}
+	n := other.next
+	if n > latencySamplerSize {
+		n = latencySamplerSize
+	}
+	for i := 0; i < n; i++ {
+		l.ring[l.next%latencySamplerSize] = other.ring[i]
+		l.next++
+	}
+}
+
+// LatencySnapshot summarises a latency distribution at one instant. The
+// quantiles are computed over a reservoir of recent samples; Count, Mean
+// and Max are exact over the sampler's lifetime.
+type LatencySnapshot struct {
+	// Count is the number of observations.
+	Count uint64
+	// Mean is the lifetime average.
+	Mean time.Duration
+	// P50, P90 and P99 are quantiles over recent samples.
+	P50, P90, P99 time.Duration
+	// Max is the lifetime maximum.
+	Max time.Duration
+}
+
+// snapshot computes the current summary.
+func (l *latencySampler) snapshot() LatencySnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := LatencySnapshot{Count: l.count, Max: l.max}
+	if l.count == 0 {
+		return s
+	}
+	s.Mean = l.sum / time.Duration(l.count)
+	n := l.next
+	if n > latencySamplerSize {
+		n = latencySamplerSize
+	}
+	recent := make([]time.Duration, n)
+	copy(recent, l.ring[:n])
+	sort.Slice(recent, func(i, j int) bool { return recent[i] < recent[j] })
+	quantile := func(q float64) time.Duration {
+		idx := int(q * float64(n-1))
+		return recent[idx]
+	}
+	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	return s
+}

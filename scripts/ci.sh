@@ -1,0 +1,31 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, the full test suite, and the same suite
+# under the race detector. The race pass is load-bearing — internal/stream
+# is a concurrent engine and its tests are written to provoke races.
+#
+# Usage: scripts/ci.sh [extra go-test args]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test"
+go test ./... "$@"
+
+echo "==> go test -race"
+go test -race ./... "$@"
+
+echo "==> ok"
