@@ -14,6 +14,8 @@ import (
 
 	"cordial/internal/core"
 	"cordial/internal/experiments"
+	"cordial/internal/mltree"
+	"cordial/internal/xrand"
 )
 
 // benchParams returns a reduced-scale configuration for benchmarking.
@@ -287,6 +289,94 @@ func BenchmarkStreamSessionOnEvent(b *testing.B) {
 			}
 		}
 	}
+}
+
+// mltreeBenchData is a seeded multi-class dataset shared by the mltree
+// training/inference benchmarks (3 classes so the boosting backends fit
+// several one-vs-rest arms).
+var mltreeBenchData = sync.OnceValue(func() *mltree.Dataset {
+	const classes, perClass, dims = 3, 400, 12
+	r := xrand.New(99)
+	ds := &mltree.Dataset{}
+	for c := 0; c < classes; c++ {
+		for i := 0; i < perClass; i++ {
+			row := make([]float64, dims)
+			for d := range row {
+				row[d] = 3*float64((c+d)%classes) + r.Normal(0, 2.5)
+			}
+			ds.Features = append(ds.Features, row)
+			ds.Labels = append(ds.Labels, c)
+		}
+	}
+	return ds
+})
+
+// benchParallelisms runs fn at parallelism 1 and GOMAXPROCS (deduplicated on
+// single-core hosts).
+func benchParallelisms(b *testing.B, fn func(b *testing.B, parallelism int)) {
+	seen := map[int]bool{}
+	for _, p := range []int{1, runtime.GOMAXPROCS(0)} {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		b.Run(fmt.Sprintf("parallelism=%d", p), func(b *testing.B) { fn(b, p) })
+	}
+}
+
+// BenchmarkForestFit measures Random Forest training cost on the shared
+// dataset at 1 worker vs all cores.
+func BenchmarkForestFit(b *testing.B) {
+	ds := mltreeBenchData()
+	benchParallelisms(b, func(b *testing.B, parallelism int) {
+		for i := 0; i < b.N; i++ {
+			f := mltree.NewForest(mltree.ForestConfig{
+				NumTrees: 20, Tree: mltree.TreeConfig{MaxDepth: 10},
+				Parallelism: parallelism, Seed: 5,
+			})
+			if err := f.Fit(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHistGBDTFit measures histogram-GBDT training cost (multi-class,
+// so arms fit concurrently) at 1 worker vs all cores.
+func BenchmarkHistGBDTFit(b *testing.B) {
+	ds := mltreeBenchData()
+	benchParallelisms(b, func(b *testing.B, parallelism int) {
+		for i := 0; i < b.N; i++ {
+			h := mltree.NewHistGBDT(mltree.HistGBDTConfig{
+				Rounds: 20, Parallelism: parallelism, Seed: 5,
+			})
+			if err := h.Fit(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPredictBatch measures flat-tree batch inference over the whole
+// dataset at 1 worker vs all cores.
+func BenchmarkPredictBatch(b *testing.B) {
+	ds := mltreeBenchData()
+	f := mltree.NewForest(mltree.ForestConfig{
+		NumTrees: 20, Tree: mltree.TreeConfig{MaxDepth: 10}, Seed: 5,
+	})
+	if err := f.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	benchParallelisms(b, func(b *testing.B, parallelism int) {
+		f.Config.Parallelism = parallelism
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := f.PredictBatch(ds.Features); len(got) != ds.NumSamples() {
+				b.Fatal("short batch")
+			}
+		}
+		b.ReportMetric(float64(ds.NumSamples()*b.N)/b.Elapsed().Seconds(), "rows/sec")
+	})
 }
 
 // BenchmarkStability aggregates the headline comparison over three seeds.

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"cordial/internal/experiments"
+	"cordial/internal/profiling"
 )
 
 func main() {
@@ -27,11 +28,24 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig3a, fig3b, fig4, stability, validation, ablations")
-		scale = flag.String("scale", "full", "scale: full or quick")
-		seed  = flag.Uint64("seed", 0, "override fleet seed (0 keeps the default)")
+		exp     = flag.String("exp", "all", "experiment: all, table1, table2, table3, table4, fig3a, fig3b, fig4, stability, validation, ablations")
+		scale   = flag.String("scale", "full", "scale: full or quick")
+		seed    = flag.Uint64("seed", 0, "override fleet seed (0 keeps the default)")
+		par     = flag.Int("parallelism", 0, "training/inference goroutines (0 = all cores)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "cordial-repro:", perr)
+		}
+	}()
 
 	var params experiments.Params
 	switch *scale {
@@ -45,6 +59,7 @@ func run() error {
 	if *seed != 0 {
 		params.Spec.Seed = *seed
 	}
+	params.Model.Parallelism = *par
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := 0

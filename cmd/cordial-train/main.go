@@ -16,6 +16,7 @@ import (
 
 	"cordial/internal/core"
 	"cordial/internal/faultsim"
+	"cordial/internal/profiling"
 )
 
 func main() {
@@ -45,8 +46,21 @@ func run() error {
 		out       = flag.String("out", "models.json", "output model path")
 		trees     = flag.Int("trees", 80, "ensemble size / boosting rounds")
 		budget    = flag.Int("uer-budget", 3, "UERs used for pattern classification")
+		par       = flag.Int("parallelism", 0, "training/inference goroutines (0 = all cores)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "cordial-train:", perr)
+		}
+	}()
 
 	kind, err := parseModel(*model)
 	if err != nil {
@@ -68,6 +82,7 @@ func run() error {
 
 	cfg := core.DefaultConfig(kind)
 	cfg.Params.Trees = *trees
+	cfg.Params.Parallelism = *par
 	cfg.Pattern.UERBudget = *budget
 	pipe, err := core.New(cfg)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"cordial/internal/faultsim"
 	"cordial/internal/features"
 	"cordial/internal/metrics"
+	"cordial/internal/mltree"
 	"cordial/internal/sparing"
 	"cordial/internal/xrand"
 )
@@ -57,17 +58,23 @@ func EvaluatePattern(p *Pipeline, banks []*faultsim.BankFault) (*PatternEval, er
 		return nil, fmt.Errorf("core: pipeline not fitted")
 	}
 	eval := &PatternEval{PerClass: make(map[faultsim.Class]metrics.Report)}
-	scored := 0
+	// Extract every classifiable bank's feature vector, then classify the
+	// whole test set in one batch over the flat trees.
+	var vecs [][]float64
+	var truths []int
 	for _, bf := range banks {
-		got, err := p.ClassifyPattern(bf.Events)
+		vec, err := features.PatternVector(bf.Events, p.cfg.Pattern)
 		if err != nil {
 			continue // bank without UERs: out of scope
 		}
-		eval.Confusion.Add(int(bf.Class()), int(got))
-		scored++
+		vecs = append(vecs, vec)
+		truths = append(truths, int(bf.Class()))
 	}
-	if scored == 0 {
+	if len(vecs) == 0 {
 		return nil, fmt.Errorf("core: no classifiable banks in the test set")
+	}
+	for i, got := range mltree.PredictLabels(p.patternModel, vecs) {
+		eval.Confusion.Add(truths[i], got)
 	}
 	for _, class := range faultsim.AllClasses {
 		eval.PerClass[class] = eval.Confusion.ClassReport(int(class))

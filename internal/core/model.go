@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"cordial/internal/ecc"
@@ -74,6 +75,10 @@ type ModelParams struct {
 	Leaves int
 	// LearningRate applies to the boosting backends.
 	LearningRate float64
+	// Parallelism caps the goroutines used for training (forest members,
+	// boosting arms, split search) and batch inference; <=0 means
+	// runtime.GOMAXPROCS(0). Predictions are identical for any value.
+	Parallelism int
 }
 
 func (p ModelParams) withDefaults() ModelParams {
@@ -89,6 +94,9 @@ func (p ModelParams) withDefaults() ModelParams {
 	if p.LearningRate <= 0 {
 		p.LearningRate = 0.1
 	}
+	if p.Parallelism <= 0 {
+		p.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return p
 }
 
@@ -101,9 +109,10 @@ func NewModel(kind ModelKind, params ModelParams, seed uint64) (mltree.Classifie
 		// scikit-learn's unpruned default), relying on bagging rather
 		// than pruning for variance control.
 		return mltree.NewForest(mltree.ForestConfig{
-			NumTrees: p.Trees,
-			Tree:     mltree.TreeConfig{MaxDepth: p.Depth + 4, MaxFeatures: -1},
-			Seed:     seed,
+			NumTrees:    p.Trees,
+			Tree:        mltree.TreeConfig{MaxDepth: p.Depth + 4, MaxFeatures: -1},
+			Parallelism: p.Parallelism,
+			Seed:        seed,
 		}), nil
 	case XGBoost:
 		return mltree.NewGBDT(mltree.GBDTConfig{
@@ -112,6 +121,7 @@ func NewModel(kind ModelKind, params ModelParams, seed uint64) (mltree.Classifie
 			MaxDepth:       minInt(p.Depth, 5),
 			SubsampleRatio: 0.9,
 			ColsampleRatio: 0.9,
+			Parallelism:    p.Parallelism,
 			Seed:           seed,
 		}), nil
 	case LightGBM:
@@ -119,6 +129,7 @@ func NewModel(kind ModelKind, params ModelParams, seed uint64) (mltree.Classifie
 			Rounds:       p.Trees,
 			LearningRate: p.LearningRate,
 			MaxLeaves:    p.Leaves,
+			Parallelism:  p.Parallelism,
 			Seed:         seed,
 		}), nil
 	default:

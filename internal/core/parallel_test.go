@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cordial/internal/xrand"
+)
+
+// TestPipelineParallelismEquivalence asserts the end-to-end determinism
+// contract at the pipeline level: fitting with Parallelism=1 and
+// Parallelism=8 yields the same calibrated threshold, the same pattern
+// classifications, and bit-identical block probabilities for every backend.
+func TestPipelineParallelismEquivalence(t *testing.T) {
+	fleet := testFleet(t, 5, 50)
+	train, test, err := SplitBanks(fleet.Faults, xrand.New(5), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range AllModelKinds {
+		fit := func(parallelism int) *Pipeline {
+			cfg := DefaultConfig(kind)
+			cfg.Params = smallParams()
+			cfg.Params.Parallelism = parallelism
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Fit(train); err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		serial := fit(1)
+		parallel := fit(8)
+		if serial.Config().Threshold != parallel.Config().Threshold {
+			t.Fatalf("%s: calibrated threshold differs: %g vs %g",
+				kind, serial.Config().Threshold, parallel.Config().Threshold)
+		}
+		now := time.Time{}
+		for _, bf := range test {
+			cs, errS := serial.ClassifyPattern(bf.Events)
+			cp, errP := parallel.ClassifyPattern(bf.Events)
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("%s: classify error mismatch: %v vs %v", kind, errS, errP)
+			}
+			if errS != nil {
+				continue
+			}
+			if cs != cp {
+				t.Fatalf("%s: pattern class differs: %v vs %v", kind, cs, cp)
+			}
+			if len(bf.UERRows) == 0 {
+				continue
+			}
+			anchor := bf.UERRows[len(bf.UERRows)-1]
+			if !now.Before(bf.UERTimes[len(bf.UERTimes)-1]) {
+				now = bf.UERTimes[len(bf.UERTimes)-1]
+			}
+			ps, errS := serial.PredictBlocks(bf.Events, anchor, now)
+			pp, errP := parallel.PredictBlocks(bf.Events, anchor, now)
+			if (errS == nil) != (errP == nil) {
+				t.Fatalf("%s: predict error mismatch: %v vs %v", kind, errS, errP)
+			}
+			if errS != nil {
+				continue
+			}
+			for b := range ps {
+				if ps[b] != pp[b] {
+					t.Fatalf("%s: block %d probability differs: %g vs %g", kind, b, ps[b], pp[b])
+				}
+			}
+		}
+	}
+}

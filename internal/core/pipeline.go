@@ -167,8 +167,8 @@ func calibrateThreshold(model mltree.Classifier, ds *mltree.Dataset) float64 {
 		return 0.5
 	}
 	probs := make([]float64, ds.NumSamples())
-	for i, x := range ds.Features {
-		probs[i] = model.PredictProba(x)[posIdx]
+	for i, pr := range model.PredictBatch(ds.Features) {
+		probs[i] = pr[posIdx]
 	}
 	best, bestF1 := 0.5, -1.0
 	for thr := 0.05; thr < 0.90; thr += 0.025 {
@@ -216,12 +216,20 @@ func (p *Pipeline) PredictBlocks(events []mcelog.Event, anchorRow int, now time.
 	if posIdx < 0 {
 		return nil, fmt.Errorf("core: block model has no positive class")
 	}
-	for b := range probs {
+	// Build every block's feature vector, then score the whole window in
+	// one batch call: the per-event hot path of the stream engine benefits
+	// from the flat-tree batch driver instead of 16 scattered single-row
+	// predictions.
+	vecs := make([][]float64, len(probs))
+	for b := range vecs {
 		vec, err := features.BlockVector(events, anchorRow, p.cfg.Block, b, now)
 		if err != nil {
 			return nil, err
 		}
-		probs[b] = p.blockModel.PredictProba(vec)[posIdx]
+		vecs[b] = vec
+	}
+	for b, pr := range p.blockModel.PredictBatch(vecs) {
+		probs[b] = pr[posIdx]
 	}
 	return probs, nil
 }

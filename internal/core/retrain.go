@@ -64,7 +64,10 @@ type labelledBank struct {
 }
 
 // Trainer maintains a deployed pipeline over a stream of labelled banks,
-// retraining per policy. It is not safe for concurrent use.
+// retraining per policy. It is not safe for concurrent use. Each retrain
+// fits the pipeline with the concurrency set by cfg.Params.Parallelism
+// (default: all cores), so periodic refreshes keep the serving path stalled
+// as briefly as the hardware allows.
 type Trainer struct {
 	cfg    Config
 	policy RetrainPolicy

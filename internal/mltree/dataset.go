@@ -155,13 +155,31 @@ type Classifier interface {
 	// PredictProba returns one probability per class, aligned with
 	// Classes(), summing to 1.
 	PredictProba(x []float64) []float64
+	// PredictBatch predicts every row of X, parallelised across rows;
+	// each row's result is identical to PredictProba on that row.
+	PredictBatch(X [][]float64) [][]float64
 }
 
 // Predict returns the label with the highest predicted probability, breaking
 // ties toward the smaller label.
 func Predict(c Classifier, x []float64) int {
-	probs := c.PredictProba(x)
+	return argmaxLabel(c.Classes(), c.PredictProba(x))
+}
+
+// PredictLabels batch-predicts the most probable label for every row of X.
+func PredictLabels(c Classifier, X [][]float64) []int {
+	probs := c.PredictBatch(X)
 	classes := c.Classes()
+	out := make([]int, len(probs))
+	for i, p := range probs {
+		out[i] = argmaxLabel(classes, p)
+	}
+	return out
+}
+
+// argmaxLabel returns the label of the largest probability, breaking ties
+// toward the smaller label.
+func argmaxLabel(classes []int, probs []float64) int {
 	best, bestP := 0, math.Inf(-1)
 	for i, p := range probs {
 		if p > bestP {

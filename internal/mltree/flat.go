@@ -1,0 +1,105 @@
+package mltree
+
+// Flat trees: fitted pointer trees recompiled into a struct-of-arrays
+// layout for inference. Pointer navigation chases one heap node per level;
+// the flat form keeps features, thresholds and child indices in four dense
+// slices, so a descent touches a handful of cache lines and the branch
+// predictor sees one tight loop. Compilation preserves the exact comparison
+// sequence (same feature, same threshold, same ≤ test), so flat predictions
+// are bit-identical to pointer navigation; equivalence_test.go asserts it.
+//
+// Flat trees are a derived, in-memory artifact: serialization still writes
+// the pointer form, and loading recompiles (see serialize.go), which keeps
+// the on-disk format unchanged.
+
+// flatTree is one or more compiled trees sharing node arrays. Node 0 is the
+// first tree's root; leaves carry feature == -1. Leaf payloads live in
+// value (regression/boosting) and probs (classification); probs rows alias
+// the fitted tree's leaf vectors rather than copying them.
+type flatTree struct {
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+	value     []float64
+	probs     [][]float64
+}
+
+// flatLeaf marks a leaf node in the feature array.
+const flatLeaf = int32(-1)
+
+// compileTree flattens a single fitted tree, root at node 0.
+func compileTree(root *treeNode) *flatTree {
+	ft := &flatTree{}
+	ft.add(root)
+	return ft
+}
+
+// flatEnsemble is a boosting chain's trees compiled back-to-back into one
+// node arena, navigated from per-tree root indices.
+type flatEnsemble struct {
+	flatTree
+	roots []int32
+}
+
+// compileEnsemble flattens a tree sequence into one arena.
+func compileEnsemble(trees []*treeNode) *flatEnsemble {
+	fe := &flatEnsemble{roots: make([]int32, len(trees))}
+	for i, t := range trees {
+		fe.roots[i] = fe.add(t)
+	}
+	return fe
+}
+
+// add appends n's subtree in preorder and returns its node index.
+func (ft *flatTree) add(n *treeNode) int32 {
+	idx := int32(len(ft.feature))
+	ft.feature = append(ft.feature, flatLeaf)
+	ft.threshold = append(ft.threshold, n.Threshold)
+	ft.left = append(ft.left, 0)
+	ft.right = append(ft.right, 0)
+	ft.value = append(ft.value, n.Value)
+	ft.probs = append(ft.probs, n.Probs)
+	if n.isLeaf() {
+		return idx
+	}
+	ft.feature[idx] = int32(n.Feature)
+	l := ft.add(n.Left)
+	r := ft.add(n.Right)
+	ft.left[idx] = l
+	ft.right[idx] = r
+	return idx
+}
+
+// leafFrom descends from node root and returns the leaf index x lands in.
+func (ft *flatTree) leafFrom(root int32, x []float64) int32 {
+	i := root
+	for {
+		f := ft.feature[i]
+		if f == flatLeaf {
+			return i
+		}
+		if x[f] <= ft.threshold[i] {
+			i = ft.left[i]
+		} else {
+			i = ft.right[i]
+		}
+	}
+}
+
+// leafProbs returns the class distribution of the leaf x lands in (single
+// tree, root at 0). The returned slice aliases the fitted tree's leaf.
+func (ft *flatTree) leafProbs(x []float64) []float64 {
+	return ft.probs[ft.leafFrom(0, x)]
+}
+
+// margin accumulates lr × leaf-value over every tree of the chain, in tree
+// order — the same floating-point sequence booster.raw used on the pointer
+// form.
+func (fe *flatEnsemble) margin(bias, lr float64, x []float64) float64 {
+	s := bias
+	for _, r := range fe.roots {
+		s += lr * fe.value[fe.leafFrom(r, x)]
+	}
+	return s
+}

@@ -1,8 +1,7 @@
 package mltree
 
 import (
-	"fmt"
-	"sync"
+	"runtime"
 
 	"cordial/internal/xrand"
 )
@@ -16,10 +15,10 @@ type ForestConfig struct {
 	// BootstrapRatio is the bootstrap sample size as a fraction of the
 	// training set (default 1.0).
 	BootstrapRatio float64
-	// Parallelism is the number of goroutines fitting member trees
-	// (default 1). Results are deterministic regardless of the value:
-	// every member's RNG is derived up front and trees land at their
-	// index.
+	// Parallelism is the number of goroutines fitting member trees;
+	// <=0 means runtime.GOMAXPROCS(0). Results are deterministic
+	// regardless of the value: every member's RNG is derived up front and
+	// trees land at their index.
 	Parallelism int
 	// Seed drives bootstrapping and feature subsampling.
 	Seed uint64
@@ -36,7 +35,7 @@ func (c ForestConfig) withDefaults() ForestConfig {
 		c.Tree.MaxFeatures = -1 // sqrt
 	}
 	if c.Parallelism <= 0 {
-		c.Parallelism = 1
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -82,6 +81,24 @@ func (f *Forest) Fit(ds *Dataset) error {
 	}
 	rng := xrand.New(f.Config.Seed)
 
+	// Shared read-only training state: the columnized matrix, encoded
+	// labels, and one presort of the full training set. Each member's
+	// bootstrap bag is a multiset of these rows, so its per-feature sorted
+	// lists are derived from the base order by a counting filter — no
+	// per-tree sorting at all. Duplicated rows share a value, so emitting
+	// the copies adjacently leaves every boundary scan (and therefore every
+	// split, tree, and prediction) identical to sorting the bag directly.
+	cols := columnize(ds.Features)
+	y := make([]int, n)
+	for i, l := range ds.Labels {
+		y[i] = idx[l]
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	baseSorted := presortByFeature(cols, all)
+
 	// Out-of-bag vote accumulation: votes[i][c] sums probabilities from
 	// trees whose bag excluded sample i.
 	votes := make([][]float64, n)
@@ -91,11 +108,10 @@ func (f *Forest) Fit(ds *Dataset) error {
 	oobSeen := make([]bool, n)
 
 	// Derive every member's RNG up front so fitting order cannot change
-	// the result, then fan the members out over a bounded worker pool.
+	// the result, then fan the members out over the shared worker pool.
 	type member struct {
 		tree  *Tree
 		inBag []bool
-		err   error
 	}
 	members := make([]member, f.Config.NumTrees)
 	rngs := make([]*xrand.RNG, f.Config.NumTrees)
@@ -103,46 +119,23 @@ func (f *Forest) Fit(ds *Dataset) error {
 		rngs[t] = rng.Split()
 	}
 
-	workers := f.Config.Parallelism
-	if workers > f.Config.NumTrees {
-		workers = f.Config.NumTrees
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range work {
-				treeRNG := rngs[t]
-				indices := make([]int, bag)
-				inBag := make([]bool, n)
-				for i := range indices {
-					s := treeRNG.Intn(n)
-					indices[i] = s
-					inBag[s] = true
-				}
-				tree := NewTree(f.Config.Tree, treeRNG)
-				if err := tree.Fit(ds.Subset(indices)); err != nil {
-					members[t] = member{err: fmt.Errorf("mltree: fitting tree %d: %w", t, err)}
-					continue
-				}
-				members[t] = member{tree: tree, inBag: inBag}
-			}
-		}()
-	}
-	for t := 0; t < f.Config.NumTrees; t++ {
-		work <- t
-	}
-	close(work)
-	wg.Wait()
+	runWorkers(f.Config.NumTrees, f.Config.Parallelism, func(_, t int) {
+		treeRNG := rngs[t]
+		mult := make([]int, n)
+		inBag := make([]bool, n)
+		for j := 0; j < bag; j++ {
+			s := treeRNG.Intn(n)
+			mult[s]++
+			inBag[s] = true
+		}
+		tree := NewTree(f.Config.Tree, treeRNG)
+		tree.fitFromSorted(cols, y, f.classes, deriveSorted(baseSorted, mult, bag))
+		members[t] = member{tree: tree, inBag: inBag}
+	})
 
 	f.trees = make([]*Tree, 0, f.Config.NumTrees)
 	for t := range members {
 		m := members[t]
-		if m.err != nil {
-			return m.err
-		}
 		f.trees = append(f.trees, m.tree)
 		for i := 0; i < n; i++ {
 			if m.inBag[i] {
@@ -222,4 +215,10 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 		out[c] *= inv
 	}
 	return out
+}
+
+// PredictBatch predicts every row of X, in parallel across rows; each row's
+// result is identical to PredictProba on that row.
+func (f *Forest) PredictBatch(X [][]float64) [][]float64 {
+	return predictBatch(X, f.Config.Parallelism, f.PredictProba)
 }

@@ -3,6 +3,7 @@ package mltree
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"cordial/internal/xrand"
 )
@@ -36,6 +37,11 @@ type GBDTConfig struct {
 	// improved for this many rounds (0 disables). A 20% validation split
 	// is carved from the training data.
 	EarlyStopRounds int
+	// Parallelism caps the goroutines fitting one-vs-rest arms and
+	// searching splits; <=0 means runtime.GOMAXPROCS(0). Results are
+	// identical for any value: arm RNG streams are derived up front and
+	// split search reduces deterministically.
+	Parallelism int
 	// Seed drives row/column subsampling and the early-stop split.
 	Seed uint64
 }
@@ -74,6 +80,9 @@ func (c GBDTConfig) withDefaults() GBDTConfig {
 	if c.ColsampleRatio <= 0 || c.ColsampleRatio > 1 {
 		c.ColsampleRatio = 1
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -82,10 +91,22 @@ type booster struct {
 	Bias  float64     `json:"bias"`
 	Trees []*treeNode `json:"trees"`
 	LR    float64     `json:"lr"`
+
+	// flat is the chain compiled for inference; rebuilt by compile()
+	// after fitting or deserialising.
+	flat *flatEnsemble
 }
 
-// raw returns the margin (log-odds) for x.
+// compile flattens the fitted chain for cache-friendly inference.
+func (b *booster) compile() { b.flat = compileEnsemble(b.Trees) }
+
+// raw returns the margin (log-odds) for x. The flat path accumulates
+// lr × leaf-value in tree order, the exact floating-point sequence of the
+// pointer walk.
 func (b *booster) raw(x []float64) float64 {
+	if b.flat != nil {
+		return b.flat.margin(b.Bias, b.LR, x)
+	}
 	s := b.Bias
 	for _, t := range b.Trees {
 		s += b.LR * t.navigate(x).Value
@@ -133,8 +154,15 @@ func (g *GBDT) Fit(ds *Dataset) error {
 	if arms == 2 {
 		arms = 1 // binary: a single chain for the positive (larger) class
 	}
+	// Derive every arm's RNG up front, in arm order, so concurrent arm
+	// fitting consumes the exact streams the serial loop did.
+	rngs := make([]*xrand.RNG, arms)
+	for a := range rngs {
+		rngs[a] = rng.Split()
+	}
 	g.boosters = make([]*booster, arms)
-	for a := 0; a < arms; a++ {
+	errs := make([]error, arms)
+	runWorkers(arms, g.Config.Parallelism, func(_, a int) {
 		positive := g.classes[a]
 		if len(g.classes) == 2 {
 			positive = g.classes[1]
@@ -145,11 +173,18 @@ func (g *GBDT) Fit(ds *Dataset) error {
 				y[i] = 1
 			}
 		}
-		b, err := g.fitBinary(ds, y, rng.Split())
+		b, err := g.fitBinary(ds, y, rngs[a])
 		if err != nil {
-			return fmt.Errorf("mltree: GBDT arm %d: %w", a, err)
+			errs[a] = fmt.Errorf("mltree: GBDT arm %d: %w", a, err)
+			return
 		}
+		b.compile()
 		g.boosters[a] = b
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -197,6 +232,17 @@ func (g *GBDT) fitBinary(ds *Dataset, y []float64, rng *xrand.RNG) (*booster, er
 	bestLen := 0
 	sinceBest := 0
 
+	// The columnized matrix is shared by every round's tree, and when row
+	// subsampling is off (the default) the per-feature sorted order of the
+	// training rows never changes either — presort once and let every tree
+	// start from the same read-only root lists.
+	cols := columnize(ds.Features)
+	part := newPartitioner(n)
+	var rootSorted [][]int32
+	if cfg.SubsampleRatio >= 1 {
+		rootSorted = presortByFeature(cols, trainIdx)
+	}
+
 	for round := 0; round < cfg.Rounds; round++ {
 		for _, i := range trainIdx {
 			p := sigmoid(margin[i])
@@ -207,23 +253,30 @@ func (g *GBDT) fitBinary(ds *Dataset, y []float64, rng *xrand.RNG) (*booster, er
 			grad[i] = w * (p - y[i])
 			hess[i] = w * p * (1 - p)
 		}
-		samples := g.subsample(trainIdx, rng)
 		rt := &regTree{
 			cfg: TreeConfig{
 				MaxDepth:        cfg.MaxDepth,
 				MinSamplesSplit: 2 * cfg.MinSamplesLeaf,
 				MinSamplesLeaf:  cfg.MinSamplesLeaf,
 			},
-			lambda:   cfg.Lambda,
-			gamma:    cfg.Gamma,
-			minHess:  cfg.MinChildWeight,
-			rng:      rng,
-			maxFeat:  colsPerSplit,
-			features: ds.Features,
-			grad:     grad,
-			hess:     hess,
+			lambda:  cfg.Lambda,
+			gamma:   cfg.Gamma,
+			minHess: cfg.MinChildWeight,
+			rng:     rng,
+			maxFeat: colsPerSplit,
+			cols:    cols,
+			grad:    grad,
+			hess:    hess,
+			part:    part,
 		}
-		root := rt.fit(samples)
+		var root *treeNode
+		if rootSorted != nil {
+			// Tree growth partitions its lists in place, so each round
+			// works on an arena copy of the cached root presort.
+			root = rt.build(copyLists(rootSorted), 0)
+		} else {
+			root = rt.fit(g.subsample(trainIdx, rng))
+		}
 		b.Trees = append(b.Trees, root)
 		for i := 0; i < n; i++ {
 			margin[i] += cfg.LearningRate * root.navigate(ds.Features[i]).Value
@@ -313,6 +366,12 @@ func (g *GBDT) PredictProba(x []float64) []float64 {
 		}
 	}
 	return out
+}
+
+// PredictBatch predicts every row of X, in parallel across rows; each row's
+// result is identical to PredictProba on that row.
+func (g *GBDT) PredictBatch(X [][]float64) [][]float64 {
+	return predictBatch(X, g.Config.Parallelism, g.PredictProba)
 }
 
 // NumTrees returns the total tree count across all arms.

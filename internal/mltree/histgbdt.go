@@ -3,6 +3,7 @@ package mltree
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"cordial/internal/xrand"
@@ -36,6 +37,11 @@ type HistGBDTConfig struct {
 	// improved for this many rounds (0 disables). A 20% validation split
 	// is carved from the training data.
 	EarlyStopRounds int
+	// Parallelism caps the goroutines fitting one-vs-rest arms and
+	// scanning split histograms; <=0 means runtime.GOMAXPROCS(0). Results
+	// are identical for any value: arm RNG streams are derived up front
+	// and split search reduces deterministically.
+	Parallelism int
 	// Seed drives GOSS sampling and the early-stop split.
 	Seed uint64
 }
@@ -74,6 +80,9 @@ func (c HistGBDTConfig) withDefaults() HistGBDTConfig {
 	if c.EarlyStopRounds < 0 {
 		c.EarlyStopRounds = 0
 	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -82,6 +91,11 @@ func (c HistGBDTConfig) withDefaults() HistGBDTConfig {
 // bin is unbounded.
 type binner struct {
 	Upper [][]float64 `json:"upper"`
+
+	// offset[f] is feature f's start in the flattened histogram arrays;
+	// total is the arena size. Training-only, set by newBinner.
+	offset []int
+	total  int
 }
 
 // newBinner computes quantile-spaced bin boundaries from the training data.
@@ -109,6 +123,11 @@ func newBinner(features [][]float64, maxBins int) *binner {
 			}
 		}
 		b.Upper[f] = cuts
+	}
+	b.offset = make([]int, numFeatures)
+	for f := 0; f < numFeatures; f++ {
+		b.offset[f] = b.total
+		b.total += b.numBins(f)
 	}
 	return b
 }
@@ -175,22 +194,31 @@ func (h *HistGBDT) Fit(ds *Dataset) error {
 	rng := xrand.New(h.Config.Seed)
 	bins := newBinner(ds.Features, h.Config.MaxBins)
 
-	// Pre-bin the whole matrix once.
+	// Pre-bin the whole matrix once, rows in parallel (each row is
+	// independent, so worker count cannot change the result).
 	binned := make([][]uint16, ds.NumSamples())
-	for i, row := range ds.Features {
+	runWorkers(ds.NumSamples(), h.Config.Parallelism, func(_, i int) {
+		row := ds.Features[i]
 		br := make([]uint16, len(row))
 		for f, v := range row {
 			br[f] = uint16(bins.bin(f, v))
 		}
 		binned[i] = br
-	}
+	})
 
 	arms := len(h.classes)
 	if arms == 2 {
 		arms = 1
 	}
+	// Derive every arm's RNG up front, in arm order, so concurrent arm
+	// fitting consumes the exact streams the serial loop did.
+	rngs := make([]*xrand.RNG, arms)
+	for a := range rngs {
+		rngs[a] = rng.Split()
+	}
 	h.boosters = make([]*booster, arms)
-	for a := 0; a < arms; a++ {
+	errs := make([]error, arms)
+	runWorkers(arms, h.Config.Parallelism, func(_, a int) {
 		positive := h.classes[a]
 		if len(h.classes) == 2 {
 			positive = h.classes[1]
@@ -201,11 +229,18 @@ func (h *HistGBDT) Fit(ds *Dataset) error {
 				y[i] = 1
 			}
 		}
-		b, err := h.fitBinary(ds, binned, bins, y, rng.Split())
+		b, err := h.fitBinary(ds, binned, bins, y, rngs[a])
 		if err != nil {
-			return fmt.Errorf("mltree: HistGBDT arm %d: %w", a, err)
+			errs[a] = fmt.Errorf("mltree: HistGBDT arm %d: %w", a, err)
+			return
 		}
+		b.compile()
 		h.boosters[a] = b
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -267,8 +302,12 @@ func (h *HistGBDT) fitBinary(ds *Dataset, binned [][]uint16, bins *binner, y []f
 		}
 		root := g.grow(samples)
 		b.Trees = append(b.Trees, root)
+		// Update margins by navigating the pre-binned matrix: split bins
+		// were chosen so that binned[i][f] <= bin ⟺ raw value <= threshold,
+		// so this is bit-identical to navigating the raw features — without
+		// touching the float matrix.
 		for i := 0; i < n; i++ {
-			margin[i] += cfg.LearningRate * root.navigate(ds.Features[i]).Value
+			margin[i] += cfg.LearningRate * root.navigateBinned(binned[i]).Value
 		}
 
 		if len(valIdx) > 0 {
@@ -348,12 +387,30 @@ type histGrower struct {
 	scale  []float64
 }
 
-// leafState tracks a grown leaf and its best candidate split.
+// leafHist is a leaf's per-feature histograms, flattened into one arena
+// indexed by binner.offset — gradient sum, hessian sum and sample count per
+// (feature, bin).
+type leafHist struct {
+	g, h []float64
+	n    []int
+}
+
+func newLeafHist(total int) *leafHist {
+	return &leafHist{
+		g: make([]float64, total),
+		h: make([]float64, total),
+		n: make([]int, total),
+	}
+}
+
+// leafState tracks a grown leaf, its histograms, and its best candidate
+// split.
 type leafState struct {
 	node    *treeNode
 	samples []int
 	sumG    float64
 	sumH    float64
+	hist    *leafHist
 
 	bestGain float64
 	bestFeat int
@@ -394,66 +451,126 @@ func (g *histGrower) grow(samples []int) *treeNode {
 	for _, l := range leaves {
 		l.node.Left, l.node.Right = nil, nil
 		l.node.Value = -l.sumG / (l.sumH + g.cfg.Lambda)
+		l.hist = nil
 	}
 	return root
 }
 
+// newLeaf materialises a leaf whose histograms are built directly from its
+// samples (the root, and the smaller child of every split).
 func (g *histGrower) newLeaf(node *treeNode, samples []int) *leafState {
 	l := &leafState{node: node, samples: samples}
 	for _, i := range samples {
 		l.sumG += g.grad[i] * g.scale[i]
 		l.sumH += g.hess[i] * g.scale[i]
 	}
+	l.hist = g.buildHist(samples)
 	g.findBestSplit(l)
 	return l
 }
 
-// findBestSplit scans per-feature histograms for the best bin split.
+// derivedLeaf materialises the larger child of a split by histogram
+// subtraction: its histograms and gradient/hessian totals are the parent's
+// minus its sibling's, skipping a pass over the (larger) sample half.
+// The subtraction reuses the parent's arena, which the parent no longer
+// needs.
+func (g *histGrower) derivedLeaf(node *treeNode, samples []int, parent, sibling *leafState) *leafState {
+	hist := parent.hist
+	for k := range hist.g {
+		hist.g[k] -= sibling.hist.g[k]
+		hist.h[k] -= sibling.hist.h[k]
+		hist.n[k] -= sibling.hist.n[k]
+	}
+	l := &leafState{
+		node:    node,
+		samples: samples,
+		sumG:    parent.sumG - sibling.sumG,
+		sumH:    parent.sumH - sibling.sumH,
+		hist:    hist,
+	}
+	g.findBestSplit(l)
+	return l
+}
+
+// buildHist accumulates a leaf's histograms in one row-major pass over its
+// samples: per (feature, bin) cell the samples contribute in index order,
+// exactly as a per-feature scan would.
+func (g *histGrower) buildHist(samples []int) *leafHist {
+	h := newLeafHist(g.bins.total)
+	offset := g.bins.offset
+	for _, i := range samples {
+		w := g.scale[i]
+		gw, hw := g.grad[i]*w, g.hess[i]*w
+		for f, b := range g.binned[i] {
+			k := offset[f] + int(b)
+			h.g[k] += gw
+			h.h[k] += hw
+			h.n[k]++
+		}
+	}
+	return h
+}
+
+// findBestSplit scans the leaf's stored histograms for the best bin split,
+// features fanned out over the shared worker pool and reduced in feature
+// order with a strict greater-than — the serial scan's winner, bit for bit.
 func (g *histGrower) findBestSplit(l *leafState) {
 	l.bestGain = 0
 	if len(l.samples) < 2*g.cfg.MinSamplesLeaf {
 		return
 	}
 	numFeatures := len(g.binned[0])
-	score := func(gs, hs float64) float64 { return gs * gs / (hs + g.cfg.Lambda) }
-	parent := score(l.sumG, l.sumH)
-
-	for f := 0; f < numFeatures; f++ {
-		nb := g.bins.numBins(f)
-		if nb < 2 {
-			continue
-		}
-		histG := make([]float64, nb)
-		histH := make([]float64, nb)
-		histN := make([]int, nb)
-		for _, i := range l.samples {
-			b := g.binned[i][f]
-			w := g.scale[i]
-			histG[b] += g.grad[i] * w
-			histH[b] += g.hess[i] * w
-			histN[b]++
-		}
-		var gl, hl float64
-		var nl int
-		for b := 0; b < nb-1; b++ {
-			gl += histG[b]
-			hl += histH[b]
-			nl += histN[b]
-			if nl < g.cfg.MinSamplesLeaf || len(l.samples)-nl < g.cfg.MinSamplesLeaf {
-				continue
-			}
-			gr, hr := l.sumG-gl, l.sumH-hl
-			if hl < g.cfg.MinChildWeight || hr < g.cfg.MinChildWeight {
-				continue
-			}
-			gain := 0.5 * (score(gl, hl) + score(gr, hr) - parent)
-			if gain > l.bestGain {
-				l.bestGain = gain
-				l.bestFeat = f
-				l.bestBin = b
-			}
+	cands := make([]splitCand, numFeatures)
+	want := 1
+	if len(l.samples)*numFeatures >= minParallelSplitWork {
+		want = numFeatures
+	}
+	runWorkers(numFeatures, want, func(_, f int) {
+		cands[f] = g.evalFeature(l, f)
+	})
+	for _, c := range cands {
+		if c.ok && c.gain > l.bestGain {
+			l.bestGain = c.gain
+			l.bestFeat = c.feat
+			l.bestBin = c.bin
 		}
 	}
+}
+
+// evalFeature scans one feature's histogram slice for its best bin split.
+func (g *histGrower) evalFeature(l *leafState, f int) splitCand {
+	nb := g.bins.numBins(f)
+	if nb < 2 {
+		return splitCand{}
+	}
+	off := g.bins.offset[f]
+	histG := l.hist.g[off : off+nb]
+	histH := l.hist.h[off : off+nb]
+	histN := l.hist.n[off : off+nb]
+	score := func(gs, hs float64) float64 { return gs * gs / (hs + g.cfg.Lambda) }
+	parent := score(l.sumG, l.sumH)
+	best := splitCand{feat: f}
+	var gl, hl float64
+	var nl int
+	for b := 0; b < nb-1; b++ {
+		gl += histG[b]
+		hl += histH[b]
+		nl += histN[b]
+		if nl < g.cfg.MinSamplesLeaf || len(l.samples)-nl < g.cfg.MinSamplesLeaf {
+			continue
+		}
+		gr, hr := l.sumG-gl, l.sumH-hl
+		if hl < g.cfg.MinChildWeight || hr < g.cfg.MinChildWeight {
+			continue
+		}
+		gain := 0.5 * (score(gl, hl) + score(gr, hr) - parent)
+		if gain > best.gain {
+			best.gain = gain
+			best.bin = b
+			best.ok = true
+		}
+	}
+	return best
 }
 
 // split applies a leaf's best split, converting it into an internal node and
@@ -473,9 +590,20 @@ func (g *histGrower) split(l *leafState) (left, right *leafState) {
 	}
 	l.node.Feature = l.bestFeat
 	l.node.Threshold = g.bins.threshold(l.bestFeat, l.bestBin)
+	l.node.bin = l.bestBin
 	l.node.Left = &treeNode{}
 	l.node.Right = &treeNode{}
-	return g.newLeaf(l.node.Left, ls), g.newLeaf(l.node.Right, rs)
+	// Histogram subtraction: build the smaller child from its samples,
+	// derive the larger as parent − smaller.
+	if len(ls) <= len(rs) {
+		left = g.newLeaf(l.node.Left, ls)
+		right = g.derivedLeaf(l.node.Right, rs, l, left)
+	} else {
+		right = g.newLeaf(l.node.Right, rs)
+		left = g.derivedLeaf(l.node.Left, ls, l, right)
+	}
+	l.hist = nil
+	return left, right
 }
 
 // PredictProba returns class probabilities (see GBDT.PredictProba).
@@ -506,4 +634,10 @@ func (h *HistGBDT) PredictProba(x []float64) []float64 {
 		}
 	}
 	return out
+}
+
+// PredictBatch predicts every row of X, in parallel across rows; each row's
+// result is identical to PredictProba on that row.
+func (h *HistGBDT) PredictBatch(X [][]float64) [][]float64 {
+	return predictBatch(X, h.Config.Parallelism, h.PredictProba)
 }

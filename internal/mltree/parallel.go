@@ -1,0 +1,126 @@
+package mltree
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the package's single worker-pool idiom. Forest fitting,
+// split-finding and batch prediction all fan out through runWorkers, which
+// draws helper goroutines from one package-wide bounded token pool so that
+// nested parallel sections (a parallel forest fit whose member trees also
+// parallelize split search, or concurrent one-vs-rest boosting arms) cannot
+// multiply into GOMAXPROCS² goroutines.
+//
+// Determinism contract: every call site addresses its tasks by index and
+// writes results only at that index, and every reduction over task results
+// runs on the calling goroutine in index order. The number of helpers
+// actually recruited (which varies with pool pressure) can therefore never
+// change a fitted model or a prediction — only wall-clock time.
+
+// maxExtraWorkers bounds the helper goroutines alive across the whole
+// package at any instant. Snapshotted at init; worker ids passed to tasks
+// are always < maxExtraWorkers+1.
+var maxExtraWorkers = runtime.GOMAXPROCS(0)
+
+// workerTokens is the package-wide pool. A token is one helper goroutine.
+var workerTokens = func() chan struct{} {
+	ch := make(chan struct{}, maxExtraWorkers)
+	for i := 0; i < maxExtraWorkers; i++ {
+		ch <- struct{}{}
+	}
+	return ch
+}()
+
+// minParallelSplitWork gates feature-parallel split search: nodes whose
+// |samples|×|candidate features| product is below it search serially, since
+// pool traffic would cost more than it saves. Variable so tests can force
+// the parallel path on tiny datasets.
+var minParallelSplitWork = 2048
+
+// defaultParallelism resolves a user parallelism knob: values <= 0 mean
+// "use every core".
+func defaultParallelism(p int) int {
+	if p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// acquireWorkers takes up to k tokens without blocking and returns how many
+// it got. Non-blocking acquisition keeps nested sections deadlock-free: a
+// caller that gets zero tokens simply runs inline.
+func acquireWorkers(k int) int {
+	got := 0
+	for got < k {
+		select {
+		case <-workerTokens:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// releaseWorkers returns k tokens to the pool.
+func releaseWorkers(k int) {
+	for i := 0; i < k; i++ {
+		workerTokens <- struct{}{}
+	}
+}
+
+// runWorkers executes task(worker, i) for every i in [0, n), recruiting up
+// to want-1 helper goroutines from the package pool (the caller's goroutine
+// always works too). Worker ids are dense and unique among concurrently
+// live workers, so tasks may index per-worker scratch buffers with them.
+// With want <= 1, or when the pool is drained, all tasks run inline on the
+// caller.
+func runWorkers(n, want int, task func(worker, i int)) {
+	if want > n {
+		want = n
+	}
+	extra := 0
+	if want > 1 {
+		extra = acquireWorkers(want - 1)
+	}
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			task(0, i)
+		}
+		return
+	}
+	defer releaseWorkers(extra)
+	var next atomic.Int64
+	run := func(worker int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			task(worker, i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for w := 1; w <= extra; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			run(worker)
+		}(w)
+	}
+	run(0)
+	wg.Wait()
+}
+
+// predictBatch is the shared batch-inference driver: one output row per
+// input row, rows predicted independently (and therefore identically to a
+// serial PredictProba loop) across up to `parallelism` workers.
+func predictBatch(X [][]float64, parallelism int, perRow func(x []float64) []float64) [][]float64 {
+	out := make([][]float64, len(X))
+	runWorkers(len(X), defaultParallelism(parallelism), func(_, i int) {
+		out[i] = perRow(X[i])
+	})
+	return out
+}

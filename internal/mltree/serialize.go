@@ -120,7 +120,7 @@ func (d *Decoder) Decode() (Classifier, error) {
 		if p.Root == nil {
 			return nil, fmt.Errorf("mltree: tree payload has no root")
 		}
-		return &Tree{Config: p.Config, root: p.Root, classes: env.Classes}, nil
+		return &Tree{Config: p.Config, root: p.Root, flat: compileTree(p.Root), classes: env.Classes}, nil
 	case kindForest:
 		var p forestPayload
 		if err := json.Unmarshal(env.Payload, &p); err != nil {
@@ -134,7 +134,7 @@ func (d *Decoder) Decode() (Classifier, error) {
 			if tp.Root == nil {
 				return nil, fmt.Errorf("mltree: forest member %d has no root", i)
 			}
-			f.trees = append(f.trees, &Tree{Config: tp.Config, root: tp.Root, classes: p.TreeClasses[i]})
+			f.trees = append(f.trees, &Tree{Config: tp.Config, root: tp.Root, flat: compileTree(tp.Root), classes: p.TreeClasses[i]})
 		}
 		return f, nil
 	case kindGBDT:
@@ -142,11 +142,17 @@ func (d *Decoder) Decode() (Classifier, error) {
 		if err := json.Unmarshal(env.Payload, &p); err != nil {
 			return nil, fmt.Errorf("mltree: decoding gbdt: %w", err)
 		}
+		for _, b := range p.Boosters {
+			b.compile()
+		}
 		return &GBDT{Config: p.Config, classes: env.Classes, boosters: p.Boosters}, nil
 	case kindHistGBDT:
 		var p histPayload
 		if err := json.Unmarshal(env.Payload, &p); err != nil {
 			return nil, fmt.Errorf("mltree: decoding histgbdt: %w", err)
+		}
+		for _, b := range p.Boosters {
+			b.compile()
 		}
 		return &HistGBDT{Config: p.Config, classes: env.Classes, boosters: p.Boosters}, nil
 	default:

@@ -3,7 +3,6 @@ package mltree
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"cordial/internal/xrand"
 )
@@ -86,6 +85,12 @@ type treeNode struct {
 	Right     *treeNode `json:"r,omitempty"`
 	Probs     []float64 `json:"p,omitempty"`
 	Value     float64   `json:"v,omitempty"`
+
+	// bin is the split's histogram bin for trees grown over pre-binned
+	// features ("binned[i][Feature] <= bin" is equivalent to
+	// "x[Feature] <= Threshold" for every training row). It exists only
+	// during training — not serialised, not needed for inference.
+	bin int
 }
 
 func (n *treeNode) isLeaf() bool { return n.Left == nil && n.Right == nil }
@@ -95,6 +100,22 @@ func (n *treeNode) navigate(x []float64) *treeNode {
 	cur := n
 	for !cur.isLeaf() {
 		if x[cur.Feature] <= cur.Threshold {
+			cur = cur.Left
+		} else {
+			cur = cur.Right
+		}
+	}
+	return cur
+}
+
+// navigateBinned walks a tree grown over pre-binned features using a binned
+// row, avoiding the float comparisons (and the raw feature matrix) entirely.
+// Valid only for nodes whose bin field was set during histogram growth; the
+// descent is bit-identical to navigate on the raw row.
+func (n *treeNode) navigateBinned(row []uint16) *treeNode {
+	cur := n
+	for !cur.isLeaf() {
+		if int(row[cur.Feature]) <= cur.bin {
 			cur = cur.Left
 		} else {
 			cur = cur.Right
@@ -128,6 +149,7 @@ func (n *treeNode) countLeaves() int {
 type Tree struct {
 	Config  TreeConfig
 	root    *treeNode
+	flat    *flatTree
 	classes []int
 	rng     *xrand.RNG
 }
@@ -154,8 +176,14 @@ func (t *Tree) Fit(ds *Dataset) error {
 	if err := ds.Validate(); err != nil {
 		return err
 	}
-	t.classes = ds.Classes()
-	idx := classIndex(t.classes)
+	t.fitValidated(ds)
+	return nil
+}
+
+// fitValidated grows the tree assuming ds has already been validated.
+func (t *Tree) fitValidated(ds *Dataset) {
+	classes := ds.Classes()
+	idx := classIndex(classes)
 	y := make([]int, ds.NumSamples())
 	for i, l := range ds.Labels {
 		y[i] = idx[l]
@@ -164,69 +192,331 @@ func (t *Tree) Fit(ds *Dataset) error {
 	for i := range samples {
 		samples[i] = i
 	}
+	cols := columnize(ds.Features)
+	t.fitFromSorted(cols, y, classes, presortByFeature(cols, samples))
+}
+
+// fitFromSorted grows the tree from prepared training state: a columnized
+// feature matrix, class-index labels, the class list, and per-feature
+// sorted sample lists (possibly a multiset of rows — the forest passes
+// bootstrap bags derived from a shared base presort). sorted is consumed;
+// cols and y are only read.
+func (t *Tree) fitFromSorted(cols [][]float64, y []int, classes []int, sorted [][]int32) {
+	t.classes = classes
 	b := &classBuilder{
-		cfg:      t.Config,
-		features: ds.Features,
-		y:        y,
-		k:        len(t.classes),
-		rng:      t.rng,
-		maxFeat:  t.Config.resolveMaxFeatures(ds.NumFeatures()),
+		cfg:     t.Config,
+		cols:    cols,
+		y:       y,
+		k:       len(classes),
+		rng:     t.rng,
+		maxFeat: t.Config.resolveMaxFeatures(len(cols)),
 	}
-	t.root = b.build(samples, 0)
-	return nil
+	t.root = b.build(sorted, 0)
+	t.flat = compileTree(t.root)
+}
+
+// deriveSorted filters a base presort down to a bootstrap bag: each base
+// row appears mult[i] times, adjacently, at its sorted position. This is
+// order-equivalent to sorting the bag itself (duplicates share a value) and
+// costs O(features × n) instead of a sort per member.
+func deriveSorted(base [][]int32, mult []int, bag int) [][]int32 {
+	backing := make([]int32, len(base)*bag)
+	out := make([][]int32, len(base))
+	for f, lst := range base {
+		d := backing[f*bag : f*bag : (f+1)*bag]
+		for _, i := range lst {
+			for c := mult[i]; c > 0; c-- {
+				d = append(d, i)
+			}
+		}
+		out[f] = d
+	}
+	return out
 }
 
 // PredictProba returns the class distribution of the leaf x lands in.
 func (t *Tree) PredictProba(x []float64) []float64 {
-	leaf := t.root.navigate(x)
-	out := make([]float64, len(leaf.Probs))
-	copy(out, leaf.Probs)
+	var probs []float64
+	if t.flat != nil {
+		probs = t.flat.leafProbs(x)
+	} else {
+		probs = t.root.navigate(x).Probs
+	}
+	out := make([]float64, len(probs))
+	copy(out, probs)
 	return out
+}
+
+// PredictBatch predicts every row of X, in parallel across rows.
+func (t *Tree) PredictBatch(X [][]float64) [][]float64 {
+	return predictBatch(X, 0, t.PredictProba)
+}
+
+// columnize transposes the row-major feature matrix into per-feature
+// columns backed by one contiguous allocation. Split search is dominated by
+// random accesses into a single feature at a time; a column of a few
+// thousand float64s stays resident in L1/L2, where row-pointer chasing
+// would miss on every sample.
+func columnize(features [][]float64) [][]float64 {
+	n := len(features)
+	numFeatures := len(features[0])
+	backing := make([]float64, n*numFeatures)
+	cols := make([][]float64, numFeatures)
+	for f := range cols {
+		cols[f] = backing[f*n : (f+1)*n]
+	}
+	for i, row := range features {
+		for f, v := range row {
+			cols[f][i] = v
+		}
+	}
+	return cols
+}
+
+// orderableBits maps a float64 to a uint64 whose unsigned order matches the
+// float's numeric order (sign bit flipped for positives, all bits flipped
+// for negatives) — the classic radix-sortable float encoding.
+func orderableBits(v float64) uint64 {
+	u := math.Float64bits(v)
+	if u&(1<<63) != 0 {
+		return ^u
+	}
+	return u | 1<<63
+}
+
+// radixSortPairs stably sorts idx by keys with an LSD byte radix — no
+// comparator calls, so it runs several times faster than a comparison sort
+// on these sizes. keysAlt/idxAlt are same-length scratch. Passes whose byte
+// is constant across all keys (common: exponent bytes of same-scale
+// features) are skipped. Returns the sorted index slice (one of idx/idxAlt,
+// depending on pass parity).
+func radixSortPairs(keys []uint64, idx []int32, keysAlt []uint64, idxAlt []int32) []int32 {
+	var counts [256]int
+	for shift := 0; shift < 64; shift += 8 {
+		first := byte(keys[0] >> shift)
+		constant := true
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, k := range keys {
+			b := byte(k >> shift)
+			counts[b]++
+			constant = constant && b == first
+		}
+		if constant {
+			continue
+		}
+		pos := 0
+		for b := range counts {
+			c := counts[b]
+			counts[b] = pos
+			pos += c
+		}
+		for i, k := range keys {
+			b := byte(k >> shift)
+			p := counts[b]
+			counts[b] = p + 1
+			keysAlt[p] = k
+			idxAlt[p] = idx[i]
+		}
+		keys, keysAlt = keysAlt, keys
+		idx, idxAlt = idxAlt, idx
+	}
+	return idx
+}
+
+// presortByFeature returns, for every feature, the sample indices ordered by
+// that feature's value — the per-fit presort that removes sorting from the
+// per-node split search entirely. Node recursion maintains these orders by
+// stable partition, so only the root ever pays a sort at all. Features sort
+// independently in parallel; the orders (and anything derived from them)
+// are identical for any worker count.
+func presortByFeature(cols [][]float64, samples []int) [][]int32 {
+	numFeatures := len(cols)
+	sorted := make([][]int32, numFeatures)
+	want := 1
+	if len(samples)*numFeatures >= minParallelSplitWork {
+		want = numFeatures
+	}
+	n := len(samples)
+	backing := make([]int32, numFeatures*n)
+	runWorkers(numFeatures, want, func(_, f int) {
+		col := cols[f]
+		keys := make([]uint64, n)
+		idx := make([]int32, n)
+		for i, s := range samples {
+			idx[i] = int32(s)
+			keys[i] = orderableBits(col[s])
+		}
+		seg := backing[f*n : (f+1)*n]
+		copy(seg, radixSortPairs(keys, idx, make([]uint64, n), make([]int32, n)))
+		sorted[f] = seg
+	})
+	return sorted
+}
+
+// partitioner performs the stable in-place partition of per-feature sorted
+// lists at each split. The lists must be segments of per-feature arenas:
+// left entries compact to the segment's front, right entries to its back,
+// and children receive subslices of the same memory — zero list allocation
+// per node. One membership buffer and per-worker copy buffers are reused
+// down the (serial) recursion.
+type partitioner struct {
+	inLeft []bool    // split membership, indexed by sample id
+	bufs   [][]int32 // per-worker right-side copy buffers
+	n      int       // sample-id space size (len(cols[0]))
+}
+
+func newPartitioner(n int) *partitioner {
+	return &partitioner{
+		inLeft: make([]bool, n),
+		bufs:   make([][]int32, maxExtraWorkers+1),
+		n:      n,
+	}
+}
+
+// split partitions every feature's list around the chosen split, preserving
+// order, and returns views of the left/right segments. Membership is a byte
+// lookup in inLeft, marked from the split feature's first nl sorted
+// entries — exactly the samples with value <= threshold. Features partition
+// independently in parallel.
+func (p *partitioner) split(sorted [][]int32, feat, nl int) (left, right [][]int32) {
+	for _, i := range sorted[feat][:nl] {
+		p.inLeft[i] = true
+	}
+	m := len(sorted[0])
+	left = make([][]int32, len(sorted))
+	right = make([][]int32, len(sorted))
+	want := 1
+	if m*len(sorted) >= minParallelSplitWork {
+		want = len(sorted)
+	}
+	runWorkers(len(sorted), want, func(worker, f int) {
+		buf := p.bufs[worker]
+		if buf == nil {
+			buf = make([]int32, p.n)
+			p.bufs[worker] = buf
+		}
+		lst := sorted[f]
+		w, nr := 0, 0
+		for _, i := range lst {
+			if p.inLeft[i] {
+				lst[w] = i
+				w++
+			} else {
+				buf[nr] = i
+				nr++
+			}
+		}
+		copy(lst[w:], buf[:nr])
+		left[f] = lst[:w]
+		right[f] = lst[w:]
+	})
+	for _, i := range left[feat] {
+		p.inLeft[i] = false
+	}
+	return left, right
+}
+
+// copyLists clones per-feature sorted lists into a fresh contiguous arena,
+// so a cached presort survives the in-place partitioning of one tree's
+// growth (GBDT reuses the root presort across rounds).
+func copyLists(src [][]int32) [][]int32 {
+	n := len(src[0])
+	backing := make([]int32, len(src)*n)
+	out := make([][]int32, len(src))
+	for f, lst := range src {
+		seg := backing[f*n : (f+1)*n]
+		copy(seg, lst)
+		out[f] = seg
+	}
+	return out
+}
+
+// splitCand is one feature's best split, produced independently per feature
+// so split search can fan out across features and still reduce in
+// deterministic candidate order.
+type splitCand struct {
+	gain float64
+	feat int
+	thr  float64
+	nl   int // left-child size (exact-split paths)
+	bin  int // histogram split bin (HistGBDT path only)
+	ok   bool
+}
+
+// minClassGain is the impurity-decrease floor below which a classification
+// split is not worth making.
+const minClassGain = 1e-12
+
+// classScratch is one worker's reusable class-count buffers.
+type classScratch struct {
+	leftCounts  []float64
+	rightCounts []float64
 }
 
 // classBuilder grows a classification tree recursively.
 type classBuilder struct {
-	cfg      TreeConfig
-	features [][]float64
-	y        []int
-	k        int
-	rng      *xrand.RNG
-	maxFeat  int
+	cfg     TreeConfig
+	cols    [][]float64 // column-major feature matrix (see columnize)
+	y       []int
+	k       int
+	rng     *xrand.RNG
+	maxFeat int
+
+	// scratches holds per-worker buffers for feature-parallel split
+	// search; worker ids from runWorkers index it.
+	scratches [](*classScratch)
+
+	// part performs the in-place list partition at each split.
+	part *partitioner
 }
 
-func (b *classBuilder) build(samples []int, depth int) *treeNode {
+// scratch returns worker's buffer set, allocating it on first use. The
+// scratches slice itself must already exist (allocated on the fan-out
+// goroutine); per-slot writes are safe because worker ids are unique among
+// concurrently live workers.
+func (b *classBuilder) scratch(worker int) *classScratch {
+	sc := b.scratches[worker]
+	if sc == nil {
+		sc = &classScratch{
+			leftCounts:  make([]float64, b.k),
+			rightCounts: make([]float64, b.k),
+		}
+		b.scratches[worker] = sc
+	}
+	return sc
+}
+
+// build grows the subtree over sorted (per-feature sorted sample lists; all
+// lists hold the same member set).
+func (b *classBuilder) build(sorted [][]int32, depth int) *treeNode {
+	samples := sorted[0]
+	n := len(samples)
 	counts := make([]float64, b.k)
 	for _, i := range samples {
 		counts[b.y[i]]++
 	}
 	leaf := func() *treeNode {
 		probs := make([]float64, b.k)
-		n := float64(len(samples))
 		for c, v := range counts {
-			probs[c] = v / n
+			probs[c] = v / float64(n)
 		}
 		return &treeNode{Probs: probs}
 	}
-	if len(samples) < b.cfg.MinSamplesSplit ||
+	if n < b.cfg.MinSamplesSplit ||
 		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) ||
 		isPure(counts) {
 		return leaf()
 	}
-	feat, thr, ok := b.bestSplit(samples, counts)
-	if !ok {
+	feat, thr, nl, ok := b.bestSplit(sorted, counts)
+	if !ok || nl < b.cfg.MinSamplesLeaf || n-nl < b.cfg.MinSamplesLeaf {
 		return leaf()
 	}
-	var left, right []int
-	for _, i := range samples {
-		if b.features[i][feat] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
+	if b.part == nil {
+		b.part = newPartitioner(len(b.cols[0]))
 	}
-	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
-		return leaf()
-	}
+	left, right := b.part.split(sorted, feat, nl)
 	return &treeNode{
 		Feature:   feat,
 		Threshold: thr,
@@ -271,57 +561,76 @@ func impurity(counts []float64, n float64, crit Criterion) float64 {
 }
 
 // bestSplit searches the sampled feature subset for the split with the
-// largest impurity decrease. It returns ok=false when no valid split exists.
-func (b *classBuilder) bestSplit(samples []int, parentCounts []float64) (feat int, thr float64, ok bool) {
-	n := float64(len(samples))
+// largest impurity decrease, fanning candidate features out over the shared
+// worker pool. Each feature is scored independently over its presorted
+// sample list and the winners reduce in candidate order with a strict
+// greater-than, which reproduces the serial scan's tie-breaking (first
+// feature, then first threshold, to reach the maximum) bit for bit. It
+// returns ok=false when no valid split exists.
+func (b *classBuilder) bestSplit(sorted [][]int32, parentCounts []float64) (feat int, thr float64, nl int, ok bool) {
+	n := float64(len(sorted[0]))
 	parentImp := impurity(parentCounts, n, b.cfg.Criterion)
-	bestGain := 1e-12
 
-	numFeatures := len(b.features[0])
-	candidates := b.featureCandidates(numFeatures)
+	candidates := b.featureCandidates(len(sorted))
 
-	type pair struct {
-		v float64
-		y int
+	cands := make([]splitCand, len(candidates))
+	want := 1
+	if len(sorted[0])*len(candidates) >= minParallelSplitWork {
+		want = len(candidates)
 	}
-	pairs := make([]pair, len(samples))
-	leftCounts := make([]float64, b.k)
-	rightCounts := make([]float64, b.k)
+	if b.scratches == nil {
+		b.scratches = make([]*classScratch, maxExtraWorkers+1)
+	}
+	runWorkers(len(candidates), want, func(worker, ci int) {
+		cands[ci] = b.evalFeature(candidates[ci], sorted[candidates[ci]], parentCounts, parentImp, n, b.scratch(worker))
+	})
 
-	for _, f := range candidates {
-		for i, s := range samples {
-			pairs[i] = pair{v: b.features[s][f], y: b.y[s]}
-		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
-		if pairs[0].v == pairs[len(pairs)-1].v {
-			continue // constant feature
-		}
-		for c := range leftCounts {
-			leftCounts[c] = 0
-			rightCounts[c] = parentCounts[c]
-		}
-		for i := 0; i < len(pairs)-1; i++ {
-			leftCounts[pairs[i].y]++
-			rightCounts[pairs[i].y]--
-			if pairs[i].v == pairs[i+1].v {
-				continue
-			}
-			nl, nr := float64(i+1), n-float64(i+1)
-			if int(nl) < b.cfg.MinSamplesLeaf || int(nr) < b.cfg.MinSamplesLeaf {
-				continue
-			}
-			childImp := (nl*impurity(leftCounts, nl, b.cfg.Criterion) +
-				nr*impurity(rightCounts, nr, b.cfg.Criterion)) / n
-			gain := parentImp - childImp
-			if gain > bestGain {
-				bestGain = gain
-				feat = f
-				thr = (pairs[i].v + pairs[i+1].v) / 2
-				ok = true
-			}
+	bestGain := minClassGain
+	for _, c := range cands {
+		if c.ok && c.gain > bestGain {
+			bestGain, feat, thr, nl, ok = c.gain, c.feat, c.thr, c.nl, true
 		}
 	}
-	return feat, thr, ok
+	return feat, thr, nl, ok
+}
+
+// evalFeature scores every threshold of one feature by a single pass over
+// its presorted sample list and returns the first threshold attaining the
+// feature's maximum gain above the floor.
+func (b *classBuilder) evalFeature(f int, list []int32, parentCounts []float64, parentImp, n float64, sc *classScratch) splitCand {
+	col := b.cols[f]
+	if col[list[0]] == col[list[len(list)-1]] {
+		return splitCand{} // constant feature
+	}
+	leftCounts, rightCounts := sc.leftCounts, sc.rightCounts
+	for c := range leftCounts {
+		leftCounts[c] = 0
+		rightCounts[c] = parentCounts[c]
+	}
+	best := splitCand{gain: minClassGain, feat: f}
+	for i := 0; i < len(list)-1; i++ {
+		yi := b.y[list[i]]
+		leftCounts[yi]++
+		rightCounts[yi]--
+		v, vNext := col[list[i]], col[list[i+1]]
+		if v == vNext {
+			continue
+		}
+		cl, cr := float64(i+1), n-float64(i+1)
+		if i+1 < b.cfg.MinSamplesLeaf || len(list)-i-1 < b.cfg.MinSamplesLeaf {
+			continue
+		}
+		childImp := (cl*impurity(leftCounts, cl, b.cfg.Criterion) +
+			cr*impurity(rightCounts, cr, b.cfg.Criterion)) / n
+		gain := parentImp - childImp
+		if gain > best.gain {
+			best.gain = gain
+			best.thr = (v + vNext) / 2
+			best.nl = i + 1
+			best.ok = true
+		}
+	}
+	return best
 }
 
 // featureCandidates returns the features to consider at one split.
@@ -346,17 +655,23 @@ type regTree struct {
 	rng     *xrand.RNG
 	maxFeat int
 
-	features [][]float64
-	grad     []float64
-	hess     []float64
+	cols [][]float64 // column-major feature matrix (see columnize)
+	grad []float64
+	hess []float64
+
+	// part performs the in-place list partition at each split; shared
+	// across a boosting chain's rounds (recursion is serial per chain).
+	part *partitioner
 }
 
 // fit grows the tree over the given sample indices and returns its root.
 func (r *regTree) fit(samples []int) *treeNode {
-	return r.build(samples, 0)
+	return r.build(presortByFeature(r.cols, samples), 0)
 }
 
-func (r *regTree) build(samples []int, depth int) *treeNode {
+func (r *regTree) build(sorted [][]int32, depth int) *treeNode {
+	samples := sorted[0]
+	n := len(samples)
 	var g, h float64
 	for _, i := range samples {
 		g += r.grad[i]
@@ -365,25 +680,18 @@ func (r *regTree) build(samples []int, depth int) *treeNode {
 	leaf := func() *treeNode {
 		return &treeNode{Value: -g / (h + r.lambda)}
 	}
-	if len(samples) < r.cfg.MinSamplesSplit ||
+	if n < r.cfg.MinSamplesSplit ||
 		(r.cfg.MaxDepth > 0 && depth >= r.cfg.MaxDepth) {
 		return leaf()
 	}
-	feat, thr, ok := r.bestSplit(samples, g, h)
-	if !ok {
+	feat, thr, nl, ok := r.bestSplit(sorted, g, h)
+	if !ok || nl < r.cfg.MinSamplesLeaf || n-nl < r.cfg.MinSamplesLeaf {
 		return leaf()
 	}
-	var left, right []int
-	for _, i := range samples {
-		if r.features[i][feat] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
+	if r.part == nil {
+		r.part = newPartitioner(len(r.cols[0]))
 	}
-	if len(left) < r.cfg.MinSamplesLeaf || len(right) < r.cfg.MinSamplesLeaf {
-		return leaf()
-	}
+	left, right := r.part.split(sorted, feat, nl)
 	return &treeNode{
 		Feature:   feat,
 		Threshold: thr,
@@ -393,52 +701,65 @@ func (r *regTree) build(samples []int, depth int) *treeNode {
 }
 
 // bestSplit maximises the XGBoost structure-score gain
-// 0.5*(GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)) − γ.
-func (r *regTree) bestSplit(samples []int, g, h float64) (feat int, thr float64, ok bool) {
+// 0.5*(GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)) − γ, feature-parallel with the
+// same deterministic reduction as the classification search.
+func (r *regTree) bestSplit(sorted [][]int32, g, h float64) (feat int, thr float64, nl int, ok bool) {
+	candidates := r.featureCandidates(len(sorted))
+
+	cands := make([]splitCand, len(candidates))
+	want := 1
+	if len(sorted[0])*len(candidates) >= minParallelSplitWork {
+		want = len(candidates)
+	}
+	runWorkers(len(candidates), want, func(_, ci int) {
+		cands[ci] = r.evalFeature(candidates[ci], sorted[candidates[ci]], g, h)
+	})
+
+	bestGain := 0.0
+	for _, c := range cands {
+		if c.ok && c.gain > bestGain {
+			bestGain, feat, thr, nl, ok = c.gain, c.feat, c.thr, c.nl, true
+		}
+	}
+	return feat, thr, nl, ok
+}
+
+// evalFeature scores every threshold of one feature against the regularised
+// gain in one pass over its presorted sample list, returning the first
+// threshold attaining the feature's maximum.
+func (r *regTree) evalFeature(f int, list []int32, g, h float64) splitCand {
 	score := func(gs, hs float64) float64 { return gs * gs / (hs + r.lambda) }
 	parent := score(g, h)
-	bestGain := 0.0
 
-	numFeatures := len(r.features[0])
-	candidates := r.featureCandidates(numFeatures)
-
-	type pair struct {
-		v    float64
-		g, h float64
+	col := r.cols[f]
+	if col[list[0]] == col[list[len(list)-1]] {
+		return splitCand{}
 	}
-	pairs := make([]pair, len(samples))
-	for _, f := range candidates {
-		for i, s := range samples {
-			pairs[i] = pair{v: r.features[s][f], g: r.grad[s], h: r.hess[s]}
-		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
-		if pairs[0].v == pairs[len(pairs)-1].v {
+	best := splitCand{feat: f}
+	var gl, hl float64
+	for i := 0; i < len(list)-1; i++ {
+		gl += r.grad[list[i]]
+		hl += r.hess[list[i]]
+		v, vNext := col[list[i]], col[list[i+1]]
+		if v == vNext {
 			continue
 		}
-		var gl, hl float64
-		for i := 0; i < len(pairs)-1; i++ {
-			gl += pairs[i].g
-			hl += pairs[i].h
-			if pairs[i].v == pairs[i+1].v {
-				continue
-			}
-			if i+1 < r.cfg.MinSamplesLeaf || len(pairs)-i-1 < r.cfg.MinSamplesLeaf {
-				continue
-			}
-			gr, hr := g-gl, h-hl
-			if hl < r.minHess || hr < r.minHess {
-				continue
-			}
-			gain := 0.5*(score(gl, hl)+score(gr, hr)-parent) - r.gamma
-			if gain > bestGain {
-				bestGain = gain
-				feat = f
-				thr = (pairs[i].v + pairs[i+1].v) / 2
-				ok = true
-			}
+		if i+1 < r.cfg.MinSamplesLeaf || len(list)-i-1 < r.cfg.MinSamplesLeaf {
+			continue
+		}
+		gr, hr := g-gl, h-hl
+		if hl < r.minHess || hr < r.minHess {
+			continue
+		}
+		gain := 0.5*(score(gl, hl)+score(gr, hr)-parent) - r.gamma
+		if gain > best.gain {
+			best.gain = gain
+			best.thr = (v + vNext) / 2
+			best.nl = i + 1
+			best.ok = true
 		}
 	}
-	return feat, thr, ok
+	return best
 }
 
 func (r *regTree) featureCandidates(numFeatures int) []int {

@@ -1,0 +1,52 @@
+// Package profiling wires the runtime/pprof collectors behind the
+// -cpuprofile/-memprofile flags of the cordial commands, so hot-path
+// regressions in training and inference are diagnosable with
+// `go tool pprof` against a production-shaped run.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths and
+// returns a stop function that finalises them. cpuPath starts a CPU profile
+// immediately; memPath records a heap profile at stop time, after a GC, so
+// it reflects live memory rather than transient garbage. Stop must be called
+// before exit (typically deferred from main) or the profile files are
+// truncated/empty.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: starting cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: closing cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: creating mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialise up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: writing mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

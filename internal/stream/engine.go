@@ -14,6 +14,12 @@
 // world. Ingest is wait-free apart from the queue send; per-bank event
 // order is preserved because one bank always hashes to the same shard and
 // shard queues are FIFO.
+//
+// Per-event inference cost: a UER on an aggregation bank triggers one
+// window prediction, which the pipeline issues as a single PredictBatch
+// over all 16 block vectors — served by mltree's flattened
+// struct-of-arrays trees rather than per-block pointer chasing — so the
+// shard consumer's critical path stays short under burst load.
 package stream
 
 import (

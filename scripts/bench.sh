@@ -1,0 +1,53 @@
+#!/bin/sh
+# Runs the mltree training/inference benchmarks and records ns/op in
+# BENCH_mltree.json (with Go/CPU/GOMAXPROCS metadata) so performance
+# changes leave a checked-in paper trail. BenchmarkTrainPipeline is the
+# headline end-to-end number; the internal/mltree micro-benches isolate the
+# per-model fit cost and PredictBatch covers batch inference.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 20x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-20x}"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkTrainPipeline$|BenchmarkForestFit|BenchmarkHistGBDTFit|BenchmarkPredictBatch' \
+    -benchtime "$benchtime" . | tee "$tmp"
+go test -run '^$' \
+    -bench 'BenchmarkForestFit$|BenchmarkGBDTFit$|BenchmarkHistGBDTFit$|BenchmarkTreeFit$' \
+    -benchtime "$benchtime" ./internal/mltree/ | tee -a "$tmp"
+
+awk \
+    -v go_version="$(go version | awk '{print $3}')" \
+    -v maxprocs="$(go env GOMAXPROCS 2>/dev/null || echo 0)" \
+    -v nproc="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" \
+    -v benchtime="$benchtime" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^pkg:/ { pkg = $2 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    key = pkg "." name
+    ns[key] = $3
+    order[++n] = key
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cores\": %d,\n", nproc
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"ns_per_op\": {\n"
+    for (i = 1; i <= n; i++)
+        printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+}' "$tmp" > BENCH_mltree.json
+
+echo "wrote BENCH_mltree.json"

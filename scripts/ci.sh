@@ -25,7 +25,17 @@ go build ./...
 echo "==> go test"
 go test ./... "$@"
 
+echo "==> go test -race (parallel-training equivalence focus)"
+# Fast-failing race pass over the tests that exercise the shared worker
+# pool hardest: parallel-vs-serial equivalence, flat-tree round-trips and
+# batch inference. The full -race suite below still covers everything.
+go test -race -run 'Equivalence|Parallel|RoundTrip|Batch' \
+    ./internal/mltree/ ./internal/core/
+
 echo "==> go test -race"
 go test -race ./... "$@"
+
+echo "==> bench smoke (1 iteration)"
+go test -run '^$' -bench . -benchtime 1x ./...
 
 echo "==> ok"
