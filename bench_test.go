@@ -11,8 +11,10 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"cordial/internal/core"
+	"cordial/internal/ecc"
 	"cordial/internal/experiments"
 	"cordial/internal/mltree"
 	"cordial/internal/xrand"
@@ -288,6 +290,95 @@ func BenchmarkStreamSessionOnEvent(b *testing.B) {
 				sess.OnEvent(e)
 			}
 		}
+	}
+}
+
+// longSessionEvents synthesises one bank's n-event history with the shape
+// that stresses per-event session cost over a long life: a slowly drifting
+// CE cluster with a UER on every 10th event at a previously unseen row, so
+// the first three UER rows are tightly clustered (the pattern stage reads
+// the bank as an aggregation failure) and block predictions keep firing
+// across the whole history instead of only during a short burst.
+func longSessionEvents(n int) []Event {
+	r := xrand.New(7)
+	const baseRow = 4096
+	start := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	events := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		e := Event{
+			Time:  start.Add(time.Duration(i) * 30 * time.Second),
+			Class: ecc.ClassCE,
+		}
+		e.Addr.Row = baseRow + i/10
+		if i%10 == 9 {
+			e.Class = ecc.ClassUER
+		} else {
+			e.Addr.Row += r.Intn(4)
+		}
+		e.Addr.Column = r.Intn(DefaultGeometry.ColsPerBank)
+		events = append(events, e)
+	}
+	return events
+}
+
+// BenchmarkSessionOnEvent measures per-event cost of one long-lived bank
+// session at two history lengths. The headline metric is ns/event: it must
+// stay flat between history=1000 and history=10000 — per-event work that
+// grows with session age is exactly the O(history²) failure mode the
+// incremental feature state exists to prevent.
+func BenchmarkSessionOnEvent(b *testing.B) {
+	pipe, _ := streamBenchState()
+	strategy := NewStrategy(pipe, DefaultGeometry)
+	for _, h := range []int{1000, 10000} {
+		events := longSessionEvents(h)
+		b.Run(fmt.Sprintf("history=%d", h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sess := strategy.NewSession(BankOf(events[0].Addr))
+				for _, e := range events {
+					sess.OnEvent(e)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(h), "ns/event")
+		})
+	}
+}
+
+// BenchmarkStreamIngestLongSession replays the same single-bank long
+// histories through the full engine (1 shard, so the session path is the
+// bottleneck): the end-to-end ns/event must stay flat with history length
+// just like the bare-session benchmark.
+func BenchmarkStreamIngestLongSession(b *testing.B) {
+	pipe, _ := streamBenchState()
+	for _, h := range []int{1000, 10000} {
+		events := longSessionEvents(h)
+		b.Run(fmt.Sprintf("history=%d", h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultStreamConfig(pipe)
+				cfg.Shards = 1
+				cfg.QueueDepth = 4096
+				engine, err := NewStreamEngine(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for range engine.Actions() {
+					}
+				}()
+				for _, e := range events {
+					if err := engine.Ingest(e); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := engine.Close(); err != nil {
+					b.Fatal(err)
+				}
+				<-done
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(h), "ns/event")
+		})
 	}
 }
 

@@ -16,7 +16,6 @@ import (
 	"cordial/internal/ecc"
 	"cordial/internal/faultsim"
 	"cordial/internal/features"
-	"cordial/internal/mcelog"
 	"cordial/internal/mltree"
 )
 
@@ -167,17 +166,35 @@ func BuildPatternDataset(banks []*faultsim.BankFault, cfg features.PatternConfig
 // every observed first-UER from the warmup-th onward, one sample per block,
 // labelled by whether any UER event — a new row failing or a known row
 // recurring — lands in that block strictly after the decision time.
+//
+// The bank's events are replayed exactly once through an incremental
+// feature state: BankFault.Events are time-sorted and UERTimes is
+// nondecreasing, so each decision point only needs to fold in the events
+// between the previous cutoff and its own. This replaces the earlier
+// prefix-slice recomputation, which was quadratic in the event count per
+// bank.
 func blockInstances(bf *faultsim.BankFault, spec features.BlockSpec, warmup int) (vecs [][]float64, labels []int, err error) {
 	n := len(bf.UERRows)
 	if warmup < 1 {
 		warmup = 1
 	}
+	if n < warmup {
+		return nil, nil, nil
+	}
+	st, err := features.NewBankState(features.DefaultPatternConfig(), spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	next := 0
 	for k := warmup; k <= n; k++ {
 		anchor := bf.UERRows[k-1]
 		now := bf.UERTimes[k-1]
-		visible := visibleEvents(bf.Events, now)
+		for next < len(bf.Events) && !bf.Events[next].Time.After(now) {
+			st.Observe(bf.Events[next])
+			next++
+		}
 		for b := 0; b < spec.NumBlocks(); b++ {
-			vec, err := features.BlockVector(visible, anchor, spec, b, now)
+			vec, err := st.BlockVector(anchor, b, now)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -207,17 +224,6 @@ func blockHasFutureUER(bf *faultsim.BankFault, spec features.BlockSpec, anchor, 
 		}
 	}
 	return false
-}
-
-// visibleEvents returns events with Time ≤ now, preserving order.
-func visibleEvents(events []mcelog.Event, now time.Time) []mcelog.Event {
-	var out []mcelog.Event
-	for _, e := range events {
-		if !e.Time.After(now) {
-			out = append(out, e)
-		}
-	}
-	return out
 }
 
 // BuildBlockDataset assembles the cross-row prediction dataset from the

@@ -186,13 +186,47 @@ func calibrateThreshold(model mltree.Classifier, ds *mltree.Dataset) float64 {
 // Fitted reports whether both stages have been trained.
 func (p *Pipeline) Fitted() bool { return p.patternModel != nil && p.blockModel != nil }
 
+// NewBankState returns an empty incremental feature accumulator matching
+// the pipeline's pattern and block configuration, ready to drive the
+// state-based predict methods.
+func (p *Pipeline) NewBankState() (*features.BankState, error) {
+	return features.NewBankState(p.cfg.Pattern, p.cfg.Block)
+}
+
+// replayState builds a feature state over a complete event slice. The
+// slice-based predict methods are defined as exactly this replay followed
+// by the state-based variant.
+func (p *Pipeline) replayState(events []mcelog.Event) (*features.BankState, error) {
+	st, err := p.NewBankState()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range events {
+		st.Observe(e)
+	}
+	return st, nil
+}
+
 // ClassifyPattern predicts the bank-level failure class from the bank's
-// events (using the configured first-K-UER budget).
+// events (using the configured first-K-UER budget). It is the slice
+// convenience form of ClassifyPatternState: the events are replayed once
+// through a fresh feature state.
 func (p *Pipeline) ClassifyPattern(events []mcelog.Event) (faultsim.Class, error) {
+	st, err := p.replayState(events)
+	if err != nil {
+		return 0, err
+	}
+	return p.ClassifyPatternState(st)
+}
+
+// ClassifyPatternState predicts the bank-level failure class from an
+// incrementally maintained feature state, without revisiting the event
+// history. This is the online engine's O(1)-per-event path.
+func (p *Pipeline) ClassifyPatternState(st *features.BankState) (faultsim.Class, error) {
 	if p.patternModel == nil {
 		return 0, fmt.Errorf("core: pipeline not fitted")
 	}
-	vec, err := features.PatternVector(events, p.cfg.Pattern)
+	vec, err := st.PatternVector()
 	if err != nil {
 		return 0, err
 	}
@@ -200,8 +234,20 @@ func (p *Pipeline) ClassifyPattern(events []mcelog.Event) (faultsim.Class, error
 }
 
 // PredictBlocks returns the per-block UER probability for the window
-// anchored at anchorRow, given the events observed up to now.
+// anchored at anchorRow, given the events observed up to now. It is the
+// slice convenience form of PredictBlocksState.
 func (p *Pipeline) PredictBlocks(events []mcelog.Event, anchorRow int, now time.Time) ([]float64, error) {
+	st, err := p.replayState(events)
+	if err != nil {
+		return nil, err
+	}
+	return p.PredictBlocksState(st, anchorRow, now)
+}
+
+// PredictBlocksState returns the per-block UER probability for the window
+// anchored at anchorRow, computed from an incrementally maintained feature
+// state at decision time now.
+func (p *Pipeline) PredictBlocksState(st *features.BankState, anchorRow int, now time.Time) ([]float64, error) {
 	if p.blockModel == nil {
 		return nil, fmt.Errorf("core: pipeline not fitted")
 	}
@@ -222,7 +268,7 @@ func (p *Pipeline) PredictBlocks(events []mcelog.Event, anchorRow int, now time.
 	// predictions.
 	vecs := make([][]float64, len(probs))
 	for b := range vecs {
-		vec, err := features.BlockVector(events, anchorRow, p.cfg.Block, b, now)
+		vec, err := st.BlockVector(anchorRow, b, now)
 		if err != nil {
 			return nil, err
 		}
@@ -337,6 +383,18 @@ type ClassifiedSession interface {
 	Class() (class faultsim.Class, ok bool)
 }
 
+// InstrumentedSession is optionally implemented by sessions that expose
+// the memory footprint of their incremental feature state. The stream
+// engine uses it for the bounded-memory accounting surfaced by
+// Engine.Stats and the statsz endpoint.
+type InstrumentedSession interface {
+	Session
+	// StateFootprint returns the session's current feature-state size;
+	// released reports that the state has been dropped after a terminal
+	// decision (bank spared), in which case the footprint is zero.
+	StateFootprint() (fp features.StateFootprint, released bool)
+}
+
 // Decision is a mitigation step taken at one event.
 type Decision struct {
 	// SpareBank requests bank sparing (scattered pattern policy).
@@ -374,60 +432,77 @@ func (s *CordialStrategy) Name() string {
 	return "Cordial-" + s.Pipeline.Config().Model.ShortName()
 }
 
-// NewSession returns per-bank state.
+// NewSession returns per-bank state: an incremental feature accumulator
+// instead of an event buffer, so per-event cost and memory stay flat over
+// the session's life.
 func (s *CordialStrategy) NewSession(bank hbm.BankAddress) Session {
-	return &cordialSession{strategy: s}
+	st, err := s.Pipeline.NewBankState()
+	if err != nil {
+		// Only reachable with a hand-rolled invalid config; the session
+		// then takes no decisions rather than panicking the replay loop.
+		st = nil
+	}
+	return &cordialSession{strategy: s, state: st}
 }
 
 type cordialSession struct {
 	strategy *CordialStrategy
-	events   []mcelog.Event
-	uerRows  []int
-	seenRows map[int]bool
+	// state accumulates the bank's features incrementally; nil once
+	// released after a terminal decision (bank spared).
+	state *features.BankState
 
 	classified bool
 	class      faultsim.Class
 }
 
+var (
+	_ ClassifiedSession   = (*cordialSession)(nil)
+	_ InstrumentedSession = (*cordialSession)(nil)
+)
+
 // Class returns the pattern class assigned at the UER budget; ok is false
 // before classification.
 func (s *cordialSession) Class() (faultsim.Class, bool) { return s.class, s.classified }
 
+// StateFootprint reports the feature accumulator's size; released is true
+// once the session dropped its state after bank sparing.
+func (s *cordialSession) StateFootprint() (features.StateFootprint, bool) {
+	if s.state == nil {
+		return features.StateFootprint{}, true
+	}
+	return s.state.Footprint(), false
+}
+
 func (s *cordialSession) OnEvent(e mcelog.Event) Decision {
-	s.events = append(s.events, e)
-	if e.Class != ecc.ClassUER {
+	if s.state == nil {
+		// Bank already spared: no further decision can change, and the
+		// feature state has been released.
 		return Decision{}
 	}
-	if s.seenRows == nil {
-		s.seenRows = make(map[int]bool)
+	prevDistinct := s.state.DistinctUERRows()
+	s.state.Observe(e)
+	if e.Class != ecc.ClassUER || s.state.DistinctUERRows() == prevDistinct {
+		return Decision{} // not a UER, or a repeat of a known failed row
 	}
-	if s.seenRows[e.Addr.Row] {
-		return Decision{}
-	}
-	s.seenRows[e.Addr.Row] = true
-	s.uerRows = append(s.uerRows, e.Addr.Row)
 
 	pipe := s.strategy.Pipeline
-	budget := pipe.Config().Pattern.UERBudget
-	if len(s.uerRows) < budget {
+	if s.state.DistinctUERRows() < pipe.Config().Pattern.UERBudget {
 		return Decision{}
 	}
 	if !s.classified {
-		class, err := pipe.ClassifyPattern(s.events)
+		class, err := pipe.ClassifyPatternState(s.state)
 		if err != nil {
 			return Decision{}
 		}
 		s.classified = true
 		s.class = class
 		if !class.IsAggregation() {
+			s.state = nil // terminal: release the accumulator
 			return Decision{SpareBank: true}
 		}
 	}
-	if !s.class.IsAggregation() {
-		return Decision{} // bank already spared
-	}
 	anchor := e.Addr.Row
-	probs, err := pipe.PredictBlocks(s.events, anchor, e.Time)
+	probs, err := pipe.PredictBlocksState(s.state, anchor, e.Time)
 	if err != nil {
 		return Decision{}
 	}

@@ -4,10 +4,23 @@
 // first three UERs) and for per-block cross-row failure prediction (using
 // everything observed up to the decision time, plus block-local geometry).
 //
-// Missing information (e.g. a bank with no CEs) is encoded with the
-// Missing sentinel, which tree learners split around naturally. Feature
-// vectors have a fixed, documented order; the *FeatureNames functions return
-// the matching column names.
+// Every vector is reproducible through two interchangeable paths with
+// bit-identical results: the batch path (PatternVector/BlockVector over an
+// event slice, internally a single forward replay) and the incremental
+// path (a BankState fed one event at a time via Observe, O(1) amortized
+// per event and bounded memory — the representation the offline dataset
+// builders and the online stream engine share). The unexported
+// reference* functions keep the original whole-slice implementations as
+// the executable specification; equivalence between the two paths is
+// enforced by table tests and a fuzz target.
+//
+// Missing information is encoded with the Missing sentinel, which tree
+// learners split around naturally. A bank with no events of a class
+// yields Missing for all of that class's statistics; a freshly created
+// BankState (no events at all) yields Missing for every sequence
+// statistic, zero for counts, and an error from PatternVector until the
+// first UER arrives. Feature vectors have a fixed, documented order; the
+// *FeatureNames functions return the matching column names.
 package features
 
 import (
@@ -146,6 +159,8 @@ func DefaultPatternConfig() PatternConfig { return PatternConfig{UERBudget: 3} }
 const patternFeatureCount = 29
 
 // PatternFeatureNames returns the column names of PatternVector, in order.
+// The same order is produced by both the batch and the incremental
+// (BankState.PatternVector) extraction paths.
 func PatternFeatureNames() []string {
 	names := make([]string, 0, patternFeatureCount)
 	for _, class := range []string{"ce", "ueo", "uer"} {
@@ -170,8 +185,26 @@ func PatternFeatureNames() []string {
 
 // PatternVector computes the §IV-B feature vector for failure-pattern
 // classification from a bank's time-sorted events. It returns an error when
-// the bank has no UER (no pattern to classify).
+// the bank has no UER (no pattern to classify). It is a thin wrapper that
+// replays the events once through an incremental BankState; the result is
+// bit-identical to referencePatternVector (the original whole-slice
+// implementation, kept as the executable specification).
 func PatternVector(events []mcelog.Event, cfg PatternConfig) ([]float64, error) {
+	st, err := NewBankState(cfg, DefaultBlockSpec())
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range events {
+		st.Observe(e)
+	}
+	return st.PatternVector()
+}
+
+// referencePatternVector is the batch reference implementation of
+// PatternVector: several passes over the full slice, obviously faithful to
+// §IV-B. It exists to pin the incremental path — the equivalence tests and
+// FuzzIncrementalFeatureEquivalence compare against it at every prefix.
+func referencePatternVector(events []mcelog.Event, cfg PatternConfig) ([]float64, error) {
 	if cfg.UERBudget <= 0 {
 		cfg.UERBudget = 3
 	}
@@ -319,6 +352,8 @@ func (s BlockSpec) BlockOf(lastUERRow, row int) int {
 const blockFeatureCount = 35
 
 // BlockFeatureNames returns the column names of BlockVector, in order.
+// The same order is produced by both the batch and the incremental
+// (BankState.BlockVector) extraction paths.
 func BlockFeatureNames() []string {
 	names := make([]string, 0, blockFeatureCount)
 	for _, class := range []string{"ce", "ueo", "uer"} {
@@ -350,8 +385,26 @@ func BlockFeatureNames() []string {
 // BlockVector computes the §IV-D feature vector for one prediction block.
 // events must be the bank's events observed up to the decision time (sorted
 // by time); anchorRow is the last observed UER row; now is the decision
-// time.
+// time. It is a thin wrapper that replays the events once through an
+// incremental BankState; the result is bit-identical to
+// referenceBlockVector (the original whole-slice implementation, kept as
+// the executable specification). Callers scoring several blocks of one
+// window should build a BankState once and query it per block instead.
 func BlockVector(events []mcelog.Event, anchorRow int, spec BlockSpec, block int, now time.Time) ([]float64, error) {
+	st, err := NewBankState(DefaultPatternConfig(), spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range events {
+		st.Observe(e)
+	}
+	return st.BlockVector(anchorRow, block, now)
+}
+
+// referenceBlockVector is the batch reference implementation of
+// BlockVector, kept as the executable specification the incremental path
+// is fuzz- and table-tested against.
+func referenceBlockVector(events []mcelog.Event, anchorRow int, spec BlockSpec, block int, now time.Time) ([]float64, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}

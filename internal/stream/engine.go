@@ -169,6 +169,17 @@ type SessionStats struct {
 	Actions int
 	// FirstEvent and LastEvent bound the session's observed window.
 	FirstEvent, LastEvent time.Time
+	// StateBytes approximates the resident bytes of the session's
+	// incremental feature state; zero once released. The state holds no
+	// event buffer, so this is bounded by the bank's distinct error rows,
+	// not by Events.
+	StateBytes int
+	// StateRows is the tracked-row entry count of the feature state (the
+	// only part of it that grows at all).
+	StateRows int
+	// StateReleased reports that the session dropped its feature state
+	// after a terminal decision (bank spared).
+	StateReleased bool
 }
 
 // EngineStats is a point-in-time snapshot of the whole engine.
@@ -199,6 +210,19 @@ type EngineStats struct {
 	// Process samples per-event session time (feature extraction +
 	// model inference).
 	Process LatencySnapshot
+	// FeatureStateBytes approximates the resident bytes of all live
+	// sessions' incremental feature state. Each session's state is bounded
+	// by its bank's distinct error rows (never by event count), so this is
+	// the operator-facing proof of the bounded-memory claim.
+	FeatureStateBytes int64
+	// FeatureStateRows is the total tracked-row entries across live
+	// sessions' feature states.
+	FeatureStateRows int64
+	// SessionsReleased counts sessions that dropped their feature state
+	// after a terminal decision (bank spared).
+	SessionsReleased int
+	// ShardStateBytes is the per-shard breakdown of FeatureStateBytes.
+	ShardStateBytes []int64
 }
 
 // Engine is the sharded online prediction engine. Construct with New; all
@@ -228,6 +252,11 @@ type shard struct {
 
 	mu       sync.Mutex // guards sessions for cross-goroutine inspection
 	sessions map[uint64]*bankSession
+	// Running feature-state totals over this shard's sessions, maintained
+	// by O(1) per-event deltas in process (also under mu).
+	stateBytes int64
+	stateRows  int64
+	released   int
 }
 
 // bankSession couples a strategy session with the bookkeeping the engine
@@ -370,6 +399,17 @@ func (e *Engine) process(s *shard, ev mcelog.Event) {
 			bs.stats.Class = class
 		}
 	}
+	if is, ok := bs.sess.(core.InstrumentedSession); ok {
+		fp, released := is.StateFootprint()
+		s.stateBytes += int64(fp.ApproxBytes - bs.stats.StateBytes)
+		s.stateRows += int64(fp.TrackedRows - bs.stats.StateRows)
+		if released && !bs.stats.StateReleased {
+			s.released++
+		}
+		bs.stats.StateBytes = fp.ApproxBytes
+		bs.stats.StateRows = fp.TrackedRows
+		bs.stats.StateReleased = released
+	}
 
 	var out []Action
 	if d.SpareBank && !bs.stats.BankSpared {
@@ -471,12 +511,17 @@ func (e *Engine) Stats() EngineStats {
 		QueueDepths:    make([]int, len(e.shards)),
 		IngestWait:     e.ingestWait.snapshot(),
 	}
+	st.ShardStateBytes = make([]int64, len(e.shards))
 	var proc latencySampler
 	for i, s := range e.shards {
 		st.Processed += s.processed.Load()
 		st.QueueDepths[i] = len(s.in)
 		s.mu.Lock()
 		st.SessionsLive += len(s.sessions)
+		st.ShardStateBytes[i] = s.stateBytes
+		st.FeatureStateBytes += s.stateBytes
+		st.FeatureStateRows += s.stateRows
+		st.SessionsReleased += s.released
 		s.mu.Unlock()
 		proc.merge(&s.process)
 	}

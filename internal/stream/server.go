@@ -235,6 +235,9 @@ type jsonSession struct {
 	Actions         int       `json:"actions"`
 	FirstEvent      time.Time `json:"firstEvent"`
 	LastEvent       time.Time `json:"lastEvent"`
+	StateBytes      int       `json:"featureStateBytes"`
+	StateRows       int       `json:"featureStateRows"`
+	StateReleased   bool      `json:"featureStateReleased"`
 }
 
 // handleBank returns one bank's session snapshot. The address may be any
@@ -261,6 +264,9 @@ func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
 		Actions:         st.Actions,
 		FirstEvent:      st.FirstEvent.UTC(),
 		LastEvent:       st.LastEvent.UTC(),
+		StateBytes:      st.StateBytes,
+		StateRows:       st.StateRows,
+		StateReleased:   st.StateReleased,
 	}
 	if st.Classified {
 		js.Class = st.Class.String()
@@ -318,6 +324,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Decode         jsonLatency `json:"decodeLatency"`
 		IngestWait     jsonLatency `json:"ingestWaitLatency"`
 		Process        jsonLatency `json:"processLatency"`
+		StateBytes     int64       `json:"featureStateBytes"`
+		StateRows      int64       `json:"featureStateRows"`
+		StateReleased  int         `json:"sessionsReleased"`
+		ShardStateB    []int64     `json:"shardFeatureStateBytes"`
 	}{
 		Uptime:         es.Uptime.String(),
 		Ingested:       es.Ingested,
@@ -335,6 +345,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Decode:         toJSONLatency(s.decode.snapshot()),
 		IngestWait:     toJSONLatency(es.IngestWait),
 		Process:        toJSONLatency(es.Process),
+		StateBytes:     es.FeatureStateBytes,
+		StateRows:      es.FeatureStateRows,
+		StateReleased:  es.SessionsReleased,
+		ShardStateB:    es.ShardStateBytes,
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"cordial/internal/core"
+	"cordial/internal/hbm"
+	"cordial/internal/trace"
+)
+
+// TestEngineFeatureStateStats pins the bounded-memory accounting: per-bank
+// snapshots expose the feature state's footprint, spared banks show it
+// released, and the engine aggregate equals the sum over live sessions.
+func TestEngineFeatureStateStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	pipe, err := trainedPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategy := &core.CordialStrategy{Pipeline: pipe, Geometry: hbm.DefaultGeometry}
+
+	spec := trace.DefaultSpec(hbm.DefaultGeometry)
+	spec.UERBanks = 30
+	spec.BenignBanks = 10
+	spec.Seed = 13
+	fleet, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Log.Sort()
+
+	engine, err := New(Config{Strategy: strategy, Shards: 3, QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	go func() {
+		for range engine.Actions() {
+		}
+	}()
+	if _, err := engine.IngestLog(fleet.Log); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	es := engine.Stats()
+	if es.FeatureStateBytes <= 0 || es.FeatureStateRows <= 0 {
+		t.Fatalf("no feature state accounted: %d bytes, %d rows", es.FeatureStateBytes, es.FeatureStateRows)
+	}
+	if len(es.ShardStateBytes) != es.Shards {
+		t.Fatalf("per-shard breakdown has %d entries, want %d", len(es.ShardStateBytes), es.Shards)
+	}
+	var shardSum int64
+	for _, b := range es.ShardStateBytes {
+		shardSum += b
+	}
+	if shardSum != es.FeatureStateBytes {
+		t.Errorf("shard breakdown sums to %d, aggregate %d", shardSum, es.FeatureStateBytes)
+	}
+
+	// Cross-check the aggregate against the per-session snapshots and the
+	// release contract for spared banks.
+	var sessBytes, sessRows int64
+	released := 0
+	for key := range fleet.Log.GroupByBank() {
+		st, ok := engine.Session(hbm.Unpack(key))
+		if !ok {
+			t.Fatalf("no session for bank %x", key)
+		}
+		sessBytes += int64(st.StateBytes)
+		sessRows += int64(st.StateRows)
+		if st.StateReleased {
+			released++
+		}
+		if st.BankSpared {
+			if !st.StateReleased {
+				t.Errorf("bank %x spared but state not released", key)
+			}
+			if st.StateBytes != 0 || st.StateRows != 0 {
+				t.Errorf("bank %x spared but retains %d bytes / %d rows", key, st.StateBytes, st.StateRows)
+			}
+		} else if st.StateBytes <= 0 {
+			t.Errorf("live bank %x reports no feature state", key)
+		}
+	}
+	if sessBytes != es.FeatureStateBytes || sessRows != es.FeatureStateRows {
+		t.Errorf("aggregate %d bytes / %d rows, per-session sum %d / %d",
+			es.FeatureStateBytes, es.FeatureStateRows, sessBytes, sessRows)
+	}
+	if es.SessionsReleased != released {
+		t.Errorf("SessionsReleased = %d, per-session count %d", es.SessionsReleased, released)
+	}
+	if released == 0 {
+		t.Error("no session released state (no bank spared in test fleet?)")
+	}
+}

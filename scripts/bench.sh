@@ -5,6 +5,12 @@
 # headline end-to-end number; the internal/mltree micro-benches isolate the
 # per-model fit cost and PredictBatch covers batch inference.
 #
+# A second pass runs the long-session benchmarks (per-event session cost
+# over 1k/10k-event histories, plus the full engine ingest path) into
+# BENCH_stream.json, recording both ns/op and the ns/event metric — the
+# flatness of ns/event between the 1k and 10k histories is the O(1)
+# per-event claim of the incremental feature state.
+#
 # Usage: scripts/bench.sh [benchtime]   (default 20x)
 set -eu
 
@@ -51,3 +57,44 @@ END {
 }' "$tmp" > BENCH_mltree.json
 
 echo "wrote BENCH_mltree.json"
+
+go test -run '^$' \
+    -bench 'BenchmarkSessionOnEvent|BenchmarkStreamIngestLongSession' \
+    -benchtime "$benchtime" . | tee "$tmp"
+
+awk \
+    -v go_version="$(go version | awk '{print $3}')" \
+    -v maxprocs="$(go env GOMAXPROCS 2>/dev/null || echo 0)" \
+    -v nproc="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" \
+    -v benchtime="$benchtime" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^pkg:/ { pkg = $2 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    key = pkg "." name
+    ns[key] = $3
+    for (f = 4; f < NF; f++)
+        if ($(f + 1) == "ns/event") nsev[key] = $f
+    order[++n] = key
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cores\": %d,\n", nproc
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"ns_per_op\": {\n"
+    for (i = 1; i <= n; i++)
+        printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n ? "," : "")
+    printf "  },\n"
+    printf "  \"ns_per_event\": {\n"
+    for (i = 1; i <= n; i++)
+        printf "    \"%s\": %s%s\n", order[i], nsev[order[i]], (i < n ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+}' "$tmp" > BENCH_stream.json
+
+echo "wrote BENCH_stream.json"

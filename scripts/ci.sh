@@ -35,6 +35,13 @@ go test -race -run 'Equivalence|Parallel|RoundTrip|Batch' \
 echo "==> go test -race"
 go test -race ./... "$@"
 
+echo "==> fuzz smoke (incremental feature equivalence, 5s)"
+# Short fuzzing pass over the incremental-vs-batch feature equivalence
+# property; the seed corpus alone already covers the known-tricky cutoff
+# and timestamp-tie shapes, the extra seconds search for new ones.
+go test -run '^$' -fuzz 'FuzzIncrementalFeatureEquivalence' -fuzztime 5s \
+    ./internal/features/
+
 echo "==> bench smoke (1 iteration)"
 go test -run '^$' -bench . -benchtime 1x ./...
 
