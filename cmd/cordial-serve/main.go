@@ -17,6 +17,12 @@
 //
 // On SIGINT/SIGTERM the daemon stops accepting requests, drains every
 // in-flight event through the engine, and prints a final stats line.
+//
+// With -wal-dir the daemon is crash-safe: every accepted event is journaled
+// before it is acknowledged (fsync policy via -fsync), snapshots are taken
+// periodically (-snapshot-interval) and on graceful shutdown, and a restart
+// over the same directory recovers the exact pre-crash session state by
+// restoring the newest valid snapshot and replaying the journal suffix.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"cordial/internal/hbm"
 	"cordial/internal/stream"
 	"cordial/internal/trace"
+	"cordial/internal/wal"
 )
 
 func main() {
@@ -55,6 +62,10 @@ func run() error {
 		shards     = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "per-shard queue depth (0 = default)")
 		policy     = flag.String("policy", "block", "full-queue ingest policy: block or drop")
+		walDir     = flag.String("wal-dir", "", "durability directory: journal accepted events, snapshot sessions, recover on boot")
+		snapEvery  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 disables; requires -wal-dir)")
+		fsync      = flag.String("fsync", "always", "journal fsync policy with -wal-dir: always, interval or never")
+		deadLetter = flag.String("dead-letter", "", "append quarantined events (panicked processing) to this JSONL file")
 	)
 	flag.Parse()
 
@@ -78,6 +89,16 @@ func run() error {
 	if *modelsPath == "" && !*selftrain {
 		return fmt.Errorf("need -models <path> or -selftrain")
 	}
+	if *walDir != "" {
+		pol, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		cfg.Durability = stream.DurabilityConfig{Dir: *walDir, Sync: pol}
+	} else if *snapEvery > 0 {
+		return fmt.Errorf("-snapshot-interval requires -wal-dir")
+	}
+	cfg.DeadLetterPath = *deadLetter
 
 	pipe, err := loadPipeline(*modelsPath, *selftrain, *seed, *trainBanks, *trees)
 	if err != nil {
@@ -88,7 +109,32 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if st := engine.Stats(); st.WALEnabled {
+		fmt.Printf("cordial-serve: recovered %d sessions and %d journal events from %s (snapshot seq %d)\n",
+			st.RecoveredSessions, st.RecoveredEvents, *walDir, st.LastSnapshotSeq)
+	}
 	api := stream.NewServer(engine, stream.ServerConfig{})
+
+	// Periodic checkpoints bound replay time after a crash.
+	var snapStop, snapDone chan struct{}
+	if *snapEvery > 0 {
+		snapStop, snapDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(snapDone)
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if _, err := engine.Snapshot(); err != nil {
+						fmt.Fprintln(os.Stderr, "cordial-serve: snapshot:", err)
+					}
+				case <-snapStop:
+					return
+				}
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -103,12 +149,21 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
+	stopSnapshots := func() {
+		if snapStop != nil {
+			close(snapStop)
+			<-snapDone
+			snapStop = nil
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
 		fmt.Printf("cordial-serve: %v, shutting down\n", s)
 	case err := <-errc:
+		stopSnapshots()
 		engine.Close()
 		return err
 	}
@@ -120,6 +175,19 @@ func run() error {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "cordial-serve: http shutdown:", err)
+	}
+	stopSnapshots()
+	// With durability on, checkpoint everything accepted so far so the next
+	// boot restores instead of replaying the whole journal.
+	if *walDir != "" {
+		if err := engine.Drain(30 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "cordial-serve: drain:", err)
+		}
+		if seq, err := engine.Snapshot(); err != nil {
+			fmt.Fprintln(os.Stderr, "cordial-serve: final snapshot:", err)
+		} else {
+			fmt.Printf("cordial-serve: snapshot %d written\n", seq)
+		}
 	}
 	engine.Close()
 	api.AwaitDrained()

@@ -267,6 +267,151 @@ func TestCLIServeEndToEnd(t *testing.T) {
 	}
 }
 
+// waitDrained polls /statsz until processed catches up with ingested, and
+// returns the final stats.
+func (p *serveProc) waitDrained(t *testing.T) map[string]any {
+	t.Helper()
+	var stats map[string]any
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if code := p.getJSON(t, "/statsz", &stats); code != http.StatusOK {
+			t.Fatalf("statsz = %d", code)
+		}
+		if stats["processed"] == stats["ingested"] {
+			return stats
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never drained: %v", stats)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// actionSet fetches /v1/actions and reduces it to a comparable set of
+// action keys (recovery re-emits actions at least once, so comparisons are
+// on the deduplicated set).
+func (p *serveProc) actionSet(t *testing.T) map[string]bool {
+	t.Helper()
+	var acts struct {
+		Actions []struct {
+			Kind  string `json:"kind"`
+			Bank  string `json:"bank"`
+			Rows  []int  `json:"rows"`
+			Class string `json:"class"`
+		} `json:"actions"`
+	}
+	if code := p.getJSON(t, "/v1/actions?limit=100000", &acts); code != http.StatusOK {
+		t.Fatalf("actions = %d", code)
+	}
+	set := make(map[string]bool)
+	for _, a := range acts.Actions {
+		set[fmt.Sprintf("%s|%s|%v|%s", a.Kind, a.Bank, a.Rows, a.Class)] = true
+	}
+	return set
+}
+
+// TestCLIServeCrashRecovery is the crash-restart e2e: a daemon with a WAL
+// directory is SIGKILLed mid-ingest; a new process over the same directory
+// must report recovery, accept the rest of the log, and converge to exactly
+// the action set of a daemon that never crashed.
+func TestCLIServeCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and trains models")
+	}
+	bin := buildAll(t)
+	work := t.TempDir()
+
+	logPath := filepath.Join(work, "fleet.jsonl")
+	run(t, bin, "cordial-gen", "-seed", "21", "-uer-banks", "30",
+		"-benign-banks", "20", "-log", logPath, "-format", "jsonl", "-truth", "")
+	logBytes, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(logBytes)), "\n")
+	half := len(lines) / 2
+	firstHalf := []byte(strings.Join(lines[:half], "\n") + "\n")
+	secondHalf := []byte(strings.Join(lines[half:], "\n") + "\n")
+	// The three daemons must share one model: same self-train seed, smaller
+	// than the default to keep three trainings cheap.
+	serveArgs := func(walDir string) []string {
+		return []string{"-train-banks", "30", "-trees", "8",
+			"-wal-dir", walDir, "-fsync", "never"}
+	}
+
+	// Reference: never crashes.
+	ref := startServe(t, bin, serveArgs(filepath.Join(work, "wal-ref"))...)
+	if res := ref.postBody(t, logBytes); int(res["accepted"].(float64)) != len(lines) {
+		t.Fatalf("reference ingest %v", res)
+	}
+	ref.waitDrained(t)
+	want := ref.actionSet(t)
+	if len(want) == 0 {
+		t.Fatal("reference daemon emitted no actions; fleet too small")
+	}
+	if err := ref.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.cmd.Wait(); err != nil {
+		t.Fatalf("reference exit: %v\noutput:\n%s", err, ref.out)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if !strings.Contains(ref.out.String(), "snapshot") {
+		t.Errorf("no shutdown snapshot report in reference output:\n%s", ref.out)
+	}
+
+	// Victim: half the log, then SIGKILL — no drain, no snapshot, no
+	// goodbye.
+	walDir := filepath.Join(work, "wal-crash")
+	p1 := startServe(t, bin, serveArgs(walDir)...)
+	if res := p1.postBody(t, firstHalf); int(res["accepted"].(float64)) != half {
+		t.Fatalf("first-half ingest %v", res)
+	}
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Survivor: same directory; must recover the journal, then finish the
+	// log and match the reference exactly.
+	p2 := startServe(t, bin, serveArgs(walDir)...)
+	time.Sleep(50 * time.Millisecond)
+	if !strings.Contains(p2.out.String(), "recovered") {
+		t.Errorf("no recovery report in output:\n%s", p2.out)
+	}
+	var stats map[string]any
+	if code := p2.getJSON(t, "/statsz", &stats); code != http.StatusOK {
+		t.Fatalf("statsz = %d", code)
+	}
+	if stats["walEnabled"] != true {
+		t.Errorf("statsz walEnabled = %v", stats["walEnabled"])
+	}
+	if got := int(stats["recoveredEvents"].(float64)); got != half {
+		t.Errorf("recoveredEvents = %d, want %d", got, half)
+	}
+	if res := p2.postBody(t, secondHalf); int(res["accepted"].(float64)) != len(lines)-half {
+		t.Fatalf("second-half ingest %v", res)
+	}
+	p2.waitDrained(t)
+	got := p2.actionSet(t)
+	for k := range want {
+		if !got[k] {
+			t.Errorf("recovered daemon missing action %s", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("recovered daemon invented action %s", k)
+		}
+	}
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("recovered daemon exit: %v\noutput:\n%s", err, p2.out)
+	}
+}
+
 // TestCLIServeFlagErrors covers startup validation.
 func TestCLIServeFlagErrors(t *testing.T) {
 	if testing.Short() {
@@ -278,6 +423,8 @@ func TestCLIServeFlagErrors(t *testing.T) {
 		{"-models", "/nonexistent"},        // missing model file
 		{"-selftrain", "-models", "x"},     // mutually exclusive
 		{"-selftrain", "-policy", "bogus"}, // unknown ingest policy
+		{"-selftrain", "-snapshot-interval", "5s"},             // snapshots need a WAL dir
+		{"-selftrain", "-wal-dir", "x", "-fsync", "sometimes"}, // unknown fsync policy
 	} {
 		cmd := exec.Command(filepath.Join(bin, "cordial-serve"), args...)
 		out, err := cmd.CombinedOutput()

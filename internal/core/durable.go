@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"cordial/internal/faultsim"
+	"cordial/internal/features"
+	"cordial/internal/hbm"
+)
+
+// DurableSession is optionally implemented by sessions whose per-bank state
+// can be checkpointed. EncodeState must capture everything OnEvent depends
+// on, such that RestoreSession followed by the same event suffix produces
+// decisions bit-identical to the uninterrupted session — the contract the
+// engine's snapshot/recovery path is built on.
+type DurableSession interface {
+	Session
+	// EncodeState returns a self-contained binary image of the session.
+	EncodeState() ([]byte, error)
+}
+
+// DurableStrategy is optionally implemented by strategies whose sessions
+// can be restored from an EncodeState image. The engine requires it when a
+// WAL/snapshot directory is configured.
+type DurableStrategy interface {
+	Strategy
+	// RestoreSession rebuilds a session from an EncodeState image. It fails
+	// (rather than guessing) when the image's configuration does not match
+	// the strategy's.
+	RestoreSession(bank hbm.BankAddress, data []byte) (Session, error)
+}
+
+// cordialSession state image: magic, version, flags, class, then the
+// feature-state blob (absent once released).
+const (
+	sessionMagic   = "CSES"
+	sessionVersion = 1
+
+	sessFlagClassified = 1 << 0
+	sessFlagHasState   = 1 << 1
+)
+
+var (
+	_ DurableSession  = (*cordialSession)(nil)
+	_ DurableStrategy = (*CordialStrategy)(nil)
+)
+
+// EncodeState captures the session: classification outcome plus the full
+// incremental feature state (or its absence, for a spared bank).
+func (s *cordialSession) EncodeState() ([]byte, error) {
+	var flags byte
+	if s.classified {
+		flags |= sessFlagClassified
+	}
+	if s.state != nil {
+		flags |= sessFlagHasState
+	}
+	out := make([]byte, 0, 64)
+	out = append(out, sessionMagic...)
+	out = append(out, sessionVersion, flags, byte(s.class))
+	if s.state != nil {
+		blob, err := s.state.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// RestoreSession rebuilds a cordialSession from an EncodeState image,
+// verifying that the embedded feature state was produced under this
+// pipeline's pattern and block configuration.
+func (s *CordialStrategy) RestoreSession(bank hbm.BankAddress, data []byte) (Session, error) {
+	if len(data) < len(sessionMagic)+3 {
+		return nil, fmt.Errorf("core: session state too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != sessionMagic {
+		return nil, fmt.Errorf("core: bad session state magic")
+	}
+	if v := data[4]; v != sessionVersion {
+		return nil, fmt.Errorf("core: unsupported session state version %d", v)
+	}
+	flags, class := data[5], faultsim.Class(data[6])
+	sess := &cordialSession{
+		strategy:   s,
+		classified: flags&sessFlagClassified != 0,
+		class:      class,
+	}
+	rest := data[7:]
+	if flags&sessFlagHasState == 0 {
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("core: released session carries %d state bytes", len(rest))
+		}
+		return sess, nil
+	}
+	st, err := features.UnmarshalBankState(rest)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.Pipeline.Config()
+	if got := st.Config(); got != cfg.Pattern {
+		return nil, fmt.Errorf("core: session pattern config %+v does not match pipeline %+v", got, cfg.Pattern)
+	}
+	if got := st.Spec(); got != cfg.Block {
+		return nil, fmt.Errorf("core: session block spec %+v does not match pipeline %+v", got, cfg.Block)
+	}
+	sess.state = st
+	return sess, nil
+}

@@ -1,0 +1,537 @@
+package stream
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"cordial/internal/core"
+	"cordial/internal/ecc"
+	"cordial/internal/faultsim"
+	"cordial/internal/hbm"
+	"cordial/internal/mcelog"
+	"cordial/internal/wal"
+)
+
+// walJournal keeps the Engine field readable next to the wal package name.
+type walJournal = wal.WAL
+
+// DurabilityConfig configures the engine's WAL + snapshot layer.
+//
+// The durability contract: once Ingest returns nil the event is journaled
+// (on stable storage under SyncAlways), and after a crash the engine
+// rebuilds the exact same per-bank state by restoring the newest valid
+// snapshot and replaying the journal suffix. Per-session LSN watermarks
+// make the replay idempotent, so the reconstruction is bit-identical to an
+// uninterrupted run — pinned by TestCrashRecoveryEquivalence.
+type DurabilityConfig struct {
+	// Dir is the journal + snapshot directory. Empty disables durability.
+	Dir string
+	// FS overrides the filesystem (fault-injection tests); nil means the
+	// real one.
+	FS wal.FS
+	// Sync is the journal fsync policy (default SyncAlways).
+	Sync wal.SyncPolicy
+	// SyncInterval is the flush interval under SyncInterval.
+	SyncInterval time.Duration
+	// SegmentBytes is the journal segment rotation size (0 = 8 MiB).
+	SegmentBytes int64
+	// SnapshotKeep is how many snapshot files to retain (0 = 3).
+	SnapshotKeep int
+}
+
+func (d DurabilityConfig) keep() int {
+	if d.SnapshotKeep < 1 {
+		return 3
+	}
+	return d.SnapshotKeep
+}
+
+// DeadLetter is one quarantined event as written to the dead-letter file
+// (one JSON object per line).
+type DeadLetter struct {
+	// Time is the event's timestamp.
+	Time time.Time `json:"time"`
+	// Bank and Addr identify where the event landed (Addr is the packed
+	// physical address, reversible with hbm.Unpack).
+	Bank string `json:"bank"`
+	Addr uint64 `json:"addr"`
+	Row  int    `json:"row"`
+	// Class is the event's ECC class.
+	Class string `json:"class"`
+	// LSN is the event's journal position (0 without durability).
+	LSN uint64 `json:"lsn,omitempty"`
+	// Reason is the recovered panic value.
+	Reason string `json:"reason"`
+}
+
+// quarantine counts a poisoned event and preserves it in the dead-letter
+// file. Runs outside the shard lock; file errors are swallowed (losing a
+// dead-letter line must not take down processing).
+func (e *Engine) quarantine(d *DeadLetter) {
+	e.quarantined.Add(1)
+	if e.deadFile == nil {
+		return
+	}
+	line, err := json.Marshal(d)
+	if err != nil {
+		return
+	}
+	e.deadMu.Lock()
+	_, _ = e.deadFile.Write(append(line, '\n'))
+	e.deadMu.Unlock()
+}
+
+// ---- journal event records -------------------------------------------------
+
+// eventRecordSize is the fixed WAL payload for one event: int64 unix-nanos,
+// uint64 packed address, uint8 ECC class — the same triple mcelog's binary
+// log format persists.
+const eventRecordSize = 17
+
+// encodeEventRecord packs one event into a journal payload.
+func encodeEventRecord(ev mcelog.Event) []byte {
+	var b [eventRecordSize]byte
+	binary.LittleEndian.PutUint64(b[0:8], uint64(ev.Time.UnixNano()))
+	binary.LittleEndian.PutUint64(b[8:16], ev.Addr.Pack())
+	b[16] = byte(ev.Class)
+	return b[:]
+}
+
+// decodeEventRecord unpacks a journal payload.
+func decodeEventRecord(p []byte) (mcelog.Event, error) {
+	if len(p) != eventRecordSize {
+		return mcelog.Event{}, fmt.Errorf("stream: event record of %d bytes, want %d", len(p), eventRecordSize)
+	}
+	return mcelog.Event{
+		Time:  time.Unix(0, int64(binary.LittleEndian.Uint64(p[0:8]))).UTC(),
+		Addr:  hbm.Unpack(binary.LittleEndian.Uint64(p[8:16])),
+		Class: ecc.Class(p[16]),
+	}, nil
+}
+
+// ingestDurable journals the event, then enqueues it. The per-shard
+// ingestMu holds both steps together so queue order equals LSN order
+// within the shard — the invariant that lets replay reproduce exactly what
+// the consumer saw. Under IngestDrop the capacity check happens BEFORE the
+// append: an event shed at ingest must never be resurrected by replay.
+func (e *Engine) ingestDurable(s *shard, ev mcelog.Event) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if e.cfg.Policy == IngestDrop && len(s.in) == cap(s.in) {
+		e.dropped.Add(1)
+		return ErrDropped
+	}
+	lsn, err := e.wal.Append(encodeEventRecord(ev))
+	if err != nil {
+		// Not journaled: reject rather than accept an event that a crash
+		// would silently forget. The caller decides whether to retry.
+		return fmt.Errorf("stream: journaling event: %w", err)
+	}
+	t0 := time.Now()
+	s.in <- queued{ev: ev, lsn: lsn}
+	e.ingestWait.observe(time.Since(t0))
+	e.ingested.Add(1)
+	return nil
+}
+
+// ---- snapshot payload ------------------------------------------------------
+
+// Engine snapshot payload layout (wrapped in wal's checksummed snapshot
+// framing): magic, version, session count, then per session the bank key,
+// packed address, LSN watermark, engine bookkeeping (stats, distinct-UER
+// and spared-row sets) and the strategy session's own state image.
+const (
+	engineSnapMagic   = "CENG"
+	engineSnapVersion = 1
+	maxSnapSessions   = 1 << 24
+)
+
+type snapEncoder struct{ b []byte }
+
+func (e *snapEncoder) u8(v uint8) { e.b = append(e.b, v) }
+func (e *snapEncoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *snapEncoder) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *snapEncoder) int(v int)    { e.u64(uint64(int64(v))) }
+func (e *snapEncoder) time(t time.Time) {
+	e.u64(uint64(t.Unix()))
+	e.b = binary.LittleEndian.AppendUint32(e.b, uint32(t.Nanosecond()))
+}
+func (e *snapEncoder) ints(v []int) {
+	e.int(len(v))
+	for _, x := range v {
+		e.int(x)
+	}
+}
+func (e *snapEncoder) bytes(v []byte) {
+	e.int(len(v))
+	e.b = append(e.b, v...)
+}
+
+type snapDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *snapDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("stream: decoding snapshot: "+format, args...)
+	}
+}
+func (d *snapDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("truncated at offset %d", d.off)
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+func (d *snapDecoder) u8() uint8 {
+	if s := d.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+func (d *snapDecoder) bool() bool { return d.u8() != 0 }
+func (d *snapDecoder) u64() uint64 {
+	if s := d.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+func (d *snapDecoder) int() int { return int(int64(d.u64())) }
+func (d *snapDecoder) time() time.Time {
+	sec := int64(d.u64())
+	var nsec uint32
+	if s := d.take(4); s != nil {
+		nsec = binary.LittleEndian.Uint32(s)
+	}
+	if d.err != nil || (sec == zeroTimeSec && nsec == 0) {
+		return time.Time{}
+	}
+	return time.Unix(sec, int64(nsec)).UTC()
+}
+func (d *snapDecoder) count() int {
+	n := d.int()
+	if n < 0 || n > maxSnapSessions {
+		d.fail("implausible count %d", n)
+		return 0
+	}
+	return n
+}
+func (d *snapDecoder) ints() []int {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.int()
+	}
+	return out
+}
+func (d *snapDecoder) bytes() []byte { return d.take(d.count()) }
+
+// zeroTimeSec encodes time.Time{} (whose UnixNano is undefined) as a
+// distinguishable (sec, nsec) sentinel.
+var zeroTimeSec = time.Time{}.Unix()
+
+// encodeSnapshotLocked walks every shard (locking each in turn) and
+// serialises all sessions plus the retention floor: the minimum across
+// shards of the highest LSN folded into sessions. Per-session watermarks
+// make a non-instantaneous multi-shard snapshot safe — any record applied
+// after its shard was encoded simply replays on recovery.
+func (e *Engine) encodeSnapshot() (payload []byte, floor uint64, err error) {
+	type sessImage struct {
+		key  uint64
+		blob []byte
+	}
+	var images []sessImage
+	floor = ^uint64(0)
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.appliedLSN < floor {
+			floor = s.appliedLSN
+		}
+		for key, bs := range s.sessions {
+			ds, ok := bs.sess.(core.DurableSession)
+			if !ok {
+				s.mu.Unlock()
+				return nil, 0, fmt.Errorf("stream: session %T is not durable", bs.sess)
+			}
+			blob, serr := ds.EncodeState()
+			if serr != nil {
+				s.mu.Unlock()
+				return nil, 0, serr
+			}
+			se := &snapEncoder{}
+			se.u64(key)
+			se.u64(uint64(bs.bank.Pack()))
+			se.u64(bs.lastLSN)
+			st := &bs.stats
+			se.int(st.Events)
+			se.int(st.UEREvents)
+			se.int(st.DistinctUERRows)
+			se.bool(st.Classified)
+			se.u8(uint8(st.Class))
+			se.bool(st.BankSpared)
+			se.int(st.RowsIsolated)
+			se.int(st.Actions)
+			se.time(st.FirstEvent)
+			se.time(st.LastEvent)
+			se.bool(st.Degraded)
+			se.ints(sortedKeys(bs.uerRows))
+			se.ints(sortedKeys(bs.spared))
+			se.bytes(blob)
+			images = append(images, sessImage{key: key, blob: se.b})
+		}
+		s.mu.Unlock()
+	}
+	if floor == ^uint64(0) {
+		floor = 0
+	}
+	sort.Slice(images, func(i, j int) bool { return images[i].key < images[j].key })
+	out := &snapEncoder{b: make([]byte, 0, 1024)}
+	out.b = append(out.b, engineSnapMagic...)
+	out.u8(engineSnapVersion)
+	out.u64(floor)
+	out.int(len(images))
+	for _, im := range images {
+		out.bytes(im.blob)
+	}
+	return out.b, floor, nil
+}
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// restoreSnapshot rebuilds every session from an engine snapshot payload.
+// Called during New, before the consumers start.
+func (e *Engine) restoreSnapshot(payload []byte, ds core.DurableStrategy) error {
+	if len(payload) < len(engineSnapMagic)+1 {
+		return fmt.Errorf("stream: snapshot payload too short")
+	}
+	if string(payload[:4]) != engineSnapMagic {
+		return fmt.Errorf("stream: bad snapshot payload magic")
+	}
+	if v := payload[4]; v != engineSnapVersion {
+		return fmt.Errorf("stream: unsupported snapshot payload version %d", v)
+	}
+	d := &snapDecoder{b: payload, off: 5}
+	_ = d.u64() // retention floor: informational on restore
+	n := d.count()
+	for i := 0; i < n && d.err == nil; i++ {
+		body := d.bytes()
+		if d.err != nil {
+			break
+		}
+		sd := &snapDecoder{b: body}
+		key := sd.u64()
+		bank := hbm.Unpack(sd.u64())
+		lastLSN := sd.u64()
+		var st SessionStats
+		st.Events = sd.int()
+		st.UEREvents = sd.int()
+		st.DistinctUERRows = sd.int()
+		st.Classified = sd.bool()
+		st.Class = faultsim.Class(sd.u8())
+		st.BankSpared = sd.bool()
+		st.RowsIsolated = sd.int()
+		st.Actions = sd.int()
+		st.FirstEvent = sd.time()
+		st.LastEvent = sd.time()
+		st.Degraded = sd.bool()
+		uerRows := sd.ints()
+		spared := sd.ints()
+		blob := sd.bytes()
+		if sd.err != nil {
+			return sd.err
+		}
+		if sd.off != len(body) {
+			return fmt.Errorf("stream: %d trailing bytes in session image", len(body)-sd.off)
+		}
+		sess, err := ds.RestoreSession(bank, blob)
+		if err != nil {
+			return fmt.Errorf("stream: restoring session for bank %s: %w", bank.String(), err)
+		}
+		st.Bank = bank
+		bs := &bankSession{
+			bank:    bank,
+			sess:    sess,
+			stats:   st,
+			uerRows: make(map[int]struct{}, len(uerRows)),
+			spared:  make(map[int]struct{}, len(spared)),
+			lastLSN: lastLSN,
+		}
+		for _, r := range uerRows {
+			bs.uerRows[r] = struct{}{}
+		}
+		for _, r := range spared {
+			bs.spared[r] = struct{}{}
+		}
+		s := e.shardFor(key)
+		if is, ok := sess.(core.InstrumentedSession); ok {
+			fp, released := is.StateFootprint()
+			bs.stats.StateBytes = fp.ApproxBytes
+			bs.stats.StateRows = fp.TrackedRows
+			bs.stats.StateReleased = released
+			s.stateBytes += int64(fp.ApproxBytes)
+			s.stateRows += int64(fp.TrackedRows)
+			if released {
+				s.released++
+			}
+		}
+		if bs.stats.Degraded {
+			s.degraded++
+		}
+		s.sessions[key] = bs
+		if lastLSN > s.appliedLSN {
+			s.appliedLSN = lastLSN
+		}
+		e.recoveredSessions++
+	}
+	return d.err
+}
+
+// ---- recovery and snapshotting --------------------------------------------
+
+// recoverDurable restores the newest decodable snapshot (walking past
+// corrupt ones — a bad snapshot costs replay time, never the recovery),
+// opens the journal (repairing any torn tail), and replays the suffix
+// through the normal apply path. Per-session watermarks skip records the
+// snapshot already covers; actions re-derived by the replayed suffix are
+// emitted again (at-least-once), deduplicated per bank by the restored
+// spared-row state.
+func (e *Engine) recoverDurable() error {
+	dcfg := e.cfg.Durability
+	fs := dcfg.FS
+	if fs == nil {
+		fs = wal.OSFS
+	}
+	ds := e.cfg.Strategy.(core.DurableStrategy) // checked by Validate
+
+	snaps, err := wal.ListSnapshots(fs, dcfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, si := range snaps {
+		seq, payload, rerr := wal.ReadSnapshot(fs, si.Path)
+		if rerr != nil {
+			continue // corrupt file: fall back to the previous snapshot
+		}
+		if rerr = e.restoreSnapshot(payload, ds); rerr != nil {
+			// Undecodable payload (e.g. version skew): also fall back, but
+			// drop any partially restored sessions first.
+			e.resetSessions()
+			continue
+		}
+		e.snapSeq = seq
+		break
+	}
+
+	w, err := wal.Open(dcfg.Dir, wal.Options{
+		FS:           fs,
+		SegmentBytes: dcfg.SegmentBytes,
+		Sync:         dcfg.Sync,
+		SyncInterval: dcfg.SyncInterval,
+	})
+	if err != nil {
+		return err
+	}
+	e.wal = w
+
+	var replayed uint64
+	err = w.Replay(func(lsn uint64, payload []byte) error {
+		ev, derr := decodeEventRecord(payload)
+		if derr != nil {
+			return derr
+		}
+		replayed++
+		s := e.shardFor(ev.Addr.BankKey())
+		out, dead := e.apply(s, queued{ev: ev, lsn: lsn})
+		if dead != nil {
+			e.quarantine(dead)
+		}
+		for _, a := range out {
+			e.emit(a)
+		}
+		return nil
+	})
+	if err != nil {
+		w.Close()
+		e.wal = nil
+		return fmt.Errorf("stream: replaying journal: %w", err)
+	}
+	e.recoveredEvents = replayed
+	return nil
+}
+
+// resetSessions drops all restored sessions and shard bookkeeping (used
+// when a snapshot payload fails mid-restore before falling back).
+func (e *Engine) resetSessions() {
+	for _, s := range e.shards {
+		s.sessions = make(map[uint64]*bankSession)
+		s.appliedLSN = 0
+		s.stateBytes, s.stateRows = 0, 0
+		s.released, s.degraded = 0, 0
+	}
+	e.recoveredSessions = 0
+}
+
+// ErrNotDurable is returned by Snapshot when no WAL directory was
+// configured.
+var ErrNotDurable = errors.New("stream: durability not configured")
+
+// Snapshot writes a checkpoint of every session to the durability
+// directory, then retires journal segments wholly covered by it and prunes
+// old snapshot files. Concurrent ingest and processing continue throughout;
+// Drain first for a checkpoint that covers everything accepted so far.
+// Returns the snapshot's sequence number.
+func (e *Engine) Snapshot() (uint64, error) {
+	if e.wal == nil {
+		return 0, ErrNotDurable
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	payload, floor, err := e.encodeSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	seq := e.wal.NextLSN()
+	if seq <= e.snapSeq {
+		seq = e.snapSeq + 1
+	}
+	fs := e.cfg.Durability.FS
+	if fs == nil {
+		fs = wal.OSFS
+	}
+	if _, err := wal.WriteSnapshot(fs, e.cfg.Durability.Dir, seq, payload); err != nil {
+		return 0, err
+	}
+	e.snapSeq = seq
+	// Retention is best-effort: a failure leaves extra files, not broken
+	// recovery.
+	_ = e.wal.TruncateBefore(floor + 1)
+	_ = wal.PruneSnapshots(fs, e.cfg.Durability.Dir, e.cfg.Durability.keep())
+	return seq, nil
+}

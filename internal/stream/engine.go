@@ -25,6 +25,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -90,6 +91,14 @@ type Config struct {
 	ActionBuffer int
 	// Policy selects the full-queue behaviour of Ingest.
 	Policy IngestPolicy
+	// Durability configures the WAL + snapshot layer. The zero value (no
+	// Dir) runs the engine purely in memory; with a Dir the Strategy must
+	// implement core.DurableStrategy so sessions can be checkpointed.
+	Durability DurabilityConfig
+	// DeadLetterPath, when set, appends quarantined events (events whose
+	// processing panicked) as JSON lines to this file. Quarantine happens
+	// with or without the file; the file preserves the evidence.
+	DeadLetterPath string
 }
 
 // withDefaults fills zero fields.
@@ -125,6 +134,11 @@ func (c Config) Validate() error {
 	}
 	if c.Policy != IngestBlock && c.Policy != IngestDrop {
 		return fmt.Errorf("stream: invalid ingest policy %d", int(c.Policy))
+	}
+	if c.Durability.Dir != "" {
+		if _, ok := c.Strategy.(core.DurableStrategy); !ok {
+			return fmt.Errorf("stream: durability configured but strategy %T cannot restore sessions", c.Strategy)
+		}
 	}
 	return c.Geometry.Validate()
 }
@@ -180,6 +194,10 @@ type SessionStats struct {
 	// StateReleased reports that the session dropped its feature state
 	// after a terminal decision (bank spared).
 	StateReleased bool
+	// Degraded reports that an event for this bank panicked during
+	// processing: the event was quarantined and the session no longer
+	// feeds events to its strategy session (its state may be inconsistent).
+	Degraded bool
 }
 
 // EngineStats is a point-in-time snapshot of the whole engine.
@@ -223,6 +241,26 @@ type EngineStats struct {
 	SessionsReleased int
 	// ShardStateBytes is the per-shard breakdown of FeatureStateBytes.
 	ShardStateBytes []int64
+	// Quarantined counts events whose processing panicked; each was logged
+	// to the dead-letter file (when configured) and its session degraded.
+	Quarantined uint64
+	// SessionsDegraded is the number of sessions in the degraded state.
+	SessionsDegraded int
+	// WALEnabled reports whether the durability layer is active.
+	WALEnabled bool
+	// WALAppended counts records journaled since this process opened the
+	// WAL; WALSegments and WALNextLSN describe the journal itself.
+	WALAppended uint64
+	WALSegments int
+	WALNextLSN  uint64
+	// LastSnapshotSeq is the sequence of the most recent snapshot written
+	// or recovered from (zero when none).
+	LastSnapshotSeq uint64
+	// RecoveredSessions and RecoveredEvents describe the boot-time
+	// recovery: sessions restored from the snapshot and WAL records
+	// replayed (including ones skipped as already applied).
+	RecoveredSessions int
+	RecoveredEvents   uint64
 }
 
 // Engine is the sharded online prediction engine. Construct with New; all
@@ -237,26 +275,53 @@ type Engine struct {
 	dropped        atomic.Uint64
 	actionsEmitted atomic.Uint64
 	actionsDropped atomic.Uint64
+	quarantined    atomic.Uint64
 	ingestWait     latencySampler
+
+	// Durability state; all nil/zero when no WAL directory is configured.
+	wal               *walJournal
+	snapMu            sync.Mutex // serialises Snapshot
+	snapSeq           uint64     // under snapMu
+	recoveredSessions int        // set before consumers start
+	recoveredEvents   uint64
+
+	deadMu   sync.Mutex
+	deadFile *os.File
 
 	mu     sync.RWMutex // guards closed against in-flight Ingest sends
 	closed bool
 	wg     sync.WaitGroup
 }
 
+// queued is one event in a shard queue, tagged with its WAL position (0
+// when the journal is disabled).
+type queued struct {
+	ev  mcelog.Event
+	lsn uint64
+}
+
 // shard is one session partition, consumed by a single goroutine.
 type shard struct {
-	in        chan mcelog.Event
+	in        chan queued
 	processed atomic.Uint64
 	process   latencySampler
 
+	// ingestMu serialises journal-append + enqueue so queue order equals
+	// LSN order within the shard (the invariant replay depends on). Only
+	// taken on the durable ingest path.
+	ingestMu sync.Mutex
+
 	mu       sync.Mutex // guards sessions for cross-goroutine inspection
 	sessions map[uint64]*bankSession
+	// appliedLSN is the highest journal position folded into this shard's
+	// sessions; the minimum across shards bounds WAL retention.
+	appliedLSN uint64
 	// Running feature-state totals over this shard's sessions, maintained
 	// by O(1) per-event deltas in process (also under mu).
 	stateBytes int64
 	stateRows  int64
 	released   int
+	degraded   int
 }
 
 // bankSession couples a strategy session with the bookkeeping the engine
@@ -267,6 +332,11 @@ type bankSession struct {
 	stats   SessionStats
 	uerRows map[int]struct{}
 	spared  map[int]struct{}
+	// lastLSN is the newest journal record applied to this session; replay
+	// skips records at or below it. Tracked per session (not per shard) so
+	// recovery stays correct even if the shard count changes across
+	// restarts.
+	lastLSN uint64
 }
 
 // New validates cfg (after defaulting) and starts the shard consumers.
@@ -282,16 +352,35 @@ func New(cfg Config) (*Engine, error) {
 		actions: make(chan Action, cfg.ActionBuffer),
 	}
 	for i := range e.shards {
-		s := &shard{
-			in:       make(chan mcelog.Event, cfg.QueueDepth),
+		e.shards[i] = &shard{
+			in:       make(chan queued, cfg.QueueDepth),
 			sessions: make(map[uint64]*bankSession),
 		}
-		e.shards[i] = s
+	}
+	if cfg.DeadLetterPath != "" {
+		f, err := os.OpenFile(cfg.DeadLetterPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("stream: opening dead-letter file: %w", err)
+		}
+		e.deadFile = f
+	}
+	// Recovery (snapshot restore + WAL replay) runs before the consumers
+	// start, so replayed and live events can never interleave on a shard.
+	if cfg.Durability.Dir != "" {
+		if err := e.recoverDurable(); err != nil {
+			if e.deadFile != nil {
+				e.deadFile.Close()
+			}
+			return nil, err
+		}
+	}
+	for _, s := range e.shards {
+		s := s
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
-			for ev := range s.in {
-				e.process(s, ev)
+			for q := range s.in {
+				e.process(s, q)
 			}
 		}()
 	}
@@ -322,6 +411,9 @@ func mix64(x uint64) uint64 {
 // queue applies backpressure; under IngestDrop the event is shed and
 // ErrDropped returned. Ingest returns ErrClosed after Close. Events for
 // the same bank ingested from the same goroutine are processed in order.
+// With durability configured the event is journaled before it is queued:
+// a nil return means the event is on stable storage (subject to the fsync
+// policy) and will survive a crash.
 func (e *Engine) Ingest(ev mcelog.Event) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -329,17 +421,20 @@ func (e *Engine) Ingest(ev mcelog.Event) error {
 		return ErrClosed
 	}
 	s := e.shardFor(ev.Addr.BankKey())
+	if e.wal != nil {
+		return e.ingestDurable(s, ev)
+	}
 	switch e.cfg.Policy {
 	case IngestDrop:
 		select {
-		case s.in <- ev:
+		case s.in <- queued{ev: ev}:
 		default:
 			e.dropped.Add(1)
 			return ErrDropped
 		}
 	default:
 		t0 := time.Now()
-		s.in <- ev
+		s.in <- queued{ev: ev}
 		e.ingestWait.observe(time.Since(t0))
 	}
 	e.ingested.Add(1)
@@ -364,9 +459,28 @@ func (e *Engine) IngestLog(l *mcelog.Log) (accepted int, err error) {
 
 // process runs one event through its bank session and emits any resulting
 // actions. Runs on the shard's consumer goroutine only.
-func (e *Engine) process(s *shard, ev mcelog.Event) {
+func (e *Engine) process(s *shard, q queued) {
+	out, dead := e.apply(s, q)
+	s.processed.Add(1)
+	if dead != nil {
+		e.quarantine(dead)
+	}
+	for _, a := range out {
+		e.emit(a)
+	}
+}
+
+// apply folds one event into its bank session under the shard lock and
+// returns the actions to emit. A panic anywhere in the strategy session is
+// caught: the event is returned as a dead-letter entry, the session is
+// marked degraded (it stops feeding its strategy session, whose state may
+// be mid-mutation), and the shard keeps consuming — one poisoned event
+// must never take the daemon down.
+func (e *Engine) apply(s *shard, q queued) (out []Action, dead *DeadLetter) {
+	ev := q.ev
 	key := ev.Addr.BankKey()
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	bs, ok := s.sessions[key]
 	if !ok {
 		bank := hbm.BankOf(ev.Addr)
@@ -380,6 +494,42 @@ func (e *Engine) process(s *shard, ev mcelog.Event) {
 		bs.stats.FirstEvent = ev.Time
 		s.sessions[key] = bs
 	}
+	if q.lsn != 0 {
+		if q.lsn <= bs.lastLSN {
+			return nil, nil // replay of a record already in the snapshot
+		}
+		// Recorded before OnEvent so a poisoned event is never replayed
+		// into its session again after a restart.
+		bs.lastLSN = q.lsn
+		if q.lsn > s.appliedLSN {
+			s.appliedLSN = q.lsn
+		}
+	}
+	if bs.stats.Degraded {
+		// The strategy session is quarantined; keep the observational
+		// bookkeeping so /statsz still reflects the bank's traffic.
+		bs.stats.Events++
+		bs.stats.LastEvent = ev.Time
+		return nil, nil
+	}
+	// The deferred recover runs before the deferred unlock (LIFO), so the
+	// shard lock is always released exactly once, panic or not.
+	defer func() {
+		if r := recover(); r != nil {
+			bs.stats.Degraded = true
+			s.degraded++
+			out = nil
+			dead = &DeadLetter{
+				Time:   ev.Time,
+				Bank:   bs.bank.String(),
+				Addr:   ev.Addr.Pack(),
+				Row:    ev.Addr.Row,
+				Class:  ev.Class.String(),
+				LSN:    q.lsn,
+				Reason: fmt.Sprint(r),
+			}
+		}
+	}()
 	t0 := time.Now()
 	d := bs.sess.OnEvent(ev)
 	s.process.observe(time.Since(t0))
@@ -411,7 +561,6 @@ func (e *Engine) process(s *shard, ev mcelog.Event) {
 		bs.stats.StateReleased = released
 	}
 
-	var out []Action
 	if d.SpareBank && !bs.stats.BankSpared {
 		bs.stats.BankSpared = true
 		bs.stats.Actions++
@@ -425,7 +574,9 @@ func (e *Engine) process(s *shard, ev mcelog.Event) {
 	if len(d.IsolateRows) > 0 {
 		// Emit each row at most once per bank: repeat predictions of an
 		// already-isolated row are no-ops, exactly as the offline sparing
-		// engine treats them.
+		// engine treats them. The same dedupe makes recovery's at-least-once
+		// replay convergent: re-derived actions for already-spared rows are
+		// suppressed here.
 		var fresh []int
 		for _, r := range d.IsolateRows {
 			if _, done := bs.spared[r]; !done {
@@ -445,11 +596,7 @@ func (e *Engine) process(s *shard, ev mcelog.Event) {
 			})
 		}
 	}
-	s.mu.Unlock()
-	s.processed.Add(1)
-	for _, a := range out {
-		e.emit(a)
-	}
+	return out, nil
 }
 
 // emit delivers an action, evicting the oldest queued action when the
@@ -522,10 +669,23 @@ func (e *Engine) Stats() EngineStats {
 		st.FeatureStateBytes += s.stateBytes
 		st.FeatureStateRows += s.stateRows
 		st.SessionsReleased += s.released
+		st.SessionsDegraded += s.degraded
 		s.mu.Unlock()
 		proc.merge(&s.process)
 	}
 	st.Process = proc.snapshot()
+	st.Quarantined = e.quarantined.Load()
+	st.RecoveredSessions = e.recoveredSessions
+	st.RecoveredEvents = e.recoveredEvents
+	if e.wal != nil {
+		st.WALEnabled = true
+		st.WALAppended = e.wal.Appended()
+		st.WALSegments = e.wal.Segments()
+		st.WALNextLSN = e.wal.NextLSN()
+		e.snapMu.Lock()
+		st.LastSnapshotSeq = e.snapSeq
+		e.snapMu.Unlock()
+	}
 	if secs := st.Uptime.Seconds(); secs > 0 {
 		st.IngestRate = float64(st.Ingested) / secs
 	}
@@ -554,7 +714,10 @@ func (e *Engine) Drain(d time.Duration) error {
 }
 
 // Close stops intake, drains every shard queue through the sessions, then
-// closes the Actions channel. Safe to call more than once.
+// closes the Actions channel. Safe to call more than once. Close does NOT
+// snapshot: a plain Close is deliberately equivalent to a crash (the WAL
+// carries everything), so tests and operators exercise the same recovery
+// path either way. Call Snapshot first for a fast subsequent boot.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -568,5 +731,14 @@ func (e *Engine) Close() error {
 	}
 	e.wg.Wait()
 	close(e.actions)
-	return nil
+	var err error
+	if e.wal != nil {
+		err = e.wal.Close()
+	}
+	if e.deadFile != nil {
+		if cerr := e.deadFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -23,6 +23,9 @@ import (
 type fakeStrategy struct {
 	budget int
 	delay  time.Duration
+	// poisonRow, when non-zero, makes OnEvent panic on any event at that
+	// row — the supervision tests' stand-in for a session-poisoning bug.
+	poisonRow int
 }
 
 func (f *fakeStrategy) Name() string { return "fake" }
@@ -44,6 +47,9 @@ func (s *fakeSession) Class() (faultsim.Class, bool) { return s.class, s.classif
 func (s *fakeSession) OnEvent(e mcelog.Event) core.Decision {
 	if s.strategy.delay > 0 {
 		time.Sleep(s.strategy.delay)
+	}
+	if s.strategy.poisonRow != 0 && e.Addr.Row == s.strategy.poisonRow {
+		panic(fmt.Sprintf("poisoned row %d", e.Addr.Row))
 	}
 	if e.Class != ecc.ClassUER {
 		return core.Decision{}

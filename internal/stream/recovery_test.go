@@ -1,0 +1,810 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cordial/internal/core"
+	"cordial/internal/ecc"
+	"cordial/internal/faultsim"
+	"cordial/internal/hbm"
+	"cordial/internal/mcelog"
+	"cordial/internal/trace"
+	"cordial/internal/wal"
+	"cordial/internal/xrand"
+)
+
+// ---- durable fake strategy -------------------------------------------------
+
+// fakeSession implements core.DurableSession so the fast recovery tests can
+// run without training a pipeline. The image is version, classified flag,
+// class, sorted distinct rows.
+func (s *fakeSession) EncodeState() ([]byte, error) {
+	enc := &snapEncoder{}
+	enc.u8(1)
+	enc.bool(s.classified)
+	enc.u8(uint8(s.class))
+	rows := make([]int, 0, len(s.rows))
+	for r := range s.rows {
+		rows = append(rows, r)
+	}
+	sort.Ints(rows)
+	enc.ints(rows)
+	return enc.b, nil
+}
+
+func (f *fakeStrategy) RestoreSession(bank hbm.BankAddress, data []byte) (core.Session, error) {
+	d := &snapDecoder{b: data}
+	if v := d.u8(); d.err == nil && v != 1 {
+		return nil, fmt.Errorf("fake session image version %d", v)
+	}
+	s := &fakeSession{strategy: f, bank: bank, rows: make(map[int]bool)}
+	s.classified = d.bool()
+	s.class = faultsim.Class(d.u8())
+	for _, r := range d.ints() {
+		s.rows[r] = true
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("fake session image has %d trailing bytes", len(data)-d.off)
+	}
+	return s, nil
+}
+
+var (
+	_ core.DurableSession  = (*fakeSession)(nil)
+	_ core.DurableStrategy = (*fakeStrategy)(nil)
+)
+
+// ---- harness ---------------------------------------------------------------
+
+// snapBodyOffset skips the engine snapshot payload's magic, version and
+// retention floor; the floor depends on the shard count, the rest of the
+// payload must be byte-identical across crash/recovery boundaries.
+const snapBodyOffset = len(engineSnapMagic) + 1 + 8
+
+// durCfg points an engine at a WAL directory. SyncNever keeps the tight
+// crash-recovery loops fast; fsync behaviour has its own fault tests.
+func durCfg(dir string, shards int, strategy core.Strategy) Config {
+	if strategy == nil {
+		strategy = &fakeStrategy{budget: 3}
+	}
+	return Config{
+		Strategy:   strategy,
+		Shards:     shards,
+		Durability: DurabilityConfig{Dir: dir, Sync: wal.SyncNever},
+	}
+}
+
+// actionKeys reduces an action stream to a comparable set; recovery replays
+// actions at least once, so equality is on the deduplicated set.
+func actionKeys(actions []Action) map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range actions {
+		rows := append([]int(nil), a.Rows...)
+		sort.Ints(rows)
+		m[fmt.Sprintf("%v|%v|%v|%v", a.Kind, a.Bank, a.Class, rows)] = true
+	}
+	return m
+}
+
+func assertSameActionSet(t *testing.T, got, want map[string]bool) {
+	t.Helper()
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing action %s", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("unexpected action %s", k)
+		}
+	}
+}
+
+// refRun replays evs through an uninterrupted durable engine and returns the
+// canonical snapshot payload plus the deduplicated action set — the oracle
+// every crashed-and-recovered run must match.
+func refRun(t *testing.T, strategy core.Strategy, evs []mcelog.Event, shards int) ([]byte, map[string]bool) {
+	t.Helper()
+	e, err := New(durCfg(t.TempDir(), shards, strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if err := e.Ingest(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := e.encodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return payload, actionKeys(drainActions(e))
+}
+
+// crashRecoveryTrial is one crash/recover/compare cycle: ingest evs[:kill]
+// into a durable engine (snapshotting after snapAt events when snapAt >= 0),
+// crash it (a plain Close writes no snapshot — recovery rides on the
+// journal), reopen the directory under a different shard count, feed the
+// remaining events, and require byte-identical session state and the same
+// action set as the uninterrupted reference.
+func crashRecoveryTrial(t *testing.T, strategy core.Strategy, evs []mcelog.Event, kill, snapAt int, wantBody []byte, wantActions map[string]bool) {
+	t.Helper()
+	dir := t.TempDir()
+	e1, err := New(durCfg(dir, 3, strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range evs[:kill] {
+		if i == snapAt {
+			if err := e1.Drain(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e1.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e1.Ingest(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a1 := drainActions(e1)
+
+	e2, err := New(durCfg(dir, 5, strategy))
+	if err != nil {
+		t.Fatalf("recovery failed (kill=%d snap=%d): %v", kill, snapAt, err)
+	}
+	st := e2.Stats()
+	if !st.WALEnabled {
+		t.Error("WAL disabled after recovery")
+	}
+	if st.RecoveredEvents != uint64(kill) {
+		t.Errorf("RecoveredEvents = %d, want %d", st.RecoveredEvents, kill)
+	}
+	if snapAt >= 0 && st.LastSnapshotSeq == 0 {
+		t.Error("LastSnapshotSeq = 0 after recovering with a snapshot present")
+	}
+	if snapAt >= 1 && st.RecoveredSessions == 0 {
+		t.Error("RecoveredSessions = 0 despite a non-empty snapshot")
+	}
+	for _, ev := range evs[kill:] {
+		if err := e2.Ingest(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e2.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := e2.encodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload[snapBodyOffset:], wantBody) {
+		t.Errorf("kill=%d snap=%d: recovered state diverged from uninterrupted run", kill, snapAt)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameActionSet(t, actionKeys(append(a1, drainActions(e2)...)), wantActions)
+}
+
+// flipByte corrupts the byte at the given offset from a file's end (offset
+// 1 hits a snapshot's checksum).
+func flipByte(t *testing.T, path string, fromEnd int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < fromEnd {
+		t.Fatalf("%s has %d bytes, cannot flip %d from end", path, len(data), fromEnd)
+	}
+	data[len(data)-fromEnd] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- crash-recovery equivalence --------------------------------------------
+
+// TestCrashRecoveryEquivalence is the durability gate: for randomized kill
+// points (with and without an intervening snapshot, and across a shard-count
+// change), snapshot restore + journal replay must reproduce byte-identical
+// per-session state and the same deduplicated action set as a run that never
+// crashed.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	r := xrand.New(23)
+	const banks, n = 10, 400
+	evs := make([]mcelog.Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev := uerAt(testBank(r.Intn(banks)), 1+r.Intn(8), i)
+		if r.Intn(4) == 0 {
+			ev.Class = ecc.ClassCE
+		}
+		evs = append(evs, ev)
+	}
+	strategy := &fakeStrategy{budget: 3}
+	refPayload, wantActions := refRun(t, strategy, evs, 4)
+	wantBody := refPayload[snapBodyOffset:]
+
+	for trial := 0; trial < 6; trial++ {
+		kill := r.Intn(n + 1)
+		snapAt := -1
+		if trial%2 == 1 && kill > 1 {
+			snapAt = r.Intn(kill)
+		}
+		t.Run(fmt.Sprintf("kill=%d,snap=%d", kill, snapAt), func(t *testing.T) {
+			crashRecoveryTrial(t, strategy, evs, kill, snapAt, wantBody, wantActions)
+		})
+	}
+}
+
+// TestCrashRecoveryEquivalenceTrained runs the same gate over the real
+// Cordial pipeline: the byte-compared session images embed the full
+// incremental feature state, so equality here pins the recovered pattern and
+// block vectors bit-for-bit against the uninterrupted run.
+func TestCrashRecoveryEquivalenceTrained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	pipe, err := trainedPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategy := &core.CordialStrategy{Pipeline: pipe, Geometry: hbm.DefaultGeometry}
+
+	spec := trace.DefaultSpec(hbm.DefaultGeometry)
+	spec.UERBanks = 12
+	spec.BenignBanks = 12
+	spec.Seed = 13
+	fleet, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Log.Sort()
+	evs := make([]mcelog.Event, fleet.Log.Len())
+	for i := range evs {
+		evs[i] = fleet.Log.At(i)
+	}
+
+	refPayload, wantActions := refRun(t, strategy, evs, 4)
+	wantBody := refPayload[snapBodyOffset:]
+
+	r := xrand.New(29)
+	for trial := 0; trial < 2; trial++ {
+		kill := 1 + r.Intn(len(evs)-1)
+		snapAt := -1
+		if trial == 1 {
+			snapAt = kill / 2
+		}
+		t.Run(fmt.Sprintf("kill=%d,snap=%d", kill, snapAt), func(t *testing.T) {
+			crashRecoveryTrial(t, strategy, evs, kill, snapAt, wantBody, wantActions)
+		})
+	}
+}
+
+// ---- fault injection -------------------------------------------------------
+
+// TestRecoverySnapshotFallback: a corrupt snapshot (bad checksum or
+// undecodable payload) must never break recovery — the engine falls back to
+// the previous snapshot, or to a full journal replay, and converges to the
+// same state either way.
+func TestRecoverySnapshotFallback(t *testing.T) {
+	dir := t.TempDir()
+	strategy := &fakeStrategy{budget: 3}
+	e, err := New(durCfg(dir, 2, strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := testBank(1)
+	ingest := func(rows ...int) {
+		t.Helper()
+		for i, row := range rows {
+			if err := e.Ingest(uerAt(bank, row, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Drain(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest(1, 2, 3)
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ingest(4, 5, 6)
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	refPayload, _, err := e.encodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBody := refPayload[snapBodyOffset:]
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drainActions(e)
+
+	snaps, err := wal.ListSnapshots(wal.OSFS, dir)
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("snapshots = %v, %v; want 2", snaps, err)
+	}
+
+	// reopen recovers the directory and checks the converged state plus the
+	// snapshot sequence actually used.
+	reopen := func(t *testing.T, wantSeq uint64) {
+		t.Helper()
+		e2, err := New(durCfg(dir, 2, strategy))
+		if err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+		defer func() {
+			if err := e2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			drainActions(e2)
+		}()
+		if got := e2.Stats().LastSnapshotSeq; got != wantSeq {
+			t.Errorf("LastSnapshotSeq = %d, want %d", got, wantSeq)
+		}
+		payload, _, err := e2.encodeSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload[snapBodyOffset:], wantBody) {
+			t.Error("recovered state diverged")
+		}
+	}
+
+	// Newest snapshot checksum-corrupt: fall back to the older one.
+	flipByte(t, snaps[0].Path, 1)
+	t.Run("corrupt-newest", func(t *testing.T) { reopen(t, snaps[1].Seq) })
+
+	// A snapshot with a valid checksum frame but a garbage engine payload,
+	// newer than everything: skipped the same way.
+	if _, err := wal.WriteSnapshot(wal.OSFS, dir, snaps[0].Seq+10, []byte("not an engine snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	t.Run("garbage-payload", func(t *testing.T) { reopen(t, snaps[1].Seq) })
+
+	// Every snapshot corrupt: full replay from an empty state, no panic.
+	snaps, err = wal.ListSnapshots(wal.OSFS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different byte than before: re-flipping the same one would undo the
+	// earlier corruption.
+	for _, si := range snaps {
+		flipByte(t, si.Path, 2)
+	}
+	t.Run("all-corrupt", func(t *testing.T) { reopen(t, 0) })
+}
+
+// TestRecoveryTornTail: garbage after the last intact journal record (the
+// shape a power cut mid-append leaves) is truncated on reopen, and the
+// repaired journal accepts new appends.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	strategy := &fakeStrategy{budget: 3}
+	e, err := New(durCfg(dir, 2, strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := testBank(1)
+	for i, row := range []int{1, 2, 3, 4, 5} {
+		if err := e.Ingest(uerAt(bank, row, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	refPayload, _, err := e.encodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drainActions(e)
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x21, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	e2, err := New(durCfg(dir, 2, strategy))
+	if err != nil {
+		t.Fatalf("recovery over torn tail: %v", err)
+	}
+	if got := e2.Stats().RecoveredEvents; got != 5 {
+		t.Errorf("RecoveredEvents = %d, want 5", got)
+	}
+	payload, _, err := e2.encodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload[snapBodyOffset:], refPayload[snapBodyOffset:]) {
+		t.Error("state diverged after torn-tail repair")
+	}
+	// The repaired journal keeps accepting events.
+	if err := e2.Ingest(uerAt(bank, 6, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drainActions(e2)
+}
+
+// TestRecoveryFsyncFailureSurfaces: under SyncAlways a failed fsync must
+// reject the event at Ingest (never acknowledge data that is not on stable
+// storage), and the engine keeps serving once the disk recovers.
+func TestRecoveryFsyncFailureSurfaces(t *testing.T) {
+	ffs := wal.NewFaultFS(wal.OSFS)
+	e, err := New(Config{
+		Strategy: &fakeStrategy{budget: 3},
+		Shards:   1,
+		Durability: DurabilityConfig{
+			Dir:  t.TempDir(),
+			FS:   ffs,
+			Sync: wal.SyncAlways,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := testBank(1)
+	if err := e.Ingest(uerAt(bank, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailSyncAfter(0)
+	if err := e.Ingest(uerAt(bank, 2, 1)); !errors.Is(err, wal.ErrInjectedSync) {
+		t.Fatalf("Ingest under failing fsync = %v, want ErrInjectedSync", err)
+	}
+	if got := e.Stats().Ingested; got != 1 {
+		t.Errorf("Ingested = %d after rejected event, want 1", got)
+	}
+	ffs.FailSyncAfter(-1)
+	if err := e.Ingest(uerAt(bank, 3, 2)); err != nil {
+		t.Fatalf("Ingest after fsync recovery: %v", err)
+	}
+	if err := e.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drainActions(e)
+}
+
+// ---- supervision -----------------------------------------------------------
+
+// TestPoisonQuarantineAndDeadLetter: an event that panics inside the
+// strategy session is quarantined — counted, preserved in the dead-letter
+// file, its session degraded — while every other bank keeps being served;
+// after snapshot + restart the degradation persists and the poisoned record
+// is never replayed into a fresh session.
+func TestPoisonQuarantineAndDeadLetter(t *testing.T) {
+	base := t.TempDir()
+	deadPath := filepath.Join(base, "dead.jsonl")
+	walDir := filepath.Join(base, "wal")
+	strategy := &fakeStrategy{budget: 3, poisonRow: 777}
+	cfg := durCfg(walDir, 2, strategy)
+	cfg.DeadLetterPath = deadPath
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, poisoned := testBank(1), testBank(3)
+	for i, row := range []int{1, 2, 3} {
+		if err := e.Ingest(uerAt(healthy, row, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Ingest(uerAt(poisoned, 777, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic after the panic: still counted, no longer processed.
+	if err := e.Ingest(uerAt(poisoned, 1, 11)); err != nil {
+		t.Fatal(err)
+	}
+	// The healthy bank keeps predicting.
+	if err := e.Ingest(uerAt(healthy, 4, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	if st.Quarantined != 1 || st.SessionsDegraded != 1 {
+		t.Errorf("quarantined=%d degraded=%d, want 1/1", st.Quarantined, st.SessionsDegraded)
+	}
+	bad, ok := e.Session(poisoned)
+	if !ok || !bad.Degraded {
+		t.Fatalf("poisoned session %+v, want degraded", bad)
+	}
+	if bad.Events != 1 {
+		t.Errorf("degraded session Events = %d, want 1 (post-poison traffic only)", bad.Events)
+	}
+	good, ok := e.Session(healthy)
+	if !ok || good.Degraded || good.Actions == 0 {
+		t.Errorf("healthy session %+v, want active with actions", good)
+	}
+
+	data, err := os.ReadFile(deadPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("dead-letter lines = %d, want 1:\n%s", len(lines), data)
+	}
+	var dl DeadLetter
+	if err := json.Unmarshal([]byte(lines[0]), &dl); err != nil {
+		t.Fatalf("dead-letter line %q: %v", lines[0], err)
+	}
+	if dl.Bank != poisoned.String() || dl.Row != 777 || dl.LSN == 0 {
+		t.Errorf("dead letter %+v, want bank %s row 777 with an LSN", dl, poisoned)
+	}
+	if !strings.Contains(dl.Reason, "poisoned row 777") {
+		t.Errorf("dead letter reason %q", dl.Reason)
+	}
+
+	// Snapshot, restart: the degraded flag and watermark persist, so the
+	// poisoned record does not replay into a fresh session and re-panic.
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drainActions(e)
+
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart after quarantine: %v", err)
+	}
+	st = e2.Stats()
+	if st.Quarantined != 0 {
+		t.Errorf("replay re-quarantined %d events; the snapshot should cover the poison", st.Quarantined)
+	}
+	if st.SessionsDegraded != 1 {
+		t.Errorf("SessionsDegraded = %d after restart, want 1", st.SessionsDegraded)
+	}
+	bad, ok = e2.Session(poisoned)
+	if !ok || !bad.Degraded {
+		t.Errorf("degradation lost across restart: %+v", bad)
+	}
+	if err := e2.Ingest(uerAt(poisoned, 2, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := e2.Session(poisoned); got.Events != bad.Events+1 {
+		t.Errorf("degraded session stopped counting traffic: %d -> %d", bad.Events, got.Events)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drainActions(e2)
+
+	// No new dead letters were written during replay or the extra event.
+	data, err = os.ReadFile(deadPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(string(data)), "\n")); got != 1 {
+		t.Errorf("dead-letter lines after restart = %d, want 1", got)
+	}
+}
+
+// ---- snapshot retention ----------------------------------------------------
+
+// TestSnapshotRetention: snapshots retire fully-covered journal segments and
+// prune old snapshot files, and the truncated directory still recovers to
+// the exact same state.
+func TestSnapshotRetention(t *testing.T) {
+	dir := t.TempDir()
+	strategy := &fakeStrategy{budget: 3}
+	cfg := durCfg(dir, 1, strategy)
+	cfg.Durability.SegmentBytes = 128 // a few records per segment
+	cfg.Durability.SnapshotKeep = 2
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := 0
+	round := func(rows ...int) {
+		t.Helper()
+		for _, row := range rows {
+			seq++
+			if err := e.Ingest(uerAt(testBank(row%6), row, seq)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Drain(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)
+	before := e.Stats().WALSegments
+	if before < 3 {
+		t.Fatalf("only %d segments before snapshot; shrink SegmentBytes", before)
+	}
+	for i := 0; i < 3; i++ {
+		round(20+i, 30+i)
+		if _, err := e.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.WALSegments >= before {
+		t.Errorf("segments %d -> %d; snapshot retired nothing", before, st.WALSegments)
+	}
+	snaps, err := wal.ListSnapshots(wal.OSFS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) > 2 {
+		t.Errorf("%d snapshot files retained, want <= 2", len(snaps))
+	}
+	refPayload, _, err := e.encodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drainActions(e)
+
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("recovery from truncated journal: %v", err)
+	}
+	payload, _, err := e2.encodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload[snapBodyOffset:], refPayload[snapBodyOffset:]) {
+		t.Error("state diverged after retention")
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drainActions(e2)
+}
+
+// ---- API edges -------------------------------------------------------------
+
+func TestSnapshotWithoutDurability(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	defer func() {
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if _, err := e.Snapshot(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Snapshot without WAL = %v, want ErrNotDurable", err)
+	}
+}
+
+func TestDurabilityRequiresDurableStrategy(t *testing.T) {
+	_, err := New(Config{
+		Strategy:   &recordingStrategy{times: make(map[uint64][]time.Time)},
+		Durability: DurabilityConfig{Dir: t.TempDir()},
+	})
+	if err == nil {
+		t.Fatal("non-durable strategy accepted with a WAL directory")
+	}
+}
+
+// TestDrainTimeout pins Drain's deadline behaviour against a deliberately
+// slow consumer, then lets the unbounded form finish the backlog.
+func TestDrainTimeout(t *testing.T) {
+	e := newTestEngine(t, Config{
+		Shards:   1,
+		Strategy: &fakeStrategy{budget: 3, delay: 10 * time.Millisecond},
+	})
+	bank := testBank(1)
+	for i := 0; i < 30; i++ {
+		if err := e.Ingest(uerAt(bank, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := e.Drain(5 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("Drain with tiny budget = %v, want timeout", err)
+	}
+	// d <= 0 waits forever.
+	if err := e.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Processed != st.Ingested {
+		t.Errorf("processed %d != ingested %d after unbounded drain", st.Processed, st.Ingested)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drainActions(e)
+}
+
+// TestIngestCloseRace hammers Ingest from many goroutines while Close runs;
+// under -race this pins the guarantee that late Ingests get ErrClosed
+// instead of racing a closed channel.
+func TestIngestCloseRace(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		e := newTestEngine(t, Config{Shards: 4, QueueDepth: 16})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < 6; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					err := e.Ingest(uerAt(testBank(p), i%10, i))
+					if errors.Is(err, ErrClosed) {
+						return
+					}
+					if err != nil && !errors.Is(err, ErrDropped) {
+						t.Error(err)
+						return
+					}
+				}
+			}(p)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range e.Actions() {
+			}
+		}()
+		close(start)
+		time.Sleep(2 * time.Millisecond)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		<-done
+		if st := e.Stats(); st.Processed != st.Ingested {
+			t.Errorf("round %d: processed %d != ingested %d", round, st.Processed, st.Ingested)
+		}
+	}
+}

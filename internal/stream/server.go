@@ -3,6 +3,7 @@ package stream
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -173,6 +174,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if len(res.Errors) < s.cfg.MaxBatchErrors {
 			res.Errors = append(res.Errors, fmt.Sprintf("after line %d: %v", lineNo, err))
 		}
+		// A body over MaxBodyBytes is the client's error: 413, with the
+		// counts for the prefix that was ingested before the cap hit.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, res)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, res)
 }
@@ -238,6 +246,7 @@ type jsonSession struct {
 	StateBytes      int       `json:"featureStateBytes"`
 	StateRows       int       `json:"featureStateRows"`
 	StateReleased   bool      `json:"featureStateReleased"`
+	Degraded        bool      `json:"degraded"`
 }
 
 // handleBank returns one bank's session snapshot. The address may be any
@@ -267,6 +276,7 @@ func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
 		StateBytes:      st.StateBytes,
 		StateRows:       st.StateRows,
 		StateReleased:   st.StateReleased,
+		Degraded:        st.Degraded,
 	}
 	if st.Classified {
 		js.Class = st.Class.String()
@@ -328,6 +338,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		StateRows      int64       `json:"featureStateRows"`
 		StateReleased  int         `json:"sessionsReleased"`
 		ShardStateB    []int64     `json:"shardFeatureStateBytes"`
+		Quarantined    uint64      `json:"quarantined"`
+		Degraded       int         `json:"sessionsDegraded"`
+		WALEnabled     bool        `json:"walEnabled"`
+		WALAppended    uint64      `json:"walAppended,omitempty"`
+		WALSegments    int         `json:"walSegments,omitempty"`
+		WALNextLSN     uint64      `json:"walNextLSN,omitempty"`
+		SnapshotSeq    uint64      `json:"lastSnapshotSeq,omitempty"`
+		RecoveredSess  int         `json:"recoveredSessions,omitempty"`
+		RecoveredEvts  uint64      `json:"recoveredEvents,omitempty"`
 	}{
 		Uptime:         es.Uptime.String(),
 		Ingested:       es.Ingested,
@@ -349,6 +368,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		StateRows:      es.FeatureStateRows,
 		StateReleased:  es.SessionsReleased,
 		ShardStateB:    es.ShardStateBytes,
+		Quarantined:    es.Quarantined,
+		Degraded:       es.SessionsDegraded,
+		WALEnabled:     es.WALEnabled,
+		WALAppended:    es.WALAppended,
+		WALSegments:    es.WALSegments,
+		WALNextLSN:     es.WALNextLSN,
+		SnapshotSeq:    es.LastSnapshotSeq,
+		RecoveredSess:  es.RecoveredSessions,
+		RecoveredEvts:  es.RecoveredEvents,
 	}
 	writeJSON(w, http.StatusOK, out)
 }

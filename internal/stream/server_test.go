@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -284,6 +285,93 @@ func TestServerActionStoreEviction(t *testing.T) {
 	}
 	if len(acts.Actions) != 2 || acts.Evicted != 1 {
 		t.Fatalf("store %d actions, evicted %d; want 2/1", len(acts.Actions), acts.Evicted)
+	}
+}
+
+// TestServerBodyTooLarge: a batch over MaxBodyBytes stops at the cap and
+// answers 413, still reporting the prefix that landed before the limit.
+func TestServerBodyTooLarge(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 1})
+	t.Cleanup(func() { e.Close() })
+	srv := NewServer(e, ServerConfig{MaxBodyBytes: 4096})
+	var buf bytes.Buffer
+	var events []mcelog.Event
+	for i := 0; i < 4; i++ {
+		events = append(events, uerAt(testBank(1), i+1, i))
+	}
+	if err := mcelog.FromEvents(events).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(strings.Repeat("x", 8<<10) + "\n")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/events", &buf))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d: %s", rec.Code, rec.Body)
+	}
+	var res IngestResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.Accepted != 4 {
+		t.Errorf("result %+v, want the 4 in-cap events accepted and truncated set", res)
+	}
+	// The server is healthy for the next, properly sized batch.
+	if res := post(t, srv, jsonlBody(t, uerAt(testBank(1), 9, 9))); res.Accepted != 1 {
+		t.Errorf("follow-up batch %+v", res)
+	}
+}
+
+// TestServerStatszDurabilityAndQuarantine: the WAL and supervision counters
+// operators alert on are surfaced by /statsz, and a degraded session is
+// visible in its bank view.
+func TestServerStatszDurabilityAndQuarantine(t *testing.T) {
+	base := t.TempDir()
+	cfg := durCfg(filepath.Join(base, "wal"), 2, &fakeStrategy{budget: 3, poisonRow: 666})
+	cfg.DeadLetterPath = filepath.Join(base, "dead.jsonl")
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	srv := NewServer(e, ServerConfig{})
+	bank := testBank(1)
+	if res := post(t, srv, jsonlBody(t, uerAt(bank, 666, 0), uerAt(bank, 1, 1))); res.Accepted != 2 {
+		t.Fatalf("ingest result %+v", res)
+	}
+	if err := e.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var stats map[string]any
+	_, body := get(t, srv, "/statsz")
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("statsz not JSON: %s", body)
+	}
+	if stats["walEnabled"] != true {
+		t.Errorf("statsz walEnabled = %v", stats["walEnabled"])
+	}
+	if got := stats["walAppended"]; got != float64(2) {
+		t.Errorf("statsz walAppended = %v, want 2", got)
+	}
+	if got := stats["quarantined"]; got != float64(1) {
+		t.Errorf("statsz quarantined = %v, want 1", got)
+	}
+	if got := stats["sessionsDegraded"]; got != float64(1) {
+		t.Errorf("statsz sessionsDegraded = %v, want 1", got)
+	}
+
+	rec, body := get(t, srv, "/v1/banks/"+bank.String())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("banks = %d: %s", rec.Code, body)
+	}
+	var sess struct {
+		Degraded bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(body, &sess); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Degraded {
+		t.Errorf("bank view does not report degradation: %s", body)
 	}
 }
 

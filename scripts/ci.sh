@@ -35,12 +35,24 @@ go test -race -run 'Equivalence|Parallel|RoundTrip|Batch' \
 echo "==> go test -race"
 go test -race ./... "$@"
 
+echo "==> crash-restart e2e (SIGKILL mid-ingest, recover, converge)"
+# Kills a live cordial-serve with SIGKILL halfway through an ingest and
+# asserts a restart over the same -wal-dir converges to the exact action
+# set of an uninterrupted reference run. Runs inside `go test ./...` too;
+# this labeled pass keeps the durability guarantee visible in CI output.
+go test -run 'TestCLIServeCrashRecovery' -count 1 ./internal/clitest/
+
 echo "==> fuzz smoke (incremental feature equivalence, 5s)"
 # Short fuzzing pass over the incremental-vs-batch feature equivalence
 # property; the seed corpus alone already covers the known-tricky cutoff
 # and timestamp-tie shapes, the extra seconds search for new ones.
 go test -run '^$' -fuzz 'FuzzIncrementalFeatureEquivalence' -fuzztime 5s \
     ./internal/features/
+
+echo "==> fuzz smoke (WAL record decoder, 5s)"
+# The decoder must classify arbitrary bytes as a record, a clean torn
+# tail, or corruption — never panic, never over-read.
+go test -run '^$' -fuzz 'FuzzWALDecode' -fuzztime 5s ./internal/wal/
 
 echo "==> bench smoke (1 iteration)"
 go test -run '^$' -bench . -benchtime 1x ./...
