@@ -12,11 +12,16 @@
 //	POST /v1/events        JSONL batch ingest (the cordial-gen -format jsonl shape)
 //	GET  /v1/actions       mitigation actions emitted so far
 //	GET  /v1/banks/{addr}  one bank's session snapshot
-//	GET  /healthz          liveness
-//	GET  /statsz           ingest rate, queue depths, latency snapshots
+//	GET  /healthz          liveness (process up; stays 200 under degradation)
+//	GET  /readyz           readiness (503 + JSON reasons when the engine
+//	                       should be rotated out of traffic)
+//	GET  /statsz           ingest rate, queue depths, latency snapshots (JSON)
+//	GET  /metrics          Prometheus text exposition (same instruments as /statsz)
+//	GET  /debug/pprof/...  Go profiling endpoints (only with -pprof)
 //
-// On SIGINT/SIGTERM the daemon stops accepting requests, drains every
-// in-flight event through the engine, and prints a final stats line.
+// Logs are structured (log/slog) on stdout; -log-format selects text or
+// json. On SIGINT/SIGTERM the daemon stops accepting requests, drains
+// every in-flight event through the engine, and logs a final stats line.
 //
 // With -wal-dir the daemon is crash-safe: every accepted event is journaled
 // before it is acknowledged (fsync policy via -fsync), snapshots are taken
@@ -30,8 +35,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -66,8 +73,21 @@ func run() error {
 		snapEvery  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 disables; requires -wal-dir)")
 		fsync      = flag.String("fsync", "always", "journal fsync policy with -wal-dir: always, interval or never")
 		deadLetter = flag.String("dead-letter", "", "append quarantined events (panicked processing) to this JSONL file")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		pprofOn    = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stdout, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stdout, nil)
+	default:
+		return fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	// Validate cheap configuration before the (possibly slow) model load.
 	cfg := stream.Config{
@@ -99,8 +119,9 @@ func run() error {
 		return fmt.Errorf("-snapshot-interval requires -wal-dir")
 	}
 	cfg.DeadLetterPath = *deadLetter
+	cfg.Logger = logger
 
-	pipe, err := loadPipeline(*modelsPath, *selftrain, *seed, *trainBanks, *trees)
+	pipe, err := loadPipeline(logger, *modelsPath, *selftrain, *seed, *trainBanks, *trees)
 	if err != nil {
 		return err
 	}
@@ -110,8 +131,9 @@ func run() error {
 		return err
 	}
 	if st := engine.Stats(); st.WALEnabled {
-		fmt.Printf("cordial-serve: recovered %d sessions and %d journal events from %s (snapshot seq %d)\n",
-			st.RecoveredSessions, st.RecoveredEvents, *walDir, st.LastSnapshotSeq)
+		logger.Info("recovered from durability directory",
+			"sessions", st.RecoveredSessions, "events", st.RecoveredEvents,
+			"dir", *walDir, "snapshotSeq", st.LastSnapshotSeq)
 	}
 	api := stream.NewServer(engine, stream.ServerConfig{})
 
@@ -127,7 +149,7 @@ func run() error {
 				select {
 				case <-tick.C:
 					if _, err := engine.Snapshot(); err != nil {
-						fmt.Fprintln(os.Stderr, "cordial-serve: snapshot:", err)
+						logger.Error("periodic snapshot failed", "err", err)
 					}
 				case <-snapStop:
 					return
@@ -140,12 +162,30 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// The resolved address line is load-bearing: with -addr :0 it is how
-	// test harnesses and wrapper scripts learn the real port.
-	fmt.Printf("cordial-serve: listening on %s (%d shards, policy %v)\n",
-		ln.Addr(), engine.Config().Shards, engine.Config().Policy)
+	// The resolved-address attribute is load-bearing: with -addr :0 the
+	// "addr=" (text) / "addr": (json) field is how test harnesses and
+	// wrapper scripts learn the real port.
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"shards", engine.Config().Shards,
+		"policy", engine.Config().Policy.String(),
+		"pprof", *pprofOn)
 
-	srv := &http.Server{Handler: api, ReadHeaderTimeout: 10 * time.Second}
+	root := http.Handler(api)
+	if *pprofOn {
+		// The pprof handlers are deliberately opt-in: they expose stack
+		// traces and heap contents, so they stay off unless an operator
+		// asked for them.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", api)
+		root = mux
+	}
+	srv := &http.Server{Handler: root, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
@@ -161,7 +201,7 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("cordial-serve: %v, shutting down\n", s)
+		logger.Info("shutting down", "signal", s.String())
 	case err := <-errc:
 		stopSnapshots()
 		engine.Close()
@@ -174,32 +214,33 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "cordial-serve: http shutdown:", err)
+		logger.Error("http shutdown failed", "err", err)
 	}
 	stopSnapshots()
 	// With durability on, checkpoint everything accepted so far so the next
 	// boot restores instead of replaying the whole journal.
 	if *walDir != "" {
 		if err := engine.Drain(30 * time.Second); err != nil {
-			fmt.Fprintln(os.Stderr, "cordial-serve: drain:", err)
+			logger.Error("drain failed", "err", err)
 		}
 		if seq, err := engine.Snapshot(); err != nil {
-			fmt.Fprintln(os.Stderr, "cordial-serve: final snapshot:", err)
+			logger.Error("final snapshot failed", "err", err)
 		} else {
-			fmt.Printf("cordial-serve: snapshot %d written\n", seq)
+			logger.Info("snapshot written", "seq", seq)
 		}
 	}
 	engine.Close()
 	api.AwaitDrained()
 	st := engine.Stats()
-	fmt.Printf("cordial-serve: drained; ingested=%d processed=%d sessions=%d actions=%d dropped=%d\n",
-		st.Ingested, st.Processed, st.SessionsLive, st.ActionsEmitted, st.Dropped)
+	logger.Info("drained",
+		"ingested", st.Ingested, "processed", st.Processed,
+		"sessions", st.SessionsLive, "actions", st.ActionsEmitted, "dropped", st.Dropped)
 	return nil
 }
 
 // loadPipeline restores a saved model or trains a small demonstration
 // pipeline on a simulated fleet.
-func loadPipeline(modelsPath string, selftrain bool, seed uint64, banks, trees int) (*core.Pipeline, error) {
+func loadPipeline(logger *slog.Logger, modelsPath string, selftrain bool, seed uint64, banks, trees int) (*core.Pipeline, error) {
 	switch {
 	case modelsPath != "":
 		f, err := os.Open(modelsPath)
@@ -234,8 +275,8 @@ func loadPipeline(modelsPath string, selftrain bool, seed uint64, banks, trees i
 		if err := pipe.Fit(fleet.Faults); err != nil {
 			return nil, err
 		}
-		fmt.Printf("cordial-serve: self-trained on %d simulated banks (seed %d, %d trees)\n",
-			len(fleet.Faults), seed, trees)
+		logger.Info("self-trained",
+			"banks", len(fleet.Faults), "seed", seed, "trees", trees)
 		return pipe, nil
 	default:
 		return nil, fmt.Errorf("need -models <path> or -selftrain")

@@ -44,7 +44,8 @@ type serveProc struct {
 }
 
 // startServe builds nothing (the binary comes from buildAll), launches the
-// daemon on an ephemeral port and waits for its resolved-address line.
+// daemon on an ephemeral port and waits for its resolved-address log line
+// (slog text format: msg=listening addr=127.0.0.1:NNNNN ...).
 func startServe(t *testing.T, bin string, extraArgs ...string) *serveProc {
 	t.Helper()
 	args := append([]string{
@@ -68,11 +69,14 @@ func startServe(t *testing.T, bin string, extraArgs ...string) *serveProc {
 		for sc.Scan() {
 			line := sc.Text()
 			fmt.Fprintln(p.out, line)
-			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+			if !strings.Contains(line, "msg=listening") {
+				continue
+			}
+			if _, rest, ok := strings.Cut(line, "addr="); ok {
 				fields := strings.Fields(rest)
 				if len(fields) > 0 {
 					select {
-					case addrc <- fields[0]:
+					case addrc <- strings.Trim(fields[0], `"`):
 					default:
 					}
 				}
@@ -155,7 +159,16 @@ func TestCLIServeEndToEnd(t *testing.T) {
 
 	p := startServe(t, bin)
 
-	// Liveness first.
+	// Readiness first — the stronger gate: 200 here means no degraded
+	// sessions and a working journal, not merely "the process is up".
+	var ready struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons"`
+	}
+	if code := p.getJSON(t, "/readyz", &ready); code != http.StatusOK || !ready.Ready {
+		t.Fatalf("readyz = %d (ready=%v reasons=%v)", code, ready.Ready, ready.Reasons)
+	}
+	// Liveness stays a separate, weaker probe.
 	if code := p.getJSON(t, "/healthz", nil); code != http.StatusOK {
 		t.Fatalf("healthz = %d", code)
 	}
@@ -240,11 +253,30 @@ func TestCLIServeEndToEnd(t *testing.T) {
 	fmt.Fprintf(conn, "%s\n{\"time\":\"2026-01-01T", lines[0])
 	conn.Close()
 	time.Sleep(100 * time.Millisecond)
-	if code := p.getJSON(t, "/healthz", nil); code != http.StatusOK {
-		t.Fatalf("healthz after disconnect = %d", code)
+	if code := p.getJSON(t, "/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz after disconnect = %d", code)
 	}
 	if code := p.getJSON(t, "/statsz", &stats); code != http.StatusOK {
 		t.Fatalf("statsz after disconnect = %d", code)
+	}
+
+	// One /metrics scrape through the real HTTP stack: parseable lines and
+	// the ingest counter agreeing with /statsz.
+	resp, err := http.Get(p.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody := new(bytes.Buffer)
+	if _, err := metricsBody.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	wantSeries := fmt.Sprintf("cordial_ingest_accepted_total %d\n", int(stats["ingested"].(float64)))
+	if !strings.Contains(metricsBody.String(), wantSeries) {
+		t.Errorf("metrics scrape missing %q", strings.TrimSpace(wantSeries))
 	}
 
 	// Graceful shutdown: SIGTERM → drain report → clean exit.
@@ -425,6 +457,7 @@ func TestCLIServeFlagErrors(t *testing.T) {
 		{"-selftrain", "-policy", "bogus"}, // unknown ingest policy
 		{"-selftrain", "-snapshot-interval", "5s"},             // snapshots need a WAL dir
 		{"-selftrain", "-wal-dir", "x", "-fsync", "sometimes"}, // unknown fsync policy
+		{"-selftrain", "-log-format", "xml"},                   // unknown log format
 	} {
 		cmd := exec.Command(filepath.Join(bin, "cordial-serve"), args...)
 		out, err := cmd.CombinedOutput()

@@ -1,0 +1,579 @@
+// Package obs is the serving stack's observability substrate: a small,
+// dependency-free metrics registry — monotonic counters, gauges (stored or
+// computed at scrape time) and fixed-bucket histograms — that renders the
+// Prometheus text exposition format. The stream engine, the WAL and the
+// HTTP front-end all register their instruments here, and both /metrics
+// and /statsz read from the same instruments, so the two endpoints can
+// never drift apart.
+//
+// Design constraints, in order:
+//
+//   - Hot-path updates are lock-free (atomics only). A counter increment
+//     on the ingest path must cost no more than the atomic it replaces.
+//   - Instruments are nil-safe: methods on a nil *Counter, *Gauge or
+//     *Histogram are no-ops, so instrumented packages (e.g. internal/wal)
+//     need no "is metrics enabled" branches at call sites.
+//   - Rendering is deterministic: families appear in registration order,
+//     series within a family in label order, so exposition output is
+//     directly comparable in golden tests.
+//
+// Metric and label names are validated on registration (programmer errors
+// panic, like a malformed struct tag would). Registering the same name
+// with the same type returns the existing family, and the same label set
+// returns the existing instrument, so independent components may share a
+// series without coordination.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant name="value" pair attached to an instrument.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefLatencyBuckets spans 1µs to 10s on a 1-2.5-5 ladder — wide enough
+// for both in-process event handling (microseconds) and fsync-bound WAL
+// appends (milliseconds to seconds). Values are in seconds, the Prometheus
+// base unit for durations.
+var DefLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// metricKind is the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metricKind(%d)", int(k))
+	}
+}
+
+// series is one rendered time series: an instrument plus its labels.
+type series struct {
+	labels []Label
+	key    string // canonical label signature, for dedupe and sort
+	render func(w io.Writer, name, labelStr string)
+}
+
+// family groups all series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind metricKind
+	// series sorted by label signature; insertion keeps order.
+	series []*series
+	byKey  map[string]any // label signature -> instrument
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; construct with NewRegistry. All methods are safe for concurrent
+// use, but registration is expected at component start-up, not on hot
+// paths.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// validName is the Prometheus metric-name grammar ([a-zA-Z_:][a-zA-Z0-9_:]*);
+// labels use the same minus the colon.
+func validName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r == ':' && !label:
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey canonicalises a label set: sorted, escaped, joined. It doubles
+// as the rendered label string (minus braces) for plain instruments.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes for label values.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// register finds or creates the family and the series slot. It returns the
+// existing instrument when the same name+labels was registered before, or
+// stores create()'s result otherwise.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label, create func() any) any {
+	if !validName(name, false) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key, true) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Key, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]any)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
+	}
+	key := labelKey(labels)
+	if inst, ok := f.byKey[key]; ok {
+		return inst
+	}
+	inst := create()
+	f.byKey[key] = inst
+	s := &series{labels: labels, key: key}
+	switch v := inst.(type) {
+	case *Counter:
+		s.render = v.renderTo
+	case *Gauge:
+		s.render = v.renderTo
+	case *gaugeFunc:
+		s.render = v.renderTo
+	case *Histogram:
+		s.render = v.renderTo
+	}
+	// Keep series sorted by label signature for deterministic output.
+	at := sort.Search(len(f.series), func(i int) bool { return f.series[i].key >= key })
+	f.series = append(f.series, nil)
+	copy(f.series[at+1:], f.series[at:])
+	f.series[at] = s
+	return inst
+}
+
+// Counter registers (or returns) a monotonic counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	inst := r.register(name, help, kindCounter, labels, func() any { return &Counter{} })
+	c, ok := inst.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q series exists with a different instrument type", name))
+	}
+	return c
+}
+
+// Gauge registers (or returns) a stored gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	inst := r.register(name, help, kindGauge, labels, func() any { return &Gauge{} })
+	g, ok := inst.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q series exists with a different instrument type", name))
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — the natural shape for "current queue depth" or "live sessions",
+// where the source of truth already lives elsewhere. fn must be safe to
+// call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	inst := r.register(name, help, kindGauge, labels, func() any { return &gaugeFunc{fn: fn} })
+	if _, ok := inst.(*gaugeFunc); !ok {
+		panic(fmt.Sprintf("obs: metric %q series exists with a different instrument type", name))
+	}
+}
+
+// Histogram registers (or returns) a fixed-bucket histogram. buckets are
+// upper bounds in ascending order; +Inf is implicit. An empty slice takes
+// DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending at %d", name, i))
+		}
+	}
+	inst := r.register(name, help, kindHistogram, labels, func() any { return newHistogram(buckets) })
+	h, ok := inst.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q series exists with a different instrument type", name))
+	}
+	return h
+}
+
+// WriteText renders every family in the Prometheus text exposition format
+// (version 0.0.4): # HELP and # TYPE comments, then one line per series.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ew := &errWriter{w: w}
+	for _, f := range r.families {
+		fmt.Fprintf(ew, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(ew, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			s.render(ew, f.name, s.key)
+		}
+	}
+	return ew.err
+}
+
+// escapeHelp applies the exposition-format escapes for HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// errWriter latches the first write error so rendering loops stay flat.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, nil
+}
+
+// formatFloat renders a sample value the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// seriesName renders "name{labels}" (or bare name without labels).
+func seriesName(name, labelStr string) string {
+	if labelStr == "" {
+		return name
+	}
+	return name + "{" + labelStr + "}"
+}
+
+// ---- counter ---------------------------------------------------------------
+
+// Counter is a monotonically increasing uint64. The zero value is ready;
+// methods on a nil receiver are no-ops (reads return 0).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) renderTo(w io.Writer, name, labelStr string) {
+	fmt.Fprintf(w, "%s %d\n", seriesName(name, labelStr), c.Value())
+}
+
+// ---- gauge -----------------------------------------------------------------
+
+// Gauge is a float64 that can go up and down. The zero value is ready;
+// methods on a nil receiver are no-ops (reads return 0).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (atomically, via CAS).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) renderTo(w io.Writer, name, labelStr string) {
+	fmt.Fprintf(w, "%s %s\n", seriesName(name, labelStr), formatFloat(g.Value()))
+}
+
+// gaugeFunc is a gauge computed at scrape time.
+type gaugeFunc struct {
+	fn func() float64
+}
+
+func (g *gaugeFunc) renderTo(w io.Writer, name, labelStr string) {
+	fmt.Fprintf(w, "%s %s\n", seriesName(name, labelStr), formatFloat(g.fn()))
+}
+
+// ---- histogram -------------------------------------------------------------
+
+// Histogram counts observations into fixed cumulative buckets and tracks
+// an exact count and sum. Observe is lock-free; a scrape may split an
+// observation between the bucket counters and the sum (the usual
+// Prometheus histogram relaxation) but every per-series value is itself
+// consistent and monotone. Methods on a nil receiver are no-ops.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket ladders are ~20 wide and the branch predictor
+	// does well on latency-shaped data; a binary search is not faster
+	// until ~64 buckets.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveSince records the seconds elapsed since t0 — the common shape for
+// latency instrumentation.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+func (h *Histogram) renderTo(w io.Writer, name, labelStr string) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := `le="` + formatFloat(b) + `"`
+		ls := le
+		if labelStr != "" {
+			ls = labelStr + "," + le
+		}
+		fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", ls), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	ls := `le="+Inf"`
+	if labelStr != "" {
+		ls = labelStr + "," + ls
+	}
+	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", ls), cum)
+	fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", labelStr), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", labelStr), h.count.Load())
+}
+
+// ValidateLine checks one non-comment exposition line for the shape a
+// Prometheus scraper requires: a valid metric name, an optional
+// well-formed {label="value",...} block, and a parseable float sample.
+// Exported for tests that assert /metrics output stays scrapeable.
+func ValidateLine(line string) error {
+	rest := line
+	name := rest
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		close := strings.LastIndexByte(rest, '}')
+		if close < i {
+			return fmt.Errorf("obs: unterminated label block")
+		}
+		if err := validateLabelBlock(rest[i+1 : close]); err != nil {
+			return err
+		}
+		rest = strings.TrimPrefix(rest[close+1:], " ")
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return fmt.Errorf("obs: no sample value")
+		}
+		name, rest = rest[:sp], rest[sp+1:]
+	}
+	if !validName(name, false) {
+		return fmt.Errorf("obs: invalid metric name %q", name)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "+Inf" || rest == "-Inf" || rest == "NaN" {
+		return nil
+	}
+	if _, err := strconv.ParseFloat(rest, 64); err != nil {
+		return fmt.Errorf("obs: invalid sample value %q", rest)
+	}
+	return nil
+}
+
+// validateLabelBlock checks the inside of a {...} block.
+func validateLabelBlock(s string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || !validName(s[:eq], true) {
+			return fmt.Errorf("obs: invalid label name in %q", s)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("obs: unquoted label value in %q", s)
+		}
+		s = s[1:]
+		// Scan to the closing quote, honouring escapes.
+		i := 0
+		for ; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+		}
+		if i >= len(s) {
+			return fmt.Errorf("obs: unterminated label value")
+		}
+		s = s[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("obs: expected comma between labels, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+// atomicFloat is a CAS-updated float64.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicFloat) add(v float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }

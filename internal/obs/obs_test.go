@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestExpositionGolden pins the exact rendered output: family ordering by
+// registration, series ordering by label signature, HELP/TYPE comments,
+// histogram bucket cumulativity and the +Inf terminal bucket.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events seen.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_depth", "Current depth.")
+	g.Set(2.5)
+	r.GaugeFunc("test_live", "Live things.", func() float64 { return 7 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(5)
+	cb := r.Counter("test_shard_total", "Per-shard.", L("shard", "1"))
+	ca := r.Counter("test_shard_total", "Per-shard.", L("shard", "0"))
+	cb.Add(2)
+	ca.Inc()
+
+	want := `# HELP test_events_total Events seen.
+# TYPE test_events_total counter
+test_events_total 42
+# HELP test_depth Current depth.
+# TYPE test_depth gauge
+test_depth 2.5
+# HELP test_live Live things.
+# TYPE test_live gauge
+test_live 7
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 6.05
+test_latency_seconds_count 4
+# HELP test_shard_total Per-shard.
+# TYPE test_shard_total counter
+test_shard_total{shard="0"} 1
+test_shard_total{shard="1"} 2
+`
+	if got := render(t, r); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExpositionParses runs a minimal line-shape validator over a rendered
+// registry: every non-comment line must be "name{labels} value" with a
+// parseable float value — the contract a Prometheus scraper needs.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(3)
+	r.Gauge("b_bytes", "b", L("x", `quo"te`), L("y", "line\nbreak")).Set(-1.5)
+	r.Histogram("c_seconds", "c", nil).Observe(0.2)
+	for _, line := range strings.Split(strings.TrimSuffix(render(t, r), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if err := ValidateLine(line); err != nil {
+			t.Errorf("line %q: %v", line, err)
+		}
+	}
+}
+
+func TestDuplicateRegistrationReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "d", L("k", "v"))
+	b := r.Counter("dup_total", "d", L("k", "v"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("duplicate registration did not share state")
+	}
+	// Different label set under the same family is a new series.
+	c := r.Counter("dup_total", "d", L("k", "w"))
+	if c == a {
+		t.Error("different labels returned the same instrument")
+	}
+	// Label order must not matter.
+	g1 := r.Gauge("dup_gauge", "g", L("a", "1"), L("b", "2"))
+	g2 := r.Gauge("dup_gauge", "g", L("b", "2"), L("a", "1"))
+	if g1 != g2 {
+		t.Error("label order changed instrument identity")
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	expectPanic("bad metric name", func() { r.Counter("1bad", "") })
+	expectPanic("bad label name", func() { r.Counter("ok_total", "", L("bad-key", "v")) })
+	expectPanic("empty name", func() { r.Gauge("", "") })
+	r.Counter("twice", "")
+	expectPanic("type conflict", func() { r.Gauge("twice", "") })
+	expectPanic("non-ascending buckets", func() { r.Histogram("h", "", []float64{1, 1}) })
+	r.GaugeFunc("gf", "", func() float64 { return 0 })
+	expectPanic("gaugefunc vs gauge", func() { r.Gauge("gf", "") })
+}
+
+// TestNilInstrumentsAreNoOps: instrumented packages pass nil instruments
+// when metrics are disabled; every method must tolerate that.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instrument returned non-zero")
+	}
+}
+
+func TestGaugeAddAndNegatives(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "")
+	g.Add(2)
+	g.Add(-5)
+	if got := g.Value(); got != -3 {
+		t.Errorf("gauge = %v, want -3", got)
+	}
+	if !strings.Contains(render(t, r), "g -3\n") {
+		t.Errorf("rendered %q", render(t, r))
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // on the boundary: le="1" is inclusive
+	h.Observe(math.Nextafter(1, 2))
+	h.Observe(3)
+	out := render(t, r)
+	for _, want := range []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="2"} 2`,
+		`h_bucket{le="+Inf"} 3`,
+		`h_count 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentUpdatesAndScrapes drives all instrument types from many
+// goroutines while scraping; meaningful under -race, and the final counts
+// must be exact.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) * 1e-6)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -68,11 +68,14 @@ type DeadLetter struct {
 	Reason string `json:"reason"`
 }
 
-// quarantine counts a poisoned event and preserves it in the dead-letter
-// file. Runs outside the shard lock; file errors are swallowed (losing a
-// dead-letter line must not take down processing).
-func (e *Engine) quarantine(d *DeadLetter) {
-	e.quarantined.Add(1)
+// quarantine counts a poisoned event (on its shard's counter) and
+// preserves it in the dead-letter file. Runs outside the shard lock; file
+// errors are swallowed (losing a dead-letter line must not take down
+// processing).
+func (e *Engine) quarantine(s *shard, d *DeadLetter) {
+	s.quarantined.Inc()
+	e.cfg.Logger.Warn("event quarantined",
+		"bank", d.Bank, "row", d.Row, "class", d.Class, "reason", d.Reason)
 	if e.deadFile == nil {
 		return
 	}
@@ -122,19 +125,26 @@ func (e *Engine) ingestDurable(s *shard, ev mcelog.Event) error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	if e.cfg.Policy == IngestDrop && len(s.in) == cap(s.in) {
-		e.dropped.Add(1)
+		s.dropped.Inc()
 		return ErrDropped
 	}
 	lsn, err := e.wal.Append(encodeEventRecord(ev))
 	if err != nil {
 		// Not journaled: reject rather than accept an event that a crash
-		// would silently forget. The caller decides whether to retry.
+		// would silently forget. The caller decides whether to retry. The
+		// failure also flips /readyz: a daemon that cannot persist intake
+		// should be rotated out of traffic, not just return errors.
+		e.walAppendErrs.Add(1)
+		e.lastAppendErr.Store(err.Error())
 		return fmt.Errorf("stream: journaling event: %w", err)
+	}
+	if last, _ := e.lastAppendErr.Load().(string); last != "" {
+		e.lastAppendErr.Store("") // append works again: readiness restored
 	}
 	t0 := time.Now()
 	s.in <- queued{ev: ev, lsn: lsn}
 	e.ingestWait.observe(time.Since(t0))
-	e.ingested.Add(1)
+	e.metrics.ingested.Inc()
 	return nil
 }
 
@@ -454,6 +464,7 @@ func (e *Engine) recoverDurable() error {
 		SegmentBytes: dcfg.SegmentBytes,
 		Sync:         dcfg.Sync,
 		SyncInterval: dcfg.SyncInterval,
+		Metrics:      e.cfg.Metrics,
 	})
 	if err != nil {
 		return err
@@ -470,7 +481,7 @@ func (e *Engine) recoverDurable() error {
 		s := e.shardFor(ev.Addr.BankKey())
 		out, dead := e.apply(s, queued{ev: ev, lsn: lsn})
 		if dead != nil {
-			e.quarantine(dead)
+			e.quarantine(s, dead)
 		}
 		for _, a := range out {
 			e.emit(a)
@@ -483,6 +494,8 @@ func (e *Engine) recoverDurable() error {
 		return fmt.Errorf("stream: replaying journal: %w", err)
 	}
 	e.recoveredEvents = replayed
+	e.metrics.recoveredSessions.Set(float64(e.recoveredSessions))
+	e.metrics.recoveredEvents.Set(float64(replayed))
 	return nil
 }
 
@@ -513,8 +526,10 @@ func (e *Engine) Snapshot() (uint64, error) {
 	}
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
+	t0 := time.Now()
 	payload, floor, err := e.encodeSnapshot()
 	if err != nil {
+		e.metrics.snapshotErrors.Inc()
 		return 0, err
 	}
 	seq := e.wal.NextLSN()
@@ -526,12 +541,27 @@ func (e *Engine) Snapshot() (uint64, error) {
 		fs = wal.OSFS
 	}
 	if _, err := wal.WriteSnapshot(fs, e.cfg.Durability.Dir, seq, payload); err != nil {
+		e.metrics.snapshotErrors.Inc()
 		return 0, err
 	}
 	e.snapSeq = seq
-	// Retention is best-effort: a failure leaves extra files, not broken
-	// recovery.
-	_ = e.wal.TruncateBefore(floor + 1)
-	_ = wal.PruneSnapshots(fs, e.cfg.Durability.Dir, e.cfg.Durability.keep())
+	e.metrics.snapshots.Inc()
+	e.metrics.snapshotBytes.Set(float64(len(payload)))
+	// Retention is best-effort — a failure leaves extra files, not broken
+	// recovery — but it must never be silent: a retention step that keeps
+	// failing grows the directory until the disk fills, so each failure is
+	// logged and counted (cordial_retention_errors_total, and
+	// EngineStats.RetentionErrors on /statsz).
+	if terr := e.wal.TruncateBefore(floor + 1); terr != nil {
+		e.metrics.retentionErrors.Inc()
+		e.cfg.Logger.Warn("snapshot retention failed",
+			"stage", "truncate", "floor", floor, "err", terr)
+	}
+	if perr := wal.PruneSnapshots(fs, e.cfg.Durability.Dir, e.cfg.Durability.keep()); perr != nil {
+		e.metrics.retentionErrors.Inc()
+		e.cfg.Logger.Warn("snapshot retention failed",
+			"stage", "prune", "keep", e.cfg.Durability.keep(), "err", perr)
+	}
+	e.metrics.snapshotDur.Observe(time.Since(t0).Seconds())
 	return seq, nil
 }

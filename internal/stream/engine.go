@@ -25,6 +25,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sync"
@@ -36,6 +37,7 @@ import (
 	"cordial/internal/faultsim"
 	"cordial/internal/hbm"
 	"cordial/internal/mcelog"
+	"cordial/internal/obs"
 	"cordial/internal/sparing"
 )
 
@@ -99,6 +101,15 @@ type Config struct {
 	// processing panicked) as JSON lines to this file. Quarantine happens
 	// with or without the file; the file preserves the evidence.
 	DeadLetterPath string
+	// Metrics is the registry the engine registers its instruments in.
+	// Nil means a fresh private registry — instrumentation is always on
+	// (the instruments ARE the engine's counters); passing a registry only
+	// controls where they are visible. Exposed via Engine.Metrics for the
+	// HTTP /metrics endpoint.
+	Metrics *obs.Registry
+	// Logger receives the engine's structured diagnostics (retention
+	// failures, quarantines). Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // withDefaults fills zero fields.
@@ -114,6 +125,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Geometry == (hbm.Geometry{}) {
 		c.Geometry = hbm.DefaultGeometry
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -261,6 +278,15 @@ type EngineStats struct {
 	// replayed (including ones skipped as already applied).
 	RecoveredSessions int
 	RecoveredEvents   uint64
+	// RetentionErrors counts failed post-snapshot retention steps (journal
+	// truncation or snapshot pruning). Non-zero means disk usage is growing
+	// past the configured retention until a later snapshot succeeds.
+	RetentionErrors uint64
+	// WALAppendErrors counts Ingest calls that failed to journal their
+	// event; LastWALAppendError is the most recent failure's message
+	// (empty once an append succeeds again).
+	WALAppendErrors    uint64
+	LastWALAppendError string
 }
 
 // Engine is the sharded online prediction engine. Construct with New; all
@@ -270,13 +296,14 @@ type Engine struct {
 	shards []*shard
 	start  time.Time
 
-	actions        chan Action
-	ingested       atomic.Uint64
-	dropped        atomic.Uint64
-	actionsEmitted atomic.Uint64
-	actionsDropped atomic.Uint64
-	quarantined    atomic.Uint64
-	ingestWait     latencySampler
+	actions    chan Action
+	metrics    engineMetrics
+	ingestWait latencySampler
+
+	// walAppendErrs / lastAppendErr track journal-append failures for
+	// readiness: a serving daemon that cannot persist intake is not ready.
+	walAppendErrs atomic.Uint64
+	lastAppendErr atomic.Value // string; "" once an append succeeds again
 
 	// Durability state; all nil/zero when no WAL directory is configured.
 	wal               *walJournal
@@ -300,11 +327,15 @@ type queued struct {
 	lsn uint64
 }
 
-// shard is one session partition, consumed by a single goroutine.
+// shard is one session partition, consumed by a single goroutine. The
+// counters are per-shard obs instruments (labelled shard="i") registered
+// by registerMetrics; they are the only copy of these counts.
 type shard struct {
-	in        chan queued
-	processed atomic.Uint64
-	process   latencySampler
+	in          chan queued
+	processed   *obs.Counter
+	dropped     *obs.Counter
+	quarantined *obs.Counter
+	process     latencySampler
 
 	// ingestMu serialises journal-append + enqueue so queue order equals
 	// LSN order within the shard (the invariant replay depends on). Only
@@ -357,6 +388,10 @@ func New(cfg Config) (*Engine, error) {
 			sessions: make(map[uint64]*bankSession),
 		}
 	}
+	e.lastAppendErr.Store("")
+	// Instruments must exist before recovery (the WAL registers its own on
+	// Open) and before the first Ingest.
+	e.registerMetrics()
 	if cfg.DeadLetterPath != "" {
 		f, err := os.OpenFile(cfg.DeadLetterPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 		if err != nil {
@@ -429,7 +464,7 @@ func (e *Engine) Ingest(ev mcelog.Event) error {
 		select {
 		case s.in <- queued{ev: ev}:
 		default:
-			e.dropped.Add(1)
+			s.dropped.Inc()
 			return ErrDropped
 		}
 	default:
@@ -437,7 +472,7 @@ func (e *Engine) Ingest(ev mcelog.Event) error {
 		s.in <- queued{ev: ev}
 		e.ingestWait.observe(time.Since(t0))
 	}
-	e.ingested.Add(1)
+	e.metrics.ingested.Inc()
 	return nil
 }
 
@@ -461,9 +496,9 @@ func (e *Engine) IngestLog(l *mcelog.Log) (accepted int, err error) {
 // actions. Runs on the shard's consumer goroutine only.
 func (e *Engine) process(s *shard, q queued) {
 	out, dead := e.apply(s, q)
-	s.processed.Add(1)
+	s.processed.Inc()
 	if dead != nil {
-		e.quarantine(dead)
+		e.quarantine(s, dead)
 	}
 	for _, a := range out {
 		e.emit(a)
@@ -605,13 +640,13 @@ func (e *Engine) emit(a Action) {
 	for {
 		select {
 		case e.actions <- a:
-			e.actionsEmitted.Add(1)
+			e.metrics.actionsEmitted.Inc()
 			return
 		default:
 		}
 		select {
 		case <-e.actions:
-			e.actionsDropped.Add(1)
+			e.metrics.actionsDropped.Inc()
 		default:
 		}
 	}
@@ -646,14 +681,14 @@ func (e *Engine) SessionCount() int {
 }
 
 // Stats returns a point-in-time snapshot of the engine's counters, queue
-// depths and latency distributions.
+// depths and latency distributions. The counters are read back from the
+// obs instruments, so this is the same data GET /metrics renders.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
 		Uptime:         time.Since(e.start),
-		Ingested:       e.ingested.Load(),
-		Dropped:        e.dropped.Load(),
-		ActionsEmitted: e.actionsEmitted.Load(),
-		ActionsDropped: e.actionsDropped.Load(),
+		Ingested:       e.metrics.ingested.Value(),
+		ActionsEmitted: e.metrics.actionsEmitted.Value(),
+		ActionsDropped: e.metrics.actionsDropped.Value(),
 		Shards:         len(e.shards),
 		QueueDepths:    make([]int, len(e.shards)),
 		IngestWait:     e.ingestWait.snapshot(),
@@ -661,7 +696,9 @@ func (e *Engine) Stats() EngineStats {
 	st.ShardStateBytes = make([]int64, len(e.shards))
 	var proc latencySampler
 	for i, s := range e.shards {
-		st.Processed += s.processed.Load()
+		st.Processed += s.processed.Value()
+		st.Dropped += s.dropped.Value()
+		st.Quarantined += s.quarantined.Value()
 		st.QueueDepths[i] = len(s.in)
 		s.mu.Lock()
 		st.SessionsLive += len(s.sessions)
@@ -674,9 +711,13 @@ func (e *Engine) Stats() EngineStats {
 		proc.merge(&s.process)
 	}
 	st.Process = proc.snapshot()
-	st.Quarantined = e.quarantined.Load()
 	st.RecoveredSessions = e.recoveredSessions
 	st.RecoveredEvents = e.recoveredEvents
+	st.RetentionErrors = e.metrics.retentionErrors.Value()
+	st.WALAppendErrors = e.walAppendErrs.Load()
+	if s, ok := e.lastAppendErr.Load().(string); ok {
+		st.LastWALAppendError = s
+	}
 	if e.wal != nil {
 		st.WALEnabled = true
 		st.WALAppended = e.wal.Appended()
@@ -692,6 +733,28 @@ func (e *Engine) Stats() EngineStats {
 	return st
 }
 
+// ReadyReasons reports why the engine is not ready to serve, one reason
+// per condition; an empty slice means ready. Liveness (/healthz) is a
+// different question — a degraded engine is alive but should be rotated
+// out of intake, which is exactly what a 503 from /readyz tells the load
+// balancer.
+func (e *Engine) ReadyReasons() []string {
+	var reasons []string
+	degraded := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		degraded += s.degraded
+		s.mu.Unlock()
+	}
+	if degraded > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d session(s) degraded after processing panics", degraded))
+	}
+	if msg, ok := e.lastAppendErr.Load().(string); ok && msg != "" {
+		reasons = append(reasons, "last WAL append failed: "+msg)
+	}
+	return reasons
+}
+
 // Drain blocks until every accepted event has been processed (or the
 // context budget d elapses; d <= 0 means wait forever). It does not stop
 // the engine — use it to checkpoint a replay before reading stats.
@@ -700,14 +763,14 @@ func (e *Engine) Drain(d time.Duration) error {
 	for {
 		var processed uint64
 		for _, s := range e.shards {
-			processed += s.processed.Load()
+			processed += s.processed.Value()
 		}
-		if processed >= e.ingested.Load() {
+		if processed >= e.metrics.ingested.Value() {
 			return nil
 		}
 		if d > 0 && time.Now().After(deadline) {
 			return fmt.Errorf("stream: drain timed out after %v (%d of %d processed)",
-				d, processed, e.ingested.Load())
+				d, processed, e.metrics.ingested.Value())
 		}
 		time.Sleep(200 * time.Microsecond)
 	}

@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"cordial/internal/obs"
+)
+
+// engineMetrics is the engine's instrument set in the obs registry. The
+// instruments ARE the engine's counters — EngineStats and /statsz read
+// their values back out, so /metrics and /statsz can never disagree on a
+// shared quantity. Durability instruments stay nil (and so no-op) when no
+// WAL directory is configured, keeping /metrics free of dead series.
+type engineMetrics struct {
+	ingested       *obs.Counter
+	actionsEmitted *obs.Counter
+	actionsDropped *obs.Counter
+	ingestWaitDur  *obs.Histogram
+	processDur     *obs.Histogram
+
+	// Durability layer (nil without a WAL directory).
+	snapshots         *obs.Counter
+	snapshotErrors    *obs.Counter
+	snapshotDur       *obs.Histogram
+	snapshotBytes     *obs.Gauge
+	retentionErrors   *obs.Counter
+	recoveredSessions *obs.Gauge
+	recoveredEvents   *obs.Gauge
+}
+
+// registerMetrics creates the engine's instruments and scrape-time gauges
+// in the configured registry. Called from New after the shards exist and
+// before any consumer starts; gauge callbacks take the shard mutexes, so
+// a scrape observes the same consistency /statsz does.
+func (e *Engine) registerMetrics() {
+	reg := e.cfg.Metrics
+	m := &e.metrics
+
+	m.ingested = reg.Counter("cordial_ingest_accepted_total",
+		"Events accepted by Ingest and enqueued to a shard.")
+	m.actionsEmitted = reg.Counter("cordial_actions_emitted_total",
+		"Mitigation actions delivered to the output channel.")
+	m.actionsDropped = reg.Counter("cordial_actions_dropped_total",
+		"Actions evicted from a full output channel to admit newer ones.")
+	m.ingestWaitDur = reg.Histogram("cordial_ingest_wait_seconds",
+		"Time Ingest spent enqueueing an event (the backpressure signal).", nil)
+	m.processDur = reg.Histogram("cordial_process_seconds",
+		"Per-event session time: feature extraction plus model inference.", nil)
+	e.ingestWait.attach(m.ingestWaitDur)
+
+	reg.GaugeFunc("cordial_uptime_seconds",
+		"Seconds since the engine started.",
+		func() float64 { return time.Since(e.start).Seconds() })
+	reg.GaugeFunc("cordial_sessions_live",
+		"Live per-bank sessions.",
+		func() float64 { return float64(e.SessionCount()) })
+	reg.GaugeFunc("cordial_sessions_degraded",
+		"Sessions quarantined after a processing panic; they no longer feed their strategy session.",
+		func() float64 {
+			n := 0
+			for _, s := range e.shards {
+				s.mu.Lock()
+				n += s.degraded
+				s.mu.Unlock()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("cordial_sessions_released",
+		"Sessions that dropped their feature state after a terminal decision (bank spared).",
+		func() float64 {
+			n := 0
+			for _, s := range e.shards {
+				s.mu.Lock()
+				n += s.released
+				s.mu.Unlock()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("cordial_feature_state_bytes",
+		"Approximate resident bytes of all live sessions' incremental feature state.",
+		func() float64 {
+			var n int64
+			for _, s := range e.shards {
+				s.mu.Lock()
+				n += s.stateBytes
+				s.mu.Unlock()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("cordial_feature_state_rows",
+		"Tracked-row entries across live sessions' feature states.",
+		func() float64 {
+			var n int64
+			for _, s := range e.shards {
+				s.mu.Lock()
+				n += s.stateRows
+				s.mu.Unlock()
+			}
+			return float64(n)
+		})
+
+	for i, s := range e.shards {
+		s := s
+		shard := obs.L("shard", fmt.Sprintf("%d", i))
+		s.dropped = reg.Counter("cordial_ingest_dropped_total",
+			"Events shed at ingest by a full shard queue under the drop policy.", shard)
+		s.processed = reg.Counter("cordial_events_processed_total",
+			"Events fully run through a bank session.", shard)
+		s.quarantined = reg.Counter("cordial_events_quarantined_total",
+			"Events whose processing panicked; preserved in the dead-letter file when configured.", shard)
+		s.process.attach(m.processDur)
+		reg.GaugeFunc("cordial_shard_queue_depth",
+			"Current shard input queue occupancy.",
+			func() float64 { return float64(len(s.in)) }, shard)
+		reg.GaugeFunc("cordial_shard_feature_state_bytes",
+			"Per-shard breakdown of cordial_feature_state_bytes.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(s.stateBytes)
+			}, shard)
+	}
+
+	if e.cfg.Durability.Dir == "" {
+		return
+	}
+	m.snapshots = reg.Counter("cordial_snapshots_total",
+		"Engine snapshots written successfully.")
+	m.snapshotErrors = reg.Counter("cordial_snapshot_errors_total",
+		"Engine snapshot attempts that failed (encode or write).")
+	m.snapshotDur = reg.Histogram("cordial_snapshot_seconds",
+		"Wall time of one engine snapshot (encode, write, retention).", nil)
+	m.snapshotBytes = reg.Gauge("cordial_snapshot_last_bytes",
+		"Payload size of the most recent successful snapshot.")
+	m.retentionErrors = reg.Counter("cordial_retention_errors_total",
+		"Failed post-snapshot retention steps (journal truncation or snapshot pruning); disk usage grows until one succeeds.")
+	m.recoveredSessions = reg.Gauge("cordial_recovered_sessions",
+		"Sessions restored from the snapshot at the last boot.")
+	m.recoveredEvents = reg.Gauge("cordial_recovered_events",
+		"Journal records replayed at the last boot (including ones skipped as already applied).")
+	reg.GaugeFunc("cordial_snapshot_seq",
+		"Sequence number of the most recent snapshot written or recovered from.",
+		func() float64 {
+			e.snapMu.Lock()
+			defer e.snapMu.Unlock()
+			return float64(e.snapSeq)
+		})
+}
+
+// Metrics returns the engine's registry: its own instruments, the WAL's
+// (when durability is on), and whatever else the caller registered (the
+// HTTP server adds its instruments here). Rendered by GET /metrics.
+func (e *Engine) Metrics() *obs.Registry { return e.cfg.Metrics }

@@ -8,11 +8,11 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"cordial/internal/hbm"
 	"cordial/internal/mcelog"
+	"cordial/internal/obs"
 )
 
 // ServerConfig bounds the HTTP ingestion front-end. Zero fields take the
@@ -55,7 +55,7 @@ type Server struct {
 	cfg    ServerConfig
 	mux    *http.ServeMux
 
-	requests atomic.Uint64
+	requests *obs.Counter
 	decode   latencySampler
 
 	mu      sync.Mutex
@@ -65,7 +65,9 @@ type Server struct {
 }
 
 // NewServer wraps an engine with the HTTP API and starts collecting its
-// actions. The collector goroutine exits when the engine is closed.
+// actions. The collector goroutine exits when the engine is closed. The
+// server registers its own instruments in the engine's registry, so one
+// GET /metrics scrape covers all three layers (HTTP, engine, WAL).
 func NewServer(e *Engine, cfg ServerConfig) *Server {
 	s := &Server{
 		engine:  e,
@@ -73,11 +75,25 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 		mux:     http.NewServeMux(),
 		drained: make(chan struct{}),
 	}
+	reg := e.Metrics()
+	s.requests = reg.Counter("cordial_http_requests_total",
+		"HTTP requests served (all routes).")
+	s.decode.attach(reg.Histogram("cordial_http_decode_seconds",
+		"Per-line JSONL event decode time on POST /v1/events.", nil))
+	reg.GaugeFunc("cordial_actions_stored",
+		"Actions currently held in the bounded GET /v1/actions store.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.stored))
+		})
 	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/actions", s.handleActions)
 	s.mux.HandleFunc("GET /v1/banks/{addr}", s.handleBank)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	go s.collect()
 	return s
 }
@@ -103,7 +119,7 @@ func (s *Server) AwaitDrained() { <-s.drained }
 
 // ServeHTTP dispatches to the API routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.requests.Inc()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -284,10 +300,36 @@ func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, js)
 }
 
-// handleHealth answers liveness probes.
+// handleHealth answers liveness probes: the process is up and serving.
+// It deliberately stays 200 under degradation — restarting the daemon
+// does not undegrade a session, so liveness must not trigger restarts.
+// Readiness (should this instance take traffic?) is /readyz's question.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady answers readiness probes: 200 {"ready":true} when the
+// engine can do its job, 503 with the reasons when it cannot (degraded
+// sessions, or the last WAL append failed so intake is not being
+// persisted). Load balancers should route on this, not /healthz.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	reasons := s.engine.ReadyReasons()
+	out := struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons,omitempty"`
+	}{Ready: len(reasons) == 0, Reasons: reasons}
+	status := http.StatusOK
+	if !out.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, out)
+}
+
+// handleMetrics renders the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.engine.Metrics().WriteText(w) // connection may be gone; nothing to do
 }
 
 // jsonLatency is the wire shape of a latency snapshot.
@@ -347,6 +389,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SnapshotSeq    uint64      `json:"lastSnapshotSeq,omitempty"`
 		RecoveredSess  int         `json:"recoveredSessions,omitempty"`
 		RecoveredEvts  uint64      `json:"recoveredEvents,omitempty"`
+		RetentionErrs  uint64      `json:"retentionErrors"`
+		WALAppendErrs  uint64      `json:"walAppendErrors"`
+		LastAppendErr  string      `json:"lastWALAppendError,omitempty"`
 	}{
 		Uptime:         es.Uptime.String(),
 		Ingested:       es.Ingested,
@@ -360,7 +405,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ActionsDropped: es.ActionsDropped,
 		ActionsStored:  stored,
 		ActionsEvicted: evicted,
-		HTTPRequests:   s.requests.Load(),
+		HTTPRequests:   s.requests.Value(),
 		Decode:         toJSONLatency(s.decode.snapshot()),
 		IngestWait:     toJSONLatency(es.IngestWait),
 		Process:        toJSONLatency(es.Process),
@@ -377,6 +422,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SnapshotSeq:    es.LastSnapshotSeq,
 		RecoveredSess:  es.RecoveredSessions,
 		RecoveredEvts:  es.RecoveredEvents,
+		RetentionErrs:  es.RetentionErrors,
+		WALAppendErrs:  es.WALAppendErrors,
+		LastAppendErr:  es.LastWALAppendError,
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,9 +1,12 @@
 package stream
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
+
+	"cordial/internal/obs"
 )
 
 // latencySamplerSize bounds the quantile reservoir. 1024 recent samples
@@ -12,7 +15,14 @@ const latencySamplerSize = 1024
 
 // latencySampler accumulates duration observations: exact count/sum/max
 // plus a ring of recent samples for quantiles. Safe for concurrent use.
+//
+// When a histogram is attached (attach), every observation is mirrored
+// into it, so the Prometheus view on /metrics and the quantile view on
+// /statsz derive from the same observe() calls — one source of truth,
+// two renderings.
 type latencySampler struct {
+	hist *obs.Histogram // nil-safe; shared across shards for one metric
+
 	mu    sync.Mutex
 	count uint64
 	sum   time.Duration
@@ -21,8 +31,12 @@ type latencySampler struct {
 	next  int
 }
 
+// attach mirrors future observations into h (call before any observe).
+func (l *latencySampler) attach(h *obs.Histogram) { l.hist = h }
+
 // observe records one duration.
 func (l *latencySampler) observe(d time.Duration) {
+	l.hist.Observe(d.Seconds())
 	l.mu.Lock()
 	l.count++
 	l.sum += d
@@ -35,7 +49,12 @@ func (l *latencySampler) observe(d time.Duration) {
 }
 
 // merge folds other's observations into l (used to aggregate per-shard
-// samplers into one snapshot).
+// samplers into one snapshot). Samples are copied oldest-first: a wrapped
+// ring (other.next > latencySamplerSize) starts at its eviction cursor,
+// an unwrapped one at index 0, so the destination ring stays in
+// chronological order and later wrap-around evicts the oldest samples
+// first. Not mirrored into the histogram — merge aggregates observations
+// that were already counted at their original observe site.
 func (l *latencySampler) merge(other *latencySampler) {
 	other.mu.Lock()
 	defer other.mu.Unlock()
@@ -45,11 +64,15 @@ func (l *latencySampler) merge(other *latencySampler) {
 		l.max = other.max
 	}
 	n := other.next
+	start := 0
 	if n > latencySamplerSize {
+		// Wrapped: the oldest surviving sample sits where the next write
+		// would land.
 		n = latencySamplerSize
+		start = other.next % latencySamplerSize
 	}
 	for i := 0; i < n; i++ {
-		l.ring[l.next%latencySamplerSize] = other.ring[i]
+		l.ring[l.next%latencySamplerSize] = other.ring[(start+i)%latencySamplerSize]
 		l.next++
 	}
 }
@@ -68,6 +91,25 @@ type LatencySnapshot struct {
 	Max time.Duration
 }
 
+// nearestRank returns the nearest-rank quantile of sorted: the smallest
+// element whose rank r (1-based) satisfies r >= ceil(q*n). Unlike floor
+// indexing (int(q*(n-1))), this never understates the tail: for q=0.99
+// and n=10 it returns the 10th sample, not the 9th.
+func nearestRank(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
 // snapshot computes the current summary.
 func (l *latencySampler) snapshot() LatencySnapshot {
 	l.mu.Lock()
@@ -84,10 +126,6 @@ func (l *latencySampler) snapshot() LatencySnapshot {
 	recent := make([]time.Duration, n)
 	copy(recent, l.ring[:n])
 	sort.Slice(recent, func(i, j int) bool { return recent[i] < recent[j] })
-	quantile := func(q float64) time.Duration {
-		idx := int(q * float64(n-1))
-		return recent[idx]
-	}
-	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	s.P50, s.P90, s.P99 = nearestRank(recent, 0.50), nearestRank(recent, 0.90), nearestRank(recent, 0.99)
 	return s
 }

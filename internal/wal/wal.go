@@ -38,6 +38,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"cordial/internal/obs"
 )
 
 // Framing and segment constants.
@@ -116,6 +118,11 @@ type Options struct {
 	// SyncInterval is the flush interval under SyncInterval (default
 	// 100ms).
 	SyncInterval time.Duration
+	// Metrics, when non-nil, receives the journal's instruments
+	// (cordial_wal_*): append/fsync counts, error counts and duration
+	// histograms, plus live-segment and next-LSN gauges. The registry
+	// should live no longer than the WAL: gauges read from this instance.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -135,11 +142,45 @@ func (o Options) withDefaults() Options {
 // data loss that recovery must surface, not skip.
 var ErrCorrupt = errors.New("wal: corrupt record in journal interior")
 
+// walMetrics is the journal's instrument set; the zero value (all nil) is
+// fully operational because obs instruments are nil-safe — no branches on
+// the append path.
+type walMetrics struct {
+	appends      *obs.Counter
+	appendErrors *obs.Counter
+	appendDur    *obs.Histogram
+	fsyncs       *obs.Counter
+	fsyncErrors  *obs.Counter
+	fsyncDur     *obs.Histogram
+}
+
+// register creates the journal's instruments in reg and the scrape-time
+// gauges over w.
+func (m *walMetrics) register(reg *obs.Registry, w *WAL) {
+	m.appends = reg.Counter("cordial_wal_appends_total",
+		"Records appended to the journal since this process opened it.")
+	m.appendErrors = reg.Counter("cordial_wal_append_errors_total",
+		"Journal appends that failed (write or fsync error); the record was rejected.")
+	m.appendDur = reg.Histogram("cordial_wal_append_seconds",
+		"Journal append latency including any fsync the policy requires.", nil)
+	m.fsyncs = reg.Counter("cordial_wal_fsyncs_total",
+		"Journal fsync calls (per-append under always, batched under interval).")
+	m.fsyncErrors = reg.Counter("cordial_wal_fsync_errors_total",
+		"Journal fsync calls that returned an error.")
+	m.fsyncDur = reg.Histogram("cordial_wal_fsync_seconds",
+		"Journal fsync latency.", nil)
+	reg.GaugeFunc("cordial_wal_segments",
+		"Live journal segment files.", func() float64 { return float64(w.Segments()) })
+	reg.GaugeFunc("cordial_wal_next_lsn",
+		"LSN the next journal append will receive.", func() float64 { return float64(w.NextLSN()) })
+}
+
 // WAL is an open journal. Append is safe for concurrent use; Replay and
 // TruncateBefore may run concurrently with Append.
 type WAL struct {
-	dir  string
-	opts Options
+	dir     string
+	opts    Options
+	metrics walMetrics
 
 	mu       sync.Mutex
 	f        File  // current segment
@@ -180,6 +221,9 @@ func Open(dir string, opts Options) (*WAL, error) {
 		return nil, fmt.Errorf("wal: creating dir: %w", err)
 	}
 	w := &WAL{dir: dir, opts: opts, nextLSN: firstRecLSN, lastSync: time.Now()}
+	if opts.Metrics != nil {
+		w.metrics.register(opts.Metrics, w)
+	}
 
 	segs, err := listSegments(opts.FS, dir)
 	if err != nil {
@@ -337,6 +381,18 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	if len(payload) > MaxRecordBytes {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), MaxRecordBytes)
 	}
+	t0 := time.Now()
+	lsn, err := w.append(payload)
+	w.metrics.appendDur.ObserveSince(t0)
+	if err != nil {
+		w.metrics.appendErrors.Inc()
+	} else {
+		w.metrics.appends.Inc()
+	}
+	return lsn, err
+}
+
+func (w *WAL) append(payload []byte) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -361,12 +417,12 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	w.size += int64(len(frame))
 	switch w.opts.Sync {
 	case SyncAlways:
-		if err := w.f.Sync(); err != nil {
+		if err := w.syncTimed(); err != nil {
 			return 0, fmt.Errorf("wal: syncing record: %w", err)
 		}
 	case SyncInterval:
 		if time.Since(w.lastSync) >= w.opts.SyncInterval {
-			if err := w.f.Sync(); err != nil {
+			if err := w.syncTimed(); err != nil {
 				return 0, fmt.Errorf("wal: syncing record: %w", err)
 			}
 			w.lastSync = time.Now()
@@ -377,9 +433,22 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
+// syncTimed fsyncs the current segment under the journal's fsync
+// instruments. Callers hold w.mu.
+func (w *WAL) syncTimed() error {
+	t0 := time.Now()
+	err := w.f.Sync()
+	w.metrics.fsyncDur.ObserveSince(t0)
+	w.metrics.fsyncs.Inc()
+	if err != nil {
+		w.metrics.fsyncErrors.Inc()
+	}
+	return err
+}
+
 // rotateLocked seals the current segment and opens the next.
 func (w *WAL) rotateLocked() error {
-	if err := w.f.Sync(); err != nil {
+	if err := w.syncTimed(); err != nil {
 		return fmt.Errorf("wal: syncing sealed segment: %w", err)
 	}
 	if err := w.f.Close(); err != nil {
@@ -395,7 +464,7 @@ func (w *WAL) Sync() error {
 	if w.closed || w.f == nil {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.syncTimed(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	w.lastSync = time.Now()
@@ -510,7 +579,7 @@ func (w *WAL) Close() error {
 	if w.f == nil {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.syncTimed(); err != nil {
 		w.f.Close()
 		return fmt.Errorf("wal: final sync: %w", err)
 	}

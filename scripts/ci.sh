@@ -19,6 +19,15 @@ fi
 echo "==> go vet"
 go vet ./...
 
+echo "==> staticcheck"
+# Optional deep linting: run when the binary is installed, skip gracefully
+# otherwise (hermetic CI containers don't ship it).
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping"
+fi
+
 echo "==> go build"
 go build ./...
 
@@ -56,5 +65,58 @@ go test -run '^$' -fuzz 'FuzzWALDecode' -fuzztime 5s ./internal/wal/
 
 echo "==> bench smoke (1 iteration)"
 go test -run '^$' -bench . -benchtime 1x ./...
+
+echo "==> daemon smoke (/readyz + /metrics over a live cordial-serve)"
+# Boots the daemon, waits for readiness, ingests a small batch, and asserts
+# the observability endpoints: /readyz reports ready, /metrics is Prometheus
+# text whose ingest counter matches what was accepted.
+smokedir=$(mktemp -d)
+serve_pid=""
+cleanup_smoke() {
+    if [ -n "$serve_pid" ]; then
+        kill "$serve_pid" 2>/dev/null || true
+        wait "$serve_pid" 2>/dev/null || true
+    fi
+    rm -rf "$smokedir"
+}
+trap cleanup_smoke EXIT
+go build -o "$smokedir/cordial-serve" ./cmd/cordial-serve
+"$smokedir/cordial-serve" -selftrain -seed 3 -train-banks 20 -trees 5 \
+    -addr 127.0.0.1:0 -log-format text >"$smokedir/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+i=0
+while [ $i -lt 600 ]; do
+    addr=$(sed -n 's/.*msg=listening addr=\([^ ]*\).*/\1/p' "$smokedir/serve.log" | head -n 1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "cordial-serve exited during startup:" >&2
+        cat "$smokedir/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "cordial-serve never logged its address:" >&2
+    cat "$smokedir/serve.log" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/readyz" | grep -q '"ready": true' \
+    || { echo "readyz not ready" >&2; exit 1; }
+printf '%s\n%s\n%s\n' \
+    '{"time":"2026-01-01T00:00:00Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r1.col1","class":"UER"}' \
+    '{"time":"2026-01-01T00:00:01Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r2.col1","class":"CE"}' \
+    '{"time":"2026-01-01T00:00:02Z","addr":"n0.u0.h0.s0.c0.p0.g0.b1.r1.col1","class":"UER"}' \
+    | curl -fsS -X POST --data-binary @- "http://$addr/v1/events" \
+    | grep -q '"accepted": 3' || { echo "ingest smoke failed" >&2; exit 1; }
+curl -fsS "http://$addr/metrics" >"$smokedir/metrics.txt"
+grep -q '^cordial_ingest_accepted_total 3$' "$smokedir/metrics.txt" \
+    || { echo "metrics missing ingest counter:" >&2; cat "$smokedir/metrics.txt" >&2; exit 1; }
+grep -q '^# TYPE cordial_process_seconds histogram$' "$smokedir/metrics.txt" \
+    || { echo "metrics missing process histogram" >&2; exit 1; }
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
 
 echo "==> ok"
