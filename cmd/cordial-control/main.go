@@ -1,0 +1,107 @@
+// Command cordial-control is the cluster control plane: the membership
+// service for a fleet of cordial-serve nodes. Nodes register and
+// heartbeat; every membership change (join, graceful leave, missed
+// heartbeats) produces a new consistent-hash ring epoch, published only
+// after the affected banks' session state has moved via snapshot +
+// WAL-suffix handoff. cordial-router processes consume the published
+// ring to route ingest.
+//
+// Usage:
+//
+//	cordial-control -addr 127.0.0.1:9090
+//
+// Endpoints:
+//
+//	POST /cluster/v1/register   serve-node registration (rebalances on a new ID)
+//	POST /cluster/v1/heartbeat  lease refresh; 404 tells the node to re-register
+//	POST /cluster/v1/leave      graceful departure with handoff to survivors
+//	GET  /cluster/v1/ring       current ring descriptor (epoch, vnodes, members)
+//	GET  /healthz               liveness
+//	GET  /statsz                membership and orchestration counters (JSON)
+//	GET  /metrics               Prometheus text exposition
+//
+// Membership is in memory: a restarted control plane rebuilds it as nodes
+// re-register off their heartbeat 404s. For dead-node takeover to move a
+// corpse's state (rather than restarting its banks empty), the WAL
+// directories nodes register must be readable from this process.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cordial/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cordial-control:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9090", "listen address (port 0 picks a free port)")
+		ttl       = flag.Duration("heartbeat-ttl", 6*time.Second, "declare a node dead after this long without a heartbeat")
+		sweep     = flag.Duration("sweep-interval", 0, "failure-detector period (0 = ttl/3)")
+		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per member in published rings")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stdout, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stdout, nil)
+	default:
+		return fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
+
+	cp := cluster.NewControlPlane(cluster.CPConfig{
+		VNodes:        *vnodes,
+		HeartbeatTTL:  *ttl,
+		SweepInterval: *sweep,
+		Logger:        logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved-address attribute is load-bearing: with -addr :0 it is
+	// how harnesses learn the real port (same contract as cordial-serve).
+	logger.Info("listening", "addr", ln.Addr().String(), "heartbeatTTL", ttl.String())
+
+	srv := &http.Server{Handler: cp.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sweepCtx, stopSweep := context.WithCancel(context.Background())
+	defer stopSweep()
+	go cp.Run(sweepCtx)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Info("shutting down", "signal", s.String())
+	case err := <-errc:
+		return err
+	}
+	stopSweep()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

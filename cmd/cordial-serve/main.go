@@ -28,6 +28,12 @@
 // periodically (-snapshot-interval) and on graceful shutdown, and a restart
 // over the same directory recovers the exact pre-crash session state by
 // restoring the newest valid snapshot and replaying the journal suffix.
+//
+// With -control-plane the daemon joins a cluster (see cordial-control and
+// cordial-router): it registers, heartbeats, serves only the banks the
+// consistent-hash ring assigns it, and takes part in session handoff when
+// membership changes. On graceful shutdown it first asks the control plane
+// to rebalance its banks away.
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"cordial/internal/cluster"
 	"cordial/internal/core"
 	"cordial/internal/hbm"
 	"cordial/internal/stream"
@@ -75,6 +82,11 @@ func run() error {
 		deadLetter = flag.String("dead-letter", "", "append quarantined events (panicked processing) to this JSONL file")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		pprofOn    = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
+		drainWait  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound on draining in-flight events; logs a warning with the stranded count when it fires")
+		cpURL      = flag.String("control-plane", "", "control plane base URL (http://host:port); joins this node to a cluster")
+		nodeID     = flag.String("node-id", "", "stable cluster identity (default: the resolved listen address)")
+		advertise  = flag.String("advertise", "", "address cluster peers reach this node at (default: the resolved listen address)")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "cluster registration refresh interval")
 	)
 	flag.Parse()
 
@@ -171,7 +183,35 @@ func run() error {
 		"policy", engine.Config().Policy.String(),
 		"pprof", *pprofOn)
 
+	// Cluster mode: the agent owns the node's ring membership and serves
+	// the handoff endpoints next to the ingest API.
+	var agent *cluster.Agent
+	if *cpURL != "" {
+		id := *nodeID
+		if id == "" {
+			id = ln.Addr().String()
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		agent = cluster.NewAgent(cluster.AgentConfig{
+			ControlPlane: *cpURL,
+			Self:         cluster.Member{ID: id, Addr: adv, WALDir: *walDir},
+			Heartbeat:    *heartbeat,
+			DrainTimeout: *drainWait,
+			Logger:       logger,
+		}, engine, api)
+		logger.Info("cluster mode", "id", id, "advertise", adv, "controlPlane", *cpURL)
+	}
+
 	root := http.Handler(api)
+	if agent != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", agent.Handler())
+		mux.Handle("/", api)
+		root = mux
+	}
 	if *pprofOn {
 		// The pprof handlers are deliberately opt-in: they expose stack
 		// traces and heap contents, so they stay off unless an operator
@@ -182,12 +222,25 @@ func run() error {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/", api)
+		mux.Handle("/", root)
 		root = mux
 	}
 	srv := &http.Server{Handler: root, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// The agent registers and heartbeats in the background; it needs the
+	// HTTP listener live first (registration may trigger an immediate
+	// handoff callback into /cluster/v1/import).
+	agentCtx, stopAgent := context.WithCancel(context.Background())
+	defer stopAgent()
+	if agent != nil {
+		go func() {
+			if err := agent.Run(agentCtx); err != nil && !errors.Is(err, context.Canceled) {
+				logger.Error("cluster agent stopped", "err", err)
+			}
+		}()
+	}
 
 	stopSnapshots := func() {
 		if snapStop != nil {
@@ -208,21 +261,33 @@ func run() error {
 		return err
 	}
 
-	// Graceful shutdown: stop HTTP intake, then drain the engine (every
-	// accepted event still flows through its session), then collect the
-	// tail of emitted actions.
+	// Graceful shutdown. In cluster mode, first hand this node's banks to
+	// the survivors — the control plane calls back into the still-running
+	// HTTP listener to export them — then stop intake, drain and checkpoint.
+	if agent != nil {
+		if err := agent.Leave(); err != nil {
+			logger.Warn("cluster leave failed; banks fail over via takeover instead", "err", err)
+		}
+		stopAgent()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Error("http shutdown failed", "err", err)
 	}
 	stopSnapshots()
-	// With durability on, checkpoint everything accepted so far so the next
+	// Bounded drain: every accepted event still flows through its session,
+	// up to -drain-timeout. Events stranded past the bound are lost from
+	// memory (the journal still has them when durability is on).
+	if err := engine.Drain(*drainWait); err != nil {
+		st := engine.Stats()
+		logger.Warn("drain timed out; in-flight events stranded",
+			"stranded", st.Ingested-st.Processed,
+			"timeout", drainWait.String(), "err", err)
+	}
+	// With durability on, checkpoint everything processed so far so the next
 	// boot restores instead of replaying the whole journal.
 	if *walDir != "" {
-		if err := engine.Drain(30 * time.Second); err != nil {
-			logger.Error("drain failed", "err", err)
-		}
 		if seq, err := engine.Snapshot(); err != nil {
 			logger.Error("final snapshot failed", "err", err)
 		} else {

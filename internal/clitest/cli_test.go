@@ -14,7 +14,7 @@ import (
 func buildAll(t *testing.T) string {
 	t.Helper()
 	bin := t.TempDir()
-	for _, cmd := range []string{"cordial-gen", "cordial-train", "cordial-predict", "cordial-repro", "cordial-study", "cordial-serve"} {
+	for _, cmd := range []string{"cordial-gen", "cordial-train", "cordial-predict", "cordial-repro", "cordial-study", "cordial-serve", "cordial-control", "cordial-router"} {
 		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "cordial/cmd/"+cmd).CombinedOutput()
 		if err != nil {
 			t.Fatalf("building %s: %v\n%s", cmd, err, out)

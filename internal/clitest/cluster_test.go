@@ -1,0 +1,195 @@
+package clitest
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCLIClusterFailover is the distributed-serving e2e: a three-node
+// cluster behind cordial-router, one node SIGKILLed mid-stream. The
+// control plane must rebuild the dead node's sessions from its journal
+// onto the survivors (snapshot + WAL-suffix takeover), the router must
+// ride out the failover with its bounded retries, and the cluster's
+// final deduplicated action set must equal that of a single node that
+// ingested the same log alone.
+func TestCLIClusterFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and trains models")
+	}
+	bin := buildAll(t)
+	work := t.TempDir()
+
+	logPath := filepath.Join(work, "fleet.jsonl")
+	run(t, bin, "cordial-gen", "-seed", "21", "-uer-banks", "30",
+		"-benign-banks", "20", "-log", logPath, "-format", "jsonl", "-truth", "")
+	logBytes, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(logBytes)), "\n")
+	half := len(lines) / 2
+	firstHalf := []byte(strings.Join(lines[:half], "\n") + "\n")
+	secondHalf := []byte(strings.Join(lines[half:], "\n") + "\n")
+
+	// Every daemon self-trains the same (deterministic) model so the
+	// cluster and the reference make identical decisions.
+	serveArgs := func(walDir string, extra ...string) []string {
+		return append([]string{"-train-banks", "30", "-trees", "8",
+			"-wal-dir", walDir, "-fsync", "never"}, extra...)
+	}
+
+	// Reference: one node, the whole log, no failures.
+	ref := startServe(t, bin, serveArgs(filepath.Join(work, "wal-ref"))...)
+	if res := ref.postBody(t, logBytes); int(res["accepted"].(float64)) != len(lines) {
+		t.Fatalf("reference ingest %v", res)
+	}
+	ref.waitDrained(t)
+	want := ref.actionSet(t)
+	if len(want) == 0 {
+		t.Fatal("reference emitted no actions; fleet too small")
+	}
+	if err := ref.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.cmd.Wait(); err != nil {
+		t.Fatalf("reference exit: %v\noutput:\n%s", err, ref.out)
+	}
+
+	// Control plane with test-speed failure detection.
+	cp := startDaemon(t, filepath.Join(bin, "cordial-control"),
+		"-addr", "127.0.0.1:0", "-heartbeat-ttl", "1s", "-sweep-interval", "300ms")
+	cpURL := "http://" + cp.addr
+
+	// Three serve nodes join; handoffs at this point are empty.
+	nodes := make(map[string]*serveProc, 3)
+	for _, id := range []string{"n1", "n2", "n3"} {
+		nodes[id] = startServe(t, bin, serveArgs(filepath.Join(work, "wal-"+id),
+			"-control-plane", cpURL, "-node-id", id, "-heartbeat", "100ms")...)
+	}
+	var cpStats struct {
+		Epoch   uint64 `json:"epoch"`
+		Members []struct {
+			ID string `json:"id"`
+		} `json:"members"`
+		Takeovers uint64 `json:"takeovers"`
+	}
+	waitUntil(t, "all nodes registered", func() bool {
+		return cp.getJSON(t, "/statsz", &cpStats) == http.StatusOK && len(cpStats.Members) == 3
+	})
+
+	// Router: generous retries so a batch can ride out the whole failover
+	// window (heartbeat TTL + sweep + takeover) on backoff alone.
+	router := startDaemon(t, filepath.Join(bin, "cordial-router"),
+		"-addr", "127.0.0.1:0", "-control-plane", cpURL,
+		"-refresh-interval", "200ms", "-max-attempts", "8")
+	waitUntil(t, "router ready", func() bool {
+		return router.getJSON(t, "/readyz", nil) == http.StatusOK
+	})
+
+	// First half through the router, spread across all three nodes.
+	if res := router.postBody(t, firstHalf); int(res["accepted"].(float64)) != half {
+		t.Fatalf("first-half ingest %v", res)
+	}
+	for id, n := range nodes {
+		n.waitDrained(t)
+		var st map[string]any
+		if n.getJSON(t, "/statsz", &st) == http.StatusOK {
+			if int(st["sessionsLive"].(float64)) == 0 {
+				t.Logf("note: node %s holds no sessions after first half", id)
+			}
+		}
+	}
+
+	// SIGKILL one node mid-stream: no drain, no snapshot, no goodbye. Its
+	// accepted events exist only in its journal.
+	victim := nodes["n2"]
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+
+	// Second half through the router while the control plane detects the
+	// death and reassigns the victim's banks to the survivors.
+	if res := router.postBody(t, secondHalf); int(res["accepted"].(float64)) != len(lines)-half {
+		t.Fatalf("second-half ingest %v", res)
+	}
+	waitUntil(t, "takeover recorded", func() bool {
+		return cp.getJSON(t, "/statsz", &cpStats) == http.StatusOK &&
+			cpStats.Takeovers == 1 && len(cpStats.Members) == 2
+	})
+	// Both survivors and the router must be ready again after failover.
+	for _, id := range []string{"n1", "n3"} {
+		waitUntil(t, id+" ready after failover", func() bool {
+			return nodes[id].getJSON(t, "/readyz", nil) == http.StatusOK
+		})
+		nodes[id].waitDrained(t)
+	}
+	waitUntil(t, "router ready after failover", func() bool {
+		return router.getJSON(t, "/readyz", nil) == http.StatusOK
+	})
+
+	// Zero verdict loss: the union of the survivors' deduplicated action
+	// sets must equal the single-node reference exactly. The victim's
+	// pre-crash actions reappear here because takeover replays its
+	// journal on the survivors (at-least-once, same as crash recovery).
+	got := map[string]bool{}
+	for _, id := range []string{"n1", "n3"} {
+		for k := range nodes[id].actionSet(t) {
+			got[k] = true
+		}
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("cluster missing action %s", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("cluster invented action %s", k)
+		}
+	}
+
+	// Router /statsz aggregates per-node stats under their ring IDs.
+	var rstats struct {
+		Epoch uint64                    `json:"epoch"`
+		Nodes map[string]map[string]any `json:"nodes"`
+	}
+	if code := router.getJSON(t, "/statsz", &rstats); code != http.StatusOK {
+		t.Fatalf("router statsz = %d", code)
+	}
+	for _, id := range []string{"n1", "n3"} {
+		if _, ok := rstats.Nodes[id]; !ok {
+			t.Errorf("router statsz missing node %s: %v", id, rstats.Nodes)
+		}
+	}
+
+	// Graceful teardown: survivors leave cleanly (SIGTERM triggers a
+	// cluster leave, then drain).
+	for _, id := range []string{"n1", "n3"} {
+		if err := nodes[id].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"n1", "n3"} {
+		if err := nodes[id].cmd.Wait(); err != nil {
+			t.Fatalf("node %s exit: %v\noutput:\n%s", id, err, nodes[id].out)
+		}
+	}
+}
+
+// waitUntil polls cond for up to 30s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -43,16 +43,23 @@ type serveProc struct {
 	out  *lockedBuf
 }
 
-// startServe builds nothing (the binary comes from buildAll), launches the
-// daemon on an ephemeral port and waits for its resolved-address log line
-// (slog text format: msg=listening addr=127.0.0.1:NNNNN ...).
+// startServe launches cordial-serve on an ephemeral port with demo-mode
+// defaults; extraArgs append to (and may override) them.
 func startServe(t *testing.T, bin string, extraArgs ...string) *serveProc {
 	t.Helper()
 	args := append([]string{
 		"-selftrain", "-seed", "7", "-train-banks", "50", "-trees", "10",
 		"-addr", "127.0.0.1:0",
 	}, extraArgs...)
-	cmd := exec.Command(filepath.Join(bin, "cordial-serve"), args...)
+	return startDaemon(t, filepath.Join(bin, "cordial-serve"), args...)
+}
+
+// startDaemon launches any of the repo's daemons (cordial-serve,
+// cordial-control, cordial-router) and waits for its resolved-address log
+// line (slog text format: msg=listening addr=127.0.0.1:NNNNN ...).
+func startDaemon(t *testing.T, path string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(path, args...)
 	out := &lockedBuf{}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -93,7 +100,7 @@ func startServe(t *testing.T, bin string, extraArgs ...string) *serveProc {
 	select {
 	case p.addr = <-addrc:
 	case <-time.After(3 * time.Minute):
-		t.Fatalf("cordial-serve never reported its address; output:\n%s", p.out)
+		t.Fatalf("%s never reported its address; output:\n%s", filepath.Base(path), p.out)
 	}
 	return p
 }

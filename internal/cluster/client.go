@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cordial/internal/wal"
+)
+
+// Wire types shared by the control plane, node agents and the router.
+// []byte fields ride as base64 in JSON, which keeps the handoff bundle a
+// plain JSON document end to end.
+
+// walRecordWire is one WAL suffix record in transit. LSNs stay in the
+// SOURCE journal's namespace; the importer treats them as foreign
+// watermarks only (see stream.ImportSessions).
+type walRecordWire struct {
+	LSN     uint64 `json:"lsn"`
+	Payload []byte `json:"payload"`
+}
+
+// HandoffBundle carries one node's portable session state: an engine
+// snapshot payload plus the journal suffix the snapshot may not cover.
+type HandoffBundle struct {
+	Payload []byte          `json:"payload"`
+	Suffix  []walRecordWire `json:"suffix,omitempty"`
+}
+
+// suffixRecords converts the wire suffix back to wal.Record.
+func (b *HandoffBundle) suffixRecords() []wal.Record {
+	if len(b.Suffix) == 0 {
+		return nil
+	}
+	out := make([]wal.Record, len(b.Suffix))
+	for i, r := range b.Suffix {
+		out[i] = wal.Record{LSN: r.LSN, Payload: r.Payload}
+	}
+	return out
+}
+
+// toWire converts wal.Record suffix records to the wire shape.
+func toWire(recs []wal.Record) []walRecordWire {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]walRecordWire, len(recs))
+	for i, r := range recs {
+		out[i] = walRecordWire{LSN: r.LSN, Payload: r.Payload}
+	}
+	return out
+}
+
+// exportRequest asks a node to adopt the descriptor's ownership, drain,
+// and hand back the sessions it no longer owns.
+type exportRequest struct {
+	Desc Descriptor `json:"descriptor"`
+}
+
+// importRequest asks a node to adopt the descriptor's ownership and
+// ingest the bundled sessions it owns under it.
+type importRequest struct {
+	Desc   Descriptor    `json:"descriptor"`
+	Bundle HandoffBundle `json:"bundle"`
+}
+
+// dropRequest asks a node to discard local sessions it does not own
+// under the descriptor (sent only after the importer acknowledged them).
+type dropRequest struct {
+	Desc Descriptor `json:"descriptor"`
+}
+
+// registerRequest announces a serve node to the control plane.
+type registerRequest struct {
+	Member Member `json:"member"`
+}
+
+// heartbeatRequest keeps a registration alive.
+type heartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// heartbeatResponse tells the node the current epoch so it can refresh
+// its ring when the topology moved.
+type heartbeatResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// maxResponseBytes bounds any cluster-internal response body. Handoff
+// bundles dominate; 256 MiB is far above any realistic session set and
+// still protects against a runaway peer.
+const maxResponseBytes = 256 << 20
+
+// postJSON posts in as JSON to url and decodes the response into out
+// (nil out discards the body). Non-2xx statuses become errors carrying
+// the response text.
+func postJSON(client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding request for %s: %w", url, err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, url, out)
+}
+
+// getJSON fetches url and decodes the response into out.
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, url, out)
+}
+
+func decodeResponse(resp *http.Response, url string, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return fmt.Errorf("cluster: reading %s response: %w", url, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return &statusError{URL: url, Status: resp.StatusCode, Body: truncate(data, 256)}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("cluster: decoding %s response: %w", url, err)
+	}
+	return nil
+}
+
+// statusError is a non-2xx cluster-internal response.
+type statusError struct {
+	URL    string
+	Status int
+	Body   string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("cluster: %s returned %d: %s", e.URL, e.Status, e.Body)
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}
+
+// backoffDelay is the bounded exponential retry schedule used by every
+// cluster-internal retry loop: base, 2×base, 4×base … capped at max.
+func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}

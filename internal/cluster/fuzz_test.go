@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// FuzzRingPlacement fuzzes the two properties routing correctness rests
+// on: placement is deterministic (two independent builds of the same
+// descriptor agree on every key) and total (every key has an owner on any
+// non-empty ring). The membership shape and the probed key are both
+// fuzzer-controlled.
+func FuzzRingPlacement(f *testing.F) {
+	f.Add(uint8(1), uint16(0), uint64(0))
+	f.Add(uint8(3), uint16(16), uint64(0x10002000400))
+	f.Add(uint8(8), uint16(128), uint64(^uint64(0)))
+	f.Fuzz(func(t *testing.T, nMembers uint8, vnodes uint16, key uint64) {
+		n := int(nMembers%16) + 1 // 1..16 members
+		desc := Descriptor{
+			Epoch:   uint64(vnodes) + 1,
+			VNodes:  int(vnodes % 256), // 0 exercises the default
+			Members: members(n),
+		}
+		r1, err := BuildRing(desc)
+		if err != nil {
+			t.Fatalf("BuildRing: %v", err)
+		}
+		r2, err := BuildRing(desc)
+		if err != nil {
+			t.Fatalf("BuildRing (rebuild): %v", err)
+		}
+		o1, ok := r1.Owner(key)
+		if !ok {
+			t.Fatalf("key %#x has no owner on a %d-member ring", key, n)
+		}
+		if o2 := r2.OwnerID(key); o1.ID != o2 {
+			t.Fatalf("key %#x placed on %s and %s by identical descriptors", key, o1.ID, o2)
+		}
+		if _, found := desc.Member(o1.ID); !found {
+			t.Fatalf("key %#x placed on unknown member %q", key, o1.ID)
+		}
+		// Owns must agree with Owner for every member.
+		for _, m := range desc.Members {
+			if got, want := r1.Owns(m.ID, key), m.ID == o1.ID; got != want {
+				t.Fatalf("Owns(%s, %#x) = %v, owner is %s", m.ID, key, got, o1.ID)
+			}
+		}
+	})
+}

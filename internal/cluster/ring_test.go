@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// members builds n test members named node-0..node-(n-1).
+func members(n int) []Member {
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{ID: fmt.Sprintf("node-%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+	}
+	return out
+}
+
+// sampleKeys fabricates a deterministic spread of bank keys. Real bank
+// keys are packed addresses with low bits zeroed; multiplying by a large
+// odd constant mimics that sparse, structured distribution.
+func sampleKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x10002000400 // structured, non-dense, distinct
+	}
+	return keys
+}
+
+// TestRingDeterministicAndTotal pins the two placement invariants every
+// participant relies on: the same descriptor yields the same owner for
+// every key (determinism across independent builds), and every key has
+// exactly one owner (totality).
+func TestRingDeterministicAndTotal(t *testing.T) {
+	desc := Descriptor{Epoch: 3, Members: members(5)}
+	r1, err := BuildRing(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := BuildRing(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sampleKeys(4096) {
+		o1, ok1 := r1.Owner(k)
+		o2, ok2 := r2.Owner(k)
+		if !ok1 || !ok2 {
+			t.Fatalf("key %#x has no owner", k)
+		}
+		if o1.ID != o2.ID {
+			t.Fatalf("key %#x placed on %s and %s by identical descriptors", k, o1.ID, o2.ID)
+		}
+	}
+	// Member order must not affect placement: reverse the member list.
+	rev := Descriptor{Epoch: 3, Members: members(5)}
+	for i, j := 0, len(rev.Members)-1; i < j; i, j = i+1, j-1 {
+		rev.Members[i], rev.Members[j] = rev.Members[j], rev.Members[i]
+	}
+	r3, err := BuildRing(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sampleKeys(4096) {
+		if r1.OwnerID(k) != r3.OwnerID(k) {
+			t.Fatalf("key %#x placement depends on member order", k)
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing contract the whole
+// handoff design depends on: one membership change moves at most 2/N of
+// the banks (the theoretical expectation is ~1/N on join of an (N+1)th
+// node; 2/N leaves headroom for vnode variance without letting a modulo
+// ring — which moves ~(N-1)/N — sneak back in).
+func TestRingMinimalMovement(t *testing.T) {
+	keys := sampleKeys(20000)
+	for _, n := range []int{2, 3, 5, 8} {
+		before, err := BuildRing(Descriptor{Epoch: 1, Members: members(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Join: add one node.
+		joined, err := BuildRing(Descriptor{Epoch: 2, Members: members(n + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			if before.OwnerID(k) != joined.OwnerID(k) {
+				moved++
+			}
+		}
+		if limit := 2 * len(keys) / n; moved > limit {
+			t.Errorf("join at n=%d moved %d/%d keys, want <= %d (2/N)", n, moved, len(keys), limit)
+		}
+		// Every moved key must land on the joiner — anything else is
+		// gratuitous reshuffling between survivors.
+		for _, k := range keys {
+			ob, oa := before.OwnerID(k), joined.OwnerID(k)
+			if ob != oa && oa != fmt.Sprintf("node-%d", n) {
+				t.Fatalf("join at n=%d moved key %#x between survivors (%s -> %s)", n, k, ob, oa)
+			}
+		}
+		// Leave: remove the first node from the n-member ring.
+		left, err := BuildRing(Descriptor{Epoch: 2, Members: members(n)[1:]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved = 0
+		for _, k := range keys {
+			ob, oa := before.OwnerID(k), left.OwnerID(k)
+			if ob != oa {
+				moved++
+				if ob != "node-0" {
+					t.Fatalf("leave at n=%d moved key %#x that node-0 never owned (%s -> %s)", n, k, ob, oa)
+				}
+			}
+		}
+		if limit := 2 * len(keys) / n; moved > limit {
+			t.Errorf("leave at n=%d moved %d/%d keys, want <= %d (2/N)", n, moved, len(keys), limit)
+		}
+	}
+}
+
+// TestRingBalance sanity-checks virtual-node balance: with the default
+// vnode count no member's share may exceed twice the mean.
+func TestRingBalance(t *testing.T) {
+	keys := sampleKeys(20000)
+	for _, n := range []int{2, 4, 8} {
+		r, err := BuildRing(Descriptor{Epoch: 1, Members: members(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.OwnerID(k)]++
+		}
+		mean := len(keys) / n
+		for id, c := range counts {
+			if c > 2*mean {
+				t.Errorf("n=%d: member %s owns %d keys, mean %d — vnode balance broken", n, id, c, mean)
+			}
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d members own keys", n, len(counts))
+		}
+	}
+}
+
+// TestRingValidation covers the descriptor error paths and the empty ring.
+func TestRingValidation(t *testing.T) {
+	if _, err := BuildRing(Descriptor{Members: []Member{{ID: "a"}, {ID: "a"}}}); err == nil {
+		t.Error("duplicate member IDs accepted")
+	}
+	if _, err := BuildRing(Descriptor{Members: []Member{{ID: ""}}}); err == nil {
+		t.Error("empty member ID accepted")
+	}
+	empty, err := BuildRing(Descriptor{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := empty.Owner(42); ok {
+		t.Error("empty ring claims an owner")
+	}
+	if id := empty.OwnerID(42); id != "" {
+		t.Errorf("empty ring OwnerID = %q", id)
+	}
+}

@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"cordial/internal/mcelog"
+	"cordial/internal/obs"
+)
+
+// RouterConfig configures the stateless ingest front.
+type RouterConfig struct {
+	// ControlPlane is the control plane's base URL.
+	ControlPlane string
+	// MaxAttempts bounds forwarding attempts per node batch (first try
+	// included). Default 5.
+	MaxAttempts int
+	// Backoff is the initial retry delay, doubling per attempt up to
+	// BackoffCap. Defaults 50ms / 2s.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// RefreshInterval is the background ring poll period. Default 2s.
+	// (503 responses also trigger an immediate refresh.)
+	RefreshInterval time.Duration
+	// MaxBodyBytes caps one POST /v1/events body. Default 32 MiB.
+	MaxBodyBytes int64
+	// MaxLineBytes caps one JSONL line. Default 1 MiB.
+	MaxLineBytes int
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+	// Client is the HTTP client for node and control-plane calls.
+	// Default: 30s timeout.
+	Client *http.Client
+	// Metrics receives the router's instruments; nil creates a private
+	// registry (served on the router's own /metrics).
+	Metrics *obs.Registry
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 2 * time.Second
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = 2 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxLineBytes == 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Router is the stateless ingest front: it splits a JSONL batch by bank
+// owner under the current ring, forwards each slice to its node, and
+// merges the per-node results. A 503 not-owned answer (a node fenced
+// mid-handoff, or the router's ring is stale) refreshes the ring and
+// resends exactly the unconsumed suffix — the consumed-prefix contract
+// keeps per-bank event order intact across retries because a bank's
+// lines only ever move forward, in order, to exactly one live owner.
+type Router struct {
+	cfg RouterConfig
+	mux *http.ServeMux
+
+	forwards  *obs.Counter
+	retries   *obs.Counter
+	failures  *obs.Counter
+	refreshes *obs.Counter
+	lines     *obs.Counter
+
+	mu   sync.Mutex
+	ring *Ring
+}
+
+// NewRouter builds the router. Call Run to keep its ring fresh.
+func NewRouter(cfg RouterConfig) *Router {
+	rt := &Router{cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	reg := rt.cfg.Metrics
+	rt.forwards = reg.Counter("cordial_router_forwards_total",
+		"Per-node batch forwards attempted.")
+	rt.retries = reg.Counter("cordial_router_retries_total",
+		"Forwards retried after a refusal, error or stale ring.")
+	rt.failures = reg.Counter("cordial_router_failures_total",
+		"Node batches abandoned after exhausting retries.")
+	rt.refreshes = reg.Counter("cordial_router_ring_refreshes_total",
+		"Ring descriptor fetches from the control plane.")
+	rt.lines = reg.Counter("cordial_router_lines_total",
+		"JSONL event lines routed.")
+	reg.GaugeFunc("cordial_router_ring_epoch",
+		"Ring epoch the router currently routes under (0 = no ring yet).",
+		func() float64 {
+			rt.mu.Lock()
+			defer rt.mu.Unlock()
+			if rt.ring == nil {
+				return 0
+			}
+			return float64(rt.ring.Epoch())
+		})
+	rt.mux.HandleFunc("POST /v1/events", rt.handleEvents)
+	rt.mux.HandleFunc("GET /statsz", rt.handleStats)
+	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	rt.mux.HandleFunc("GET /readyz", rt.handleReady)
+	rt.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	return rt
+}
+
+// ServeHTTP serves the router API; every response is no-store (routing
+// answers describe this instant).
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Run fetches the initial ring (retrying until ctx ends) and then keeps
+// it fresh on a timer.
+func (rt *Router) Run(ctx context.Context) error {
+	for attempt := 0; rt.currentRing() == nil; attempt++ {
+		if err := rt.refreshRing(); err != nil {
+			rt.cfg.Logger.Warn("ring fetch failed; retrying", "err", err)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoffDelay(attempt, 200*time.Millisecond, 5*time.Second)):
+			}
+		}
+	}
+	tick := time.NewTicker(rt.cfg.RefreshInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			if err := rt.refreshRing(); err != nil {
+				rt.cfg.Logger.Warn("ring refresh failed", "err", err)
+			}
+		}
+	}
+}
+
+func (rt *Router) currentRing() *Ring {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring
+}
+
+// refreshRing fetches the control plane's descriptor; the ring only
+// moves forward epoch-wise.
+func (rt *Router) refreshRing() error {
+	var desc Descriptor
+	if err := getJSON(rt.cfg.Client, rt.cfg.ControlPlane+"/cluster/v1/ring", &desc); err != nil {
+		return err
+	}
+	rt.refreshes.Inc()
+	if len(desc.Members) == 0 {
+		return nil // empty cluster: keep whatever ring we have
+	}
+	ring, err := BuildRing(desc)
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	if rt.ring == nil || ring.Epoch() > rt.ring.Epoch() {
+		rt.ring = ring
+	}
+	rt.mu.Unlock()
+	return nil
+}
+
+// routedLine is one parsed JSONL line awaiting forwarding.
+type routedLine struct {
+	text []byte
+	key  uint64
+}
+
+// ingestResult mirrors the serve node's IngestResult wire shape (the
+// router speaks the same contract to its own clients).
+type ingestResult struct {
+	Accepted  int      `json:"accepted"`
+	Rejected  int      `json:"rejected"`
+	Dropped   int      `json:"dropped"`
+	Errors    []string `json:"errors,omitempty"`
+	Truncated bool     `json:"truncated,omitempty"`
+	NotOwned  int      `json:"notOwned,omitempty"`
+	Epoch     uint64   `json:"epoch,omitempty"`
+}
+
+// handleEvents splits the batch by owner and forwards each slice.
+// Lines the router cannot parse are rejected here — an unroutable line
+// has no owner to forward it to. Validation stays on the serve nodes.
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if rt.currentRing() == nil {
+		http.Error(w, "no ring yet", http.StatusServiceUnavailable)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), rt.cfg.MaxLineBytes)
+
+	var agg ingestResult
+	var lines []routedLine
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		ev, err := mcelog.ParseJSONEvent(raw)
+		if err != nil {
+			agg.Rejected++
+			if len(agg.Errors) < 16 {
+				agg.Errors = append(agg.Errors, fmt.Sprintf("line %d: %v", lineNo, err))
+			}
+			continue
+		}
+		lines = append(lines, routedLine{text: append([]byte(nil), raw...), key: ev.Addr.BankKey()})
+	}
+	if err := sc.Err(); err != nil {
+		agg.Truncated = true
+		if len(agg.Errors) < 16 {
+			agg.Errors = append(agg.Errors, fmt.Sprintf("after line %d: %v", lineNo, err))
+		}
+	}
+	rt.lines.Add(uint64(len(lines)))
+	rt.forward(lines, &agg)
+	status := http.StatusOK
+	if agg.Epoch == 0 {
+		if ring := rt.currentRing(); ring != nil {
+			agg.Epoch = ring.Epoch()
+		}
+	}
+	writeJSON(w, status, agg)
+}
+
+// forward delivers lines to their owners, retrying refused or failed
+// slices against fresh rings until attempts run out. Grouping preserves
+// input order within each node slice, so per-bank order is preserved
+// end to end (one bank → one owner at a time).
+func (rt *Router) forward(lines []routedLine, agg *ingestResult) {
+	for attempt := 0; len(lines) > 0 && attempt < rt.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rt.retries.Inc()
+			time.Sleep(backoffDelay(attempt-1, rt.cfg.Backoff, rt.cfg.BackoffCap))
+		}
+		ring := rt.currentRing()
+		groups := make(map[string][]routedLine)
+		var order []string // deterministic forwarding order for tests/logs
+		for _, ln := range lines {
+			m, ok := ring.Owner(ln.key)
+			if !ok {
+				continue // unreachable: rings are never empty
+			}
+			if _, seen := groups[m.ID]; !seen {
+				order = append(order, m.ID)
+			}
+			groups[m.ID] = append(groups[m.ID], ln)
+		}
+		var carry []routedLine
+		staleRing := false
+		for _, id := range order {
+			group := groups[id]
+			m, _ := ring.Member(id)
+			res, err := rt.postBatch(m, group)
+			if err != nil {
+				rt.cfg.Logger.Warn("forward failed", "node", id, "lines", len(group), "err", err)
+				carry = append(carry, group...) // whole slice unconsumed
+				staleRing = true                // the node may be gone; re-resolve owners
+				continue
+			}
+			agg.Accepted += res.Accepted
+			agg.Rejected += res.Rejected
+			agg.Dropped += res.Dropped
+			for _, e := range res.Errors {
+				if len(agg.Errors) < 16 {
+					agg.Errors = append(agg.Errors, fmt.Sprintf("node %s: %s", id, e))
+				}
+			}
+			if res.Epoch > agg.Epoch {
+				agg.Epoch = res.Epoch
+			}
+			if res.NotOwned > 0 {
+				// Consumed-prefix contract: the node landed (or rejected)
+				// exactly consumed lines, then refused the rest.
+				consumed := res.Accepted + res.Rejected + res.Dropped
+				carry = append(carry, group[consumed:]...)
+				staleRing = true
+			}
+		}
+		lines = carry
+		if staleRing && len(lines) > 0 {
+			if err := rt.refreshRing(); err != nil {
+				rt.cfg.Logger.Warn("ring refresh after refusal failed", "err", err)
+			}
+		}
+	}
+	if len(lines) > 0 {
+		rt.failures.Inc()
+		agg.Dropped += len(lines)
+		agg.Truncated = true
+		if len(agg.Errors) < 16 {
+			agg.Errors = append(agg.Errors,
+				fmt.Sprintf("%d lines undeliverable after %d attempts", len(lines), rt.cfg.MaxAttempts))
+		}
+	}
+}
+
+// postBatch sends one node its slice of the batch. Any 2xx or a 503
+// carrying an IngestResult body parses as a result; everything else is
+// an error (the caller re-resolves owners and retries).
+func (rt *Router) postBatch(m Member, group []routedLine) (ingestResult, error) {
+	rt.forwards.Inc()
+	var buf bytes.Buffer
+	for _, ln := range group {
+		buf.Write(ln.text)
+		buf.WriteByte('\n')
+	}
+	resp, err := rt.cfg.Client.Post("http://"+m.Addr+"/v1/events", "application/x-ndjson", &buf)
+	if err != nil {
+		return ingestResult{}, err
+	}
+	defer resp.Body.Close()
+	var res ingestResult
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode/100 == 2 || resp.StatusCode == http.StatusServiceUnavailable {
+		if err := dec.Decode(&res); err != nil {
+			return ingestResult{}, fmt.Errorf("node %s: %d with undecodable body: %w", m.ID, resp.StatusCode, err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && res.NotOwned == 0 {
+			// 503 without the not-owned marker: engine closed/unready.
+			return ingestResult{}, fmt.Errorf("node %s: unavailable", m.ID)
+		}
+		return res, nil
+	}
+	return ingestResult{}, fmt.Errorf("node %s: status %d", m.ID, resp.StatusCode)
+}
+
+// handleReady: the router can route once it has a non-empty ring.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	ring := rt.currentRing()
+	out := struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons,omitempty"`
+		Epoch   uint64   `json:"epoch,omitempty"`
+	}{Ready: ring != nil && ring.Len() > 0}
+	if ring != nil {
+		out.Epoch = ring.Epoch()
+	} else {
+		out.Reasons = []string{"no ring from control plane yet"}
+	}
+	status := http.StatusOK
+	if !out.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, out)
+}
+
+// handleStats aggregates /statsz from every ring member, keyed by node
+// ID, plus the router's own counters.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	ring := rt.currentRing()
+	out := struct {
+		Epoch    uint64                     `json:"epoch"`
+		Forwards uint64                     `json:"forwards"`
+		Retries  uint64                     `json:"retries"`
+		Failures uint64                     `json:"failures"`
+		Lines    uint64                     `json:"linesRouted"`
+		Nodes    map[string]json.RawMessage `json:"nodes"`
+	}{
+		Forwards: rt.forwards.Value(),
+		Retries:  rt.retries.Value(),
+		Failures: rt.failures.Value(),
+		Lines:    rt.lines.Value(),
+		Nodes:    map[string]json.RawMessage{},
+	}
+	if ring != nil {
+		out.Epoch = ring.Epoch()
+		for _, m := range ring.Descriptor().Members {
+			var raw json.RawMessage
+			if err := getJSON(rt.cfg.Client, "http://"+m.Addr+"/statsz", &raw); err != nil {
+				msg, _ := json.Marshal(struct {
+					Error string `json:"error"`
+				}{err.Error()})
+				raw = msg
+			}
+			out.Nodes[m.ID] = raw
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

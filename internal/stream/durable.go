@@ -76,6 +76,11 @@ func (e *Engine) quarantine(s *shard, d *DeadLetter) {
 	s.quarantined.Inc()
 	e.cfg.Logger.Warn("event quarantined",
 		"bank", d.Bank, "row", d.Row, "class", d.Class, "reason", d.Reason)
+	e.writeDeadLetter(d)
+}
+
+// writeDeadLetter appends one entry to the dead-letter file, if any.
+func (e *Engine) writeDeadLetter(d *DeadLetter) {
 	if e.deadFile == nil {
 		return
 	}
@@ -260,12 +265,15 @@ func (d *snapDecoder) bytes() []byte { return d.take(d.count()) }
 // distinguishable (sec, nsec) sentinel.
 var zeroTimeSec = time.Time{}.Unix()
 
-// encodeSnapshotLocked walks every shard (locking each in turn) and
-// serialises all sessions plus the retention floor: the minimum across
-// shards of the highest LSN folded into sessions. Per-session watermarks
-// make a non-instantaneous multi-shard snapshot safe — any record applied
-// after its shard was encoded simply replays on recovery.
-func (e *Engine) encodeSnapshot() (payload []byte, floor uint64, err error) {
+// encodeSnapshot walks every shard (locking each in turn) and serialises
+// the sessions selected by filter (nil = all) plus the retention floor:
+// the minimum across shards of the highest LSN folded into sessions.
+// Per-session watermarks make a non-instantaneous multi-shard snapshot
+// safe — any record applied after its shard was encoded simply replays on
+// recovery. A filtered payload is a handoff export, not a checkpoint: it
+// uses the same framing, but its floor only describes the exporting
+// engine and is informational to the importer.
+func (e *Engine) encodeSnapshot(filter func(bankKey uint64) bool) (payload []byte, floor uint64, err error) {
 	type sessImage struct {
 		key  uint64
 		blob []byte
@@ -278,6 +286,9 @@ func (e *Engine) encodeSnapshot() (payload []byte, floor uint64, err error) {
 			floor = s.appliedLSN
 		}
 		for key, bs := range s.sessions {
+			if filter != nil && !filter(key) {
+				continue
+			}
 			ds, ok := bs.sess.(core.DurableSession)
 			if !ok {
 				s.mu.Unlock()
@@ -335,20 +346,34 @@ func sortedKeys(m map[int]struct{}) []int {
 	return out
 }
 
-// restoreSnapshot rebuilds every session from an engine snapshot payload.
-// Called during New, before the consumers start.
-func (e *Engine) restoreSnapshot(payload []byte, ds core.DurableStrategy) error {
+// sessionImage is one decoded per-session record of an engine snapshot
+// payload: everything needed to rebuild the bankSession, plus the LSN
+// watermark in the SOURCE engine's journal namespace.
+type sessionImage struct {
+	key     uint64
+	bank    hbm.BankAddress
+	lastLSN uint64
+	stats   SessionStats
+	uerRows []int
+	spared  []int
+	blob    []byte
+}
+
+// decodeSnapshotSessions validates an engine snapshot payload and decodes
+// its session images. The floor is the source engine's retention floor —
+// informational for a restore, and the WAL-suffix start for a handoff.
+func decodeSnapshotSessions(payload []byte) (floor uint64, images []sessionImage, err error) {
 	if len(payload) < len(engineSnapMagic)+1 {
-		return fmt.Errorf("stream: snapshot payload too short")
+		return 0, nil, fmt.Errorf("stream: snapshot payload too short")
 	}
 	if string(payload[:4]) != engineSnapMagic {
-		return fmt.Errorf("stream: bad snapshot payload magic")
+		return 0, nil, fmt.Errorf("stream: bad snapshot payload magic")
 	}
 	if v := payload[4]; v != engineSnapVersion {
-		return fmt.Errorf("stream: unsupported snapshot payload version %d", v)
+		return 0, nil, fmt.Errorf("stream: unsupported snapshot payload version %d", v)
 	}
 	d := &snapDecoder{b: payload, off: 5}
-	_ = d.u64() // retention floor: informational on restore
+	floor = d.u64()
 	n := d.count()
 	for i := 0; i < n && d.err == nil; i++ {
 		body := d.bytes()
@@ -356,10 +381,11 @@ func (e *Engine) restoreSnapshot(payload []byte, ds core.DurableStrategy) error 
 			break
 		}
 		sd := &snapDecoder{b: body}
-		key := sd.u64()
-		bank := hbm.Unpack(sd.u64())
-		lastLSN := sd.u64()
-		var st SessionStats
+		var im sessionImage
+		im.key = sd.u64()
+		im.bank = hbm.Unpack(sd.u64())
+		im.lastLSN = sd.u64()
+		st := &im.stats
 		st.Events = sd.int()
 		st.UEREvents = sd.int()
 		st.DistinctUERRows = sd.int()
@@ -371,56 +397,85 @@ func (e *Engine) restoreSnapshot(payload []byte, ds core.DurableStrategy) error 
 		st.FirstEvent = sd.time()
 		st.LastEvent = sd.time()
 		st.Degraded = sd.bool()
-		uerRows := sd.ints()
-		spared := sd.ints()
-		blob := sd.bytes()
+		im.uerRows = sd.ints()
+		im.spared = sd.ints()
+		im.blob = sd.bytes()
 		if sd.err != nil {
-			return sd.err
+			return 0, nil, sd.err
 		}
 		if sd.off != len(body) {
-			return fmt.Errorf("stream: %d trailing bytes in session image", len(body)-sd.off)
+			return 0, nil, fmt.Errorf("stream: %d trailing bytes in session image", len(body)-sd.off)
 		}
-		sess, err := ds.RestoreSession(bank, blob)
+		st.Bank = im.bank
+		images = append(images, im)
+	}
+	return floor, images, d.err
+}
+
+// buildSession reconstructs a live bankSession from a decoded image,
+// including its strategy session and feature-state footprint.
+func buildSession(ds core.DurableStrategy, im sessionImage) (*bankSession, error) {
+	sess, err := ds.RestoreSession(im.bank, im.blob)
+	if err != nil {
+		return nil, fmt.Errorf("stream: restoring session for bank %s: %w", im.bank.String(), err)
+	}
+	bs := &bankSession{
+		bank:    im.bank,
+		sess:    sess,
+		stats:   im.stats,
+		uerRows: make(map[int]struct{}, len(im.uerRows)),
+		spared:  make(map[int]struct{}, len(im.spared)),
+		lastLSN: im.lastLSN,
+	}
+	for _, r := range im.uerRows {
+		bs.uerRows[r] = struct{}{}
+	}
+	for _, r := range im.spared {
+		bs.spared[r] = struct{}{}
+	}
+	if is, ok := sess.(core.InstrumentedSession); ok {
+		fp, released := is.StateFootprint()
+		bs.stats.StateBytes = fp.ApproxBytes
+		bs.stats.StateRows = fp.TrackedRows
+		bs.stats.StateReleased = released
+	}
+	return bs, nil
+}
+
+// installSession adds a rebuilt session to its shard's map and folds its
+// footprint into the shard aggregates. Callers must hold s.mu (or be on
+// the pre-consumer boot path, where no one else can touch the shard).
+func (s *shard) installSession(key uint64, bs *bankSession) {
+	s.sessions[key] = bs
+	s.stateBytes += int64(bs.stats.StateBytes)
+	s.stateRows += int64(bs.stats.StateRows)
+	if bs.stats.StateReleased {
+		s.released++
+	}
+	if bs.stats.Degraded {
+		s.degraded++
+	}
+	if bs.lastLSN > s.appliedLSN {
+		s.appliedLSN = bs.lastLSN
+	}
+}
+
+// restoreSnapshot rebuilds every session from an engine snapshot payload.
+// Called during New, before the consumers start.
+func (e *Engine) restoreSnapshot(payload []byte, ds core.DurableStrategy) error {
+	_, images, err := decodeSnapshotSessions(payload)
+	if err != nil {
+		return err
+	}
+	for _, im := range images {
+		bs, err := buildSession(ds, im)
 		if err != nil {
-			return fmt.Errorf("stream: restoring session for bank %s: %w", bank.String(), err)
+			return err
 		}
-		st.Bank = bank
-		bs := &bankSession{
-			bank:    bank,
-			sess:    sess,
-			stats:   st,
-			uerRows: make(map[int]struct{}, len(uerRows)),
-			spared:  make(map[int]struct{}, len(spared)),
-			lastLSN: lastLSN,
-		}
-		for _, r := range uerRows {
-			bs.uerRows[r] = struct{}{}
-		}
-		for _, r := range spared {
-			bs.spared[r] = struct{}{}
-		}
-		s := e.shardFor(key)
-		if is, ok := sess.(core.InstrumentedSession); ok {
-			fp, released := is.StateFootprint()
-			bs.stats.StateBytes = fp.ApproxBytes
-			bs.stats.StateRows = fp.TrackedRows
-			bs.stats.StateReleased = released
-			s.stateBytes += int64(fp.ApproxBytes)
-			s.stateRows += int64(fp.TrackedRows)
-			if released {
-				s.released++
-			}
-		}
-		if bs.stats.Degraded {
-			s.degraded++
-		}
-		s.sessions[key] = bs
-		if lastLSN > s.appliedLSN {
-			s.appliedLSN = lastLSN
-		}
+		e.shardFor(im.key).installSession(im.key, bs)
 		e.recoveredSessions++
 	}
-	return d.err
+	return nil
 }
 
 // ---- recovery and snapshotting --------------------------------------------
@@ -527,7 +582,7 @@ func (e *Engine) Snapshot() (uint64, error) {
 	e.snapMu.Lock()
 	defer e.snapMu.Unlock()
 	t0 := time.Now()
-	payload, floor, err := e.encodeSnapshot()
+	payload, floor, err := e.encodeSnapshot(nil)
 	if err != nil {
 		e.metrics.snapshotErrors.Inc()
 		return 0, err

@@ -565,9 +565,31 @@ func (e *Engine) apply(s *shard, q queued) (out []Action, dead *DeadLetter) {
 			}
 		}
 	}()
+	prevBytes, prevRows, prevReleased := bs.stats.StateBytes, bs.stats.StateRows, bs.stats.StateReleased
+	out = foldEvent(bs, ev, &s.process)
+	s.stateBytes += int64(bs.stats.StateBytes - prevBytes)
+	s.stateRows += int64(bs.stats.StateRows - prevRows)
+	if bs.stats.StateReleased && !prevReleased {
+		s.released++
+	}
+	return out, nil
+}
+
+// foldEvent runs one event through a bank session: strategy OnEvent, the
+// engine's session bookkeeping (counts, class, feature-state footprint)
+// and action derivation with per-bank row dedupe. It mutates only the
+// session, never shard-level state, so it serves both the shard consumer
+// path (apply, holding the shard lock) and cluster handoff's suffix
+// replay over sessions that are not installed in any shard yet. The
+// caller owns panic handling: a panic from the strategy session unwinds
+// through here with bs.stats partially updated, and the caller must mark
+// the session degraded.
+func foldEvent(bs *bankSession, ev mcelog.Event, proc *latencySampler) (out []Action) {
 	t0 := time.Now()
 	d := bs.sess.OnEvent(ev)
-	s.process.observe(time.Since(t0))
+	if proc != nil {
+		proc.observe(time.Since(t0))
+	}
 
 	bs.stats.Events++
 	bs.stats.LastEvent = ev.Time
@@ -586,11 +608,6 @@ func (e *Engine) apply(s *shard, q queued) (out []Action, dead *DeadLetter) {
 	}
 	if is, ok := bs.sess.(core.InstrumentedSession); ok {
 		fp, released := is.StateFootprint()
-		s.stateBytes += int64(fp.ApproxBytes - bs.stats.StateBytes)
-		s.stateRows += int64(fp.TrackedRows - bs.stats.StateRows)
-		if released && !bs.stats.StateReleased {
-			s.released++
-		}
 		bs.stats.StateBytes = fp.ApproxBytes
 		bs.stats.StateRows = fp.TrackedRows
 		bs.stats.StateReleased = released
@@ -631,7 +648,7 @@ func (e *Engine) apply(s *shard, q queued) (out []Action, dead *DeadLetter) {
 			})
 		}
 	}
-	return out, nil
+	return out
 }
 
 // emit delivers an action, evicting the oldest queued action when the

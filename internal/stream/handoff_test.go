@@ -1,0 +1,373 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"cordial/internal/core"
+	"cordial/internal/hbm"
+	"cordial/internal/mcelog"
+	"cordial/internal/trace"
+	"cordial/internal/wal"
+)
+
+// sessionStates captures every live session's strategy-state image and
+// bookkeeping, keyed by bank key — the bit-identity oracle for handoff.
+func sessionStates(t *testing.T, e *Engine) map[uint64][]byte {
+	t.Helper()
+	out := make(map[uint64][]byte)
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for key, bs := range s.sessions {
+			ds, ok := bs.sess.(core.DurableSession)
+			if !ok {
+				s.mu.Unlock()
+				t.Fatalf("session %T is not durable", bs.sess)
+			}
+			blob, err := ds.EncodeState()
+			if err != nil {
+				s.mu.Unlock()
+				t.Fatal(err)
+			}
+			out[key] = blob
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// sessionStatsByKey snapshots every live session's stats, keyed by bank key.
+func sessionStatsByKey(e *Engine) map[uint64]SessionStats {
+	out := make(map[uint64]SessionStats)
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for key, bs := range s.sessions {
+			out[key] = bs.stats
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// TestHandoffPortabilityAcrossShardCounts is the snapshot+WAL-suffix
+// portability gate: a source engine's persisted state (its last snapshot
+// plus the journal suffix — exactly what a dead-node takeover reads off
+// disk) imported into a fresh engine with a DIFFERENT shard count must
+// reproduce every bank's strategy state bit-for-bit. It extends the PR 4
+// crash≡no-crash suite across the transfer path: shard count is a local
+// layout choice, so portable state must be invariant to it.
+func TestHandoffPortabilityAcrossShardCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	pipe, err := trainedPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategy := &core.CordialStrategy{Pipeline: pipe, Geometry: hbm.DefaultGeometry}
+
+	spec := trace.DefaultSpec(hbm.DefaultGeometry)
+	spec.UERBanks = 10
+	spec.BenignBanks = 8
+	spec.Seed = 31
+	fleet, err := trace.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Log.Sort()
+	evs := make([]mcelog.Event, fleet.Log.Len())
+	for i := range evs {
+		evs[i] = fleet.Log.At(i)
+	}
+
+	// Source: 4 shards, snapshot mid-stream so the journal suffix carries
+	// real work (the import path must replay, not just decode).
+	srcDir := t.TempDir()
+	src, err := New(durCfg(srcDir, 4, strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(evs) / 2
+	for _, ev := range evs[:half] {
+		if err := src.Ingest(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs[half:] {
+		if err := src.Ingest(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wantStates := sessionStates(t, src)
+	wantStats := sessionStatsByKey(src)
+	if len(wantStates) == 0 {
+		t.Fatal("source engine has no sessions")
+	}
+	if err := src.Close(); err != nil { // the "node dies" moment
+		t.Fatal(err)
+	}
+
+	// Takeover read: newest snapshot + full journal export off the dead
+	// node's directory — per-session watermarks deduplicate the overlap.
+	_, payload, err := wal.LoadLatestSnapshot(nil, srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcWAL, err := wal.Open(srcDir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suffix, err := srcWAL.ExportRange(0, ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srcWAL.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(suffix) == 0 {
+		t.Fatal("no journal suffix to replay — the test lost its point")
+	}
+
+	// Importer: 7 shards, its own durability directory.
+	dst, err := New(durCfg(t.TempDir(), 7, strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	st, err := dst.ImportSessions(payload, suffix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Conflicts != 0 || st.Quarantined != 0 {
+		t.Fatalf("import stats %+v: want no conflicts or quarantines", st)
+	}
+	if st.Sessions != len(wantStates) {
+		t.Fatalf("imported %d sessions, want %d", st.Sessions, len(wantStates))
+	}
+	if st.Replayed == 0 {
+		t.Fatal("import replayed nothing; suffix path untested")
+	}
+
+	gotStates := sessionStates(t, dst)
+	for key, want := range wantStates {
+		got, ok := gotStates[key]
+		if !ok {
+			t.Errorf("bank %#x missing after import", key)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("bank %#x strategy state differs after handoff (%d vs %d bytes)", key, len(got), len(want))
+		}
+	}
+	if len(gotStates) != len(wantStates) {
+		t.Errorf("importer has %d sessions, want %d", len(gotStates), len(wantStates))
+	}
+	gotStats := sessionStatsByKey(dst)
+	for key, want := range wantStats {
+		got := gotStats[key]
+		if got.Events != want.Events || got.UEREvents != want.UEREvents ||
+			got.DistinctUERRows != want.DistinctUERRows || got.Classified != want.Classified ||
+			got.Class != want.Class || got.BankSpared != want.BankSpared ||
+			got.RowsIsolated != want.RowsIsolated {
+			t.Errorf("bank %#x stats diverged:\n got %+v\nwant %+v", key, got, want)
+		}
+	}
+
+	// The importer snapshotted on import; a restart over its directory must
+	// come back with the same state (import-before-ack durability).
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reborn, err := New(durCfg(dst.cfg.Durability.Dir, 3, strategy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	rebornStates := sessionStates(t, reborn)
+	if len(rebornStates) != len(wantStates) {
+		t.Fatalf("reborn importer has %d sessions, want %d", len(rebornStates), len(wantStates))
+	}
+	for key, want := range wantStates {
+		if !bytes.Equal(rebornStates[key], want) {
+			t.Errorf("bank %#x state lost across importer restart", key)
+		}
+	}
+}
+
+// TestHandoffFilteredExportImport covers the live-rebalance shape: the
+// source exports only the banks that move, the importer adopts only the
+// banks it owns, and re-importing the same payload is a counted no-op.
+func TestHandoffFilteredExportImport(t *testing.T) {
+	src := newTestEngine(t, Config{Strategy: &fakeStrategy{budget: 3}, Shards: 2})
+	defer src.Close()
+	moved, kept := testBank(2), testBank(4)
+	for i, bank := range []hbm.BankAddress{moved, kept} {
+		for row := 1; row <= 4; row++ {
+			if err := src.Ingest(uerAt(bank, row, i*10+row)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := src.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	movedKey := moved.BankKey()
+	payload, err := src.ExportSessions(func(key uint64) bool { return key == movedKey })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newTestEngine(t, Config{Strategy: &fakeStrategy{budget: 3}, Shards: 3})
+	defer dst.Close()
+	st, err := dst.ImportSessions(payload, nil, func(key uint64) bool { return key == movedKey })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 1 || st.Conflicts != 0 {
+		t.Fatalf("import stats %+v, want exactly the moved session", st)
+	}
+	if _, ok := dst.Session(kept); ok {
+		t.Error("importer adopted a bank outside the filter")
+	}
+	want := sessionStates(t, src)[movedKey]
+	if got := sessionStates(t, dst)[movedKey]; !bytes.Equal(got, want) {
+		t.Error("moved bank's state differs after filtered handoff")
+	}
+
+	// Double delivery (a control-plane retry) must be a counted no-op.
+	st2, err := dst.ImportSessions(payload, nil, func(key uint64) bool { return key == movedKey })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Sessions != 0 || st2.Conflicts != 1 {
+		t.Fatalf("re-import stats %+v, want a pure conflict", st2)
+	}
+}
+
+// TestHandoffSuffixCreatesUnseenSessions: a bank whose first error landed
+// after the source's last snapshot exists only in the journal suffix; the
+// importer must build its session from scratch and derive its actions.
+func TestHandoffSuffixCreatesUnseenSessions(t *testing.T) {
+	dst := newTestEngine(t, Config{Strategy: &fakeStrategy{budget: 3}, Shards: 2})
+	defer dst.Close()
+
+	bank := testBank(2) // even index: fake strategy bank-spares at budget
+	var suffix []wal.Record
+	for row := 1; row <= 4; row++ {
+		ev := uerAt(bank, row, row)
+		suffix = append(suffix, wal.Record{LSN: uint64(100 + row), Payload: encodeEventRecord(ev)})
+	}
+	// Empty-but-valid payload: a source that never snapshotted.
+	empty, err := newTestEngine(t, Config{Strategy: &fakeStrategy{budget: 3}}).ExportSessions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dst.ImportSessions(empty, suffix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 1 || st.Replayed != 4 {
+		t.Fatalf("import stats %+v, want one fresh session with 4 replayed events", st)
+	}
+	sess, ok := dst.Session(bank)
+	if !ok {
+		t.Fatal("suffix-only bank has no session")
+	}
+	if sess.Events != 4 || sess.UEREvents != 4 {
+		t.Errorf("suffix-only session stats %+v", sess)
+	}
+	if st.Actions == 0 {
+		t.Error("no actions re-derived from suffix replay")
+	}
+}
+
+// TestHandoffImportRejectsGarbage: payload and suffix corruption are hard
+// errors, never partial adoption.
+func TestHandoffImportRejectsGarbage(t *testing.T) {
+	dst := newTestEngine(t, Config{Strategy: &fakeStrategy{budget: 3}})
+	defer dst.Close()
+	if _, err := dst.ImportSessions([]byte("junk-payload"), nil, nil); err == nil {
+		t.Error("garbage payload accepted")
+	}
+	empty, err := dst.ExportSessions(func(uint64) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []wal.Record{{LSN: 1, Payload: []byte("short")}}
+	if _, err := dst.ImportSessions(empty, bad, nil); err == nil {
+		t.Error("garbage suffix record accepted")
+	}
+	if n := dst.SessionCount(); n != 0 {
+		t.Errorf("%d sessions adopted from garbage", n)
+	}
+}
+
+// TestHandoffReplayRespectsWatermarks: suffix records at or below a
+// session's source watermark are already inside its snapshot image and
+// must be skipped, or replay would double-apply them.
+func TestHandoffReplayRespectsWatermarks(t *testing.T) {
+	dir := t.TempDir()
+	src, err := New(durCfg(dir, 2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := testBank(3) // odd index: row-spare strategy, state keeps growing
+	for row := 1; row <= 3; row++ {
+		if err := src.Ingest(uerAt(bank, row, row)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Drain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	want := sessionStates(t, src)[bank.BankKey()]
+	wantEvents := sessionStatsByKey(src)[bank.BankKey()].Events
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, payload, err := wal.LoadLatestSnapshot(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcWAL, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full journal: every record here is below the snapshot watermark.
+	suffix, err := srcWAL.ExportRange(0, ^uint64(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcWAL.Close()
+
+	dst := newTestEngine(t, Config{Strategy: &fakeStrategy{budget: 3}, Shards: 3})
+	defer dst.Close()
+	st, err := dst.ImportSessions(payload, suffix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != 0 || st.Skipped != len(suffix) {
+		t.Fatalf("import stats %+v: watermark should have skipped all %d records", st, len(suffix))
+	}
+	got := sessionStates(t, dst)[bank.BankKey()]
+	if !bytes.Equal(got, want) {
+		t.Error("watermark-covered replay changed session state")
+	}
+	if gotEvents := sessionStatsByKey(dst)[bank.BankKey()].Events; gotEvents != wantEvents {
+		t.Errorf("events double-counted: %d, want %d", gotEvents, wantEvents)
+	}
+}

@@ -130,7 +130,7 @@ func refRun(t *testing.T, strategy core.Strategy, evs []mcelog.Event, shards int
 	if err := e.Drain(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	payload, _, err := e.encodeSnapshot()
+	payload, _, err := e.encodeSnapshot(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func crashRecoveryTrial(t *testing.T, strategy core.Strategy, evs []mcelog.Event
 	if err := e2.Drain(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	payload, _, err := e2.encodeSnapshot()
+	payload, _, err := e2.encodeSnapshot(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +337,7 @@ func TestRecoverySnapshotFallback(t *testing.T) {
 	if _, err := e.Snapshot(); err != nil {
 		t.Fatal(err)
 	}
-	refPayload, _, err := e.encodeSnapshot()
+	refPayload, _, err := e.encodeSnapshot(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +369,7 @@ func TestRecoverySnapshotFallback(t *testing.T) {
 		if got := e2.Stats().LastSnapshotSeq; got != wantSeq {
 			t.Errorf("LastSnapshotSeq = %d, want %d", got, wantSeq)
 		}
-		payload, _, err := e2.encodeSnapshot()
+		payload, _, err := e2.encodeSnapshot(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -421,7 +421,7 @@ func TestRecoveryTornTail(t *testing.T) {
 	if err := e.Drain(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	refPayload, _, err := e.encodeSnapshot()
+	refPayload, _, err := e.encodeSnapshot(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +451,7 @@ func TestRecoveryTornTail(t *testing.T) {
 	if got := e2.Stats().RecoveredEvents; got != 5 {
 		t.Errorf("RecoveredEvents = %d, want 5", got)
 	}
-	payload, _, err := e2.encodeSnapshot()
+	payload, _, err := e2.encodeSnapshot(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -685,7 +685,7 @@ func TestSnapshotRetention(t *testing.T) {
 	if len(snaps) > 2 {
 		t.Errorf("%d snapshot files retained, want <= 2", len(snaps))
 	}
-	refPayload, _, err := e.encodeSnapshot()
+	refPayload, _, err := e.encodeSnapshot(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -698,7 +698,7 @@ func TestSnapshotRetention(t *testing.T) {
 	if err != nil {
 		t.Fatalf("recovery from truncated journal: %v", err)
 	}
-	payload, _, err := e2.encodeSnapshot()
+	payload, _, err := e2.encodeSnapshot(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

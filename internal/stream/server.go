@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cordial/internal/hbm"
@@ -56,7 +57,14 @@ type Server struct {
 	mux    *http.ServeMux
 
 	requests *obs.Counter
+	notOwned *obs.Counter
 	decode   latencySampler
+
+	// ownership is nil while the node serves standalone (it owns every
+	// bank). In a cluster the node agent installs the current ring view
+	// here; handleEvents rejects events for banks outside it with a 503
+	// the router understands (see IngestResult.NotOwned).
+	ownership atomic.Pointer[ownershipView]
 
 	mu      sync.Mutex
 	stored  []Action
@@ -78,6 +86,8 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 	reg := e.Metrics()
 	s.requests = reg.Counter("cordial_http_requests_total",
 		"HTTP requests served (all routes).")
+	s.notOwned = reg.Counter("cordial_http_not_owned_total",
+		"Ingest batches refused because a bank is outside this node's ring ownership.")
 	s.decode.attach(reg.Histogram("cordial_http_decode_seconds",
 		"Per-line JSONL event decode time on POST /v1/events.", nil))
 	reg.GaugeFunc("cordial_actions_stored",
@@ -117,10 +127,34 @@ func (s *Server) collect() {
 // then await, then report).
 func (s *Server) AwaitDrained() { <-s.drained }
 
-// ServeHTTP dispatches to the API routes.
+// ServeHTTP dispatches to the API routes. Every response carries
+// Cache-Control: no-store — health, stats and ownership answers describe
+// this instant on this node, and a cached copy (proxy, browser, CDN)
+// would misroute traffic or mask an outage.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
+	w.Header().Set("Cache-Control", "no-store")
 	s.mux.ServeHTTP(w, r)
+}
+
+// ownershipView is one ring epoch's answer to "does this node own bank X".
+type ownershipView struct {
+	epoch uint64
+	owns  func(bankKey uint64) bool
+}
+
+// SetOwnership installs the bank-ownership predicate for a ring epoch.
+// Ingest rejects events for banks where owns returns false with a 503
+// whose body carries the epoch, so a router with a stale ring knows to
+// refresh and resend the unconsumed suffix. A nil owns accepts every
+// bank under the given epoch; call with epoch 0 and nil to return to
+// standalone mode.
+func (s *Server) SetOwnership(epoch uint64, owns func(bankKey uint64) bool) {
+	if epoch == 0 && owns == nil {
+		s.ownership.Store(nil)
+		return
+	}
+	s.ownership.Store(&ownershipView{epoch: epoch, owns: owns})
 }
 
 // IngestResult is the response body of POST /v1/events.
@@ -136,6 +170,15 @@ type IngestResult struct {
 	// Truncated reports that the batch ended early (oversized line or a
 	// mid-body disconnect); counts cover the prefix that was read.
 	Truncated bool `json:"truncated,omitempty"`
+	// NotOwned is 1 when the batch stopped at a line whose bank this node
+	// does not own under the current ring epoch (response status 503).
+	// The offending line was NOT consumed: a router should refresh its
+	// ring and resend the batch suffix starting at line index
+	// Accepted+Rejected+Dropped.
+	NotOwned int `json:"notOwned,omitempty"`
+	// Epoch is the ring epoch the server evaluated ownership under.
+	// Zero when the node serves standalone.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // handleEvents ingests a JSONL batch. Malformed lines are rejected
@@ -148,6 +191,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	var res IngestResult
 	geo := s.engine.Config().Geometry
+	own := s.ownership.Load()
+	if own != nil {
+		res.Epoch = own.epoch
+	}
 	lineNo := 0
 	reject := func(err error) {
 		res.Rejected++
@@ -171,6 +218,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if err := ev.Validate(geo); err != nil {
 			reject(err)
 			continue
+		}
+		if own != nil && own.owns != nil && !own.owns(ev.Addr.BankKey()) {
+			// Consumed-prefix contract: everything before this line landed
+			// (or was rejected) and must not be resent; this line and the
+			// rest of the body belong to another node.
+			res.NotOwned = 1
+			s.notOwned.Inc()
+			writeJSON(w, http.StatusServiceUnavailable, res)
+			return
 		}
 		switch err := s.engine.Ingest(ev); err {
 		case nil:

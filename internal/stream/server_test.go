@@ -395,3 +395,68 @@ func TestServerEventJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip %+v != %+v", got, ev)
 	}
 }
+
+func TestServerCacheControlNoStore(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz", "/statsz", "/metrics", "/v1/actions"} {
+		rec, _ := get(t, srv, path)
+		if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("GET %s Cache-Control = %q, want no-store", path, cc)
+		}
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/events", bytes.NewBufferString("")))
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("POST /v1/events Cache-Control = %q, want no-store", cc)
+	}
+}
+
+// TestServerOwnershipFilter pins the consumed-prefix retry contract: the
+// batch stops at the first not-owned line, that line is NOT consumed,
+// and Accepted+Rejected+Dropped tells the router where to resume.
+func TestServerOwnershipFilter(t *testing.T) {
+	engine, srv := newTestServer(t, Config{Shards: 2})
+	mine, theirs := testBank(1), testBank(2)
+	srv.SetOwnership(7, func(key uint64) bool { return key == mine.BankKey() })
+
+	// owned, owned, foreign, owned — the trailing owned line must not land.
+	body := jsonlBody(t,
+		uerAt(mine, 1, 1), uerAt(mine, 2, 2), uerAt(theirs, 1, 3), uerAt(mine, 3, 4))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/events", body))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("mixed batch = %d, want 503: %s", rec.Code, rec.Body)
+	}
+	var res IngestResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 2 || res.NotOwned != 1 || res.Epoch != 7 {
+		t.Fatalf("mixed batch result %+v, want accepted=2 notOwned=1 epoch=7", res)
+	}
+	if consumed := res.Accepted + res.Rejected + res.Dropped; consumed != 2 {
+		t.Fatalf("consumed prefix = %d, want 2", consumed)
+	}
+	if err := engine.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := engine.Session(theirs); ok {
+		t.Error("foreign bank leaked past the ownership filter")
+	}
+	if st, ok := engine.Session(mine); !ok || st.Events != 2 {
+		t.Errorf("owned bank session = %+v, want 2 events", st)
+	}
+
+	// A fully-owned batch succeeds and still reports the epoch.
+	res = post(t, srv, jsonlBody(t, uerAt(mine, 3, 5)))
+	if res.Accepted != 1 || res.NotOwned != 0 || res.Epoch != 7 {
+		t.Fatalf("owned batch result %+v, want accepted=1 epoch=7", res)
+	}
+
+	// Back to standalone: the foreign bank is accepted again.
+	srv.SetOwnership(0, nil)
+	res = post(t, srv, jsonlBody(t, uerAt(theirs, 1, 6)))
+	if res.Accepted != 1 || res.Epoch != 0 {
+		t.Fatalf("standalone result %+v, want accepted=1 epoch=0", res)
+	}
+}

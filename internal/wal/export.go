@@ -1,0 +1,34 @@
+package wal
+
+// Record is one journal record lifted out of its segment framing, as
+// returned by ExportRange. Handoff bundles carry these across nodes: the
+// LSN namespace is the SOURCE journal's — a receiver must treat it as an
+// opaque watermark (compare against the source snapshot's per-session
+// watermarks), never mix it with its own journal's LSNs.
+type Record struct {
+	// LSN is the record's position in the source journal.
+	LSN uint64
+	// Payload is a copy of the record body (safe to retain).
+	Payload []byte
+}
+
+// ExportRange returns every record with from <= LSN < to, in LSN order.
+// It is the segment-range read underneath cluster session handoff: a
+// snapshot plus ExportRange(floor, NextLSN()) is a complete, portable
+// image of the journal's state. Payloads are copied, so the result stays
+// valid after the WAL is closed. Runs concurrently with Append (records
+// past the horizon captured at call time are excluded).
+func (w *WAL) ExportRange(from, to uint64) ([]Record, error) {
+	var out []Record
+	err := w.Replay(func(lsn uint64, payload []byte) error {
+		if lsn < from || lsn >= to {
+			return nil
+		}
+		out = append(out, Record{LSN: lsn, Payload: append([]byte(nil), payload...)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

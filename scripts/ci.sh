@@ -51,6 +51,13 @@ echo "==> crash-restart e2e (SIGKILL mid-ingest, recover, converge)"
 # this labeled pass keeps the durability guarantee visible in CI output.
 go test -run 'TestCLIServeCrashRecovery' -count 1 ./internal/clitest/
 
+echo "==> cluster failover e2e (3 nodes + router, SIGKILL one, zero verdict loss)"
+# Three serve nodes behind cordial-router, one SIGKILLed mid-stream. The
+# control plane rebuilds the victim's sessions from its journal onto the
+# survivors; the test asserts the cluster's deduplicated action set equals
+# a single-node reference exactly — no verdict lost, none invented.
+go test -run 'TestCLIClusterFailover' -count 1 ./internal/clitest/
+
 echo "==> fuzz smoke (incremental feature equivalence, 5s)"
 # Short fuzzing pass over the incremental-vs-batch feature equivalence
 # property; the seed corpus alone already covers the known-tricky cutoff
@@ -63,6 +70,12 @@ echo "==> fuzz smoke (WAL record decoder, 5s)"
 # tail, or corruption — never panic, never over-read.
 go test -run '^$' -fuzz 'FuzzWALDecode' -fuzztime 5s ./internal/wal/
 
+echo "==> fuzz smoke (consistent-hash ring placement, 5s)"
+# Routing correctness rests on two ring properties: every participant
+# that knows the descriptor computes the identical owner for every bank,
+# and membership changes move at most ≈1/N of keys.
+go test -run '^$' -fuzz 'FuzzRingPlacement' -fuzztime 5s ./internal/cluster/
+
 echo "==> bench smoke (1 iteration)"
 go test -run '^$' -bench . -benchtime 1x ./...
 
@@ -72,12 +85,41 @@ echo "==> daemon smoke (/readyz + /metrics over a live cordial-serve)"
 # text whose ingest counter matches what was accepted.
 smokedir=$(mktemp -d)
 serve_pid=""
+cluster_pids=""
 cleanup_smoke() {
     if [ -n "$serve_pid" ]; then
         kill "$serve_pid" 2>/dev/null || true
         wait "$serve_pid" 2>/dev/null || true
     fi
+    for pid in $cluster_pids; do
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
     rm -rf "$smokedir"
+}
+
+# wait_addr <logfile> <pid>: block until the daemon logs its resolved
+# listen address (the msg=listening contract), echo it.
+wait_addr() {
+    _addr=""
+    _i=0
+    while [ $_i -lt 600 ]; do
+        _addr=$(sed -n 's/.*msg=listening addr=\([^ ]*\).*/\1/p' "$1" | head -n 1)
+        [ -n "$_addr" ] && break
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "daemon exited during startup:" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        sleep 0.2
+        _i=$((_i + 1))
+    done
+    if [ -z "$_addr" ]; then
+        echo "daemon never logged its address:" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    echo "$_addr"
 }
 trap cleanup_smoke EXIT
 go build -o "$smokedir/cordial-serve" ./cmd/cordial-serve
@@ -118,5 +160,69 @@ grep -q '^# TYPE cordial_process_seconds histogram$' "$smokedir/metrics.txt" \
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
+
+echo "==> multi-node smoke (control plane + 2 nodes + router, kill one node)"
+# Boots a live two-node cluster behind the router, ingests through the
+# router, SIGKILLs one node, and asserts the cluster heals: the control
+# plane records the takeover, the survivor and the router both return to
+# /readyz 200, and post-failover ingest through the router still lands.
+# (Verdict-level zero-loss is pinned by TestCLIClusterFailover above.)
+go build -o "$smokedir/cordial-control" ./cmd/cordial-control
+go build -o "$smokedir/cordial-router" ./cmd/cordial-router
+"$smokedir/cordial-control" -addr 127.0.0.1:0 \
+    -heartbeat-ttl 1s -sweep-interval 300ms >"$smokedir/cp.log" 2>&1 &
+cp_pid=$!
+cluster_pids="$cp_pid"
+cp_addr=$(wait_addr "$smokedir/cp.log" "$cp_pid")
+for n in 1 2; do
+    "$smokedir/cordial-serve" -selftrain -seed 3 -train-banks 20 -trees 5 \
+        -addr 127.0.0.1:0 -control-plane "http://$cp_addr" -node-id "n$n" \
+        -heartbeat 100ms -wal-dir "$smokedir/wal-n$n" -fsync never \
+        >"$smokedir/n$n.log" 2>&1 &
+    eval "n${n}_pid=\$!"
+done
+cluster_pids="$cluster_pids $n1_pid $n2_pid"
+n1_addr=$(wait_addr "$smokedir/n1.log" "$n1_pid")
+wait_addr "$smokedir/n2.log" "$n2_pid" >/dev/null
+"$smokedir/cordial-router" -addr 127.0.0.1:0 -control-plane "http://$cp_addr" \
+    -refresh-interval 200ms -max-attempts 8 >"$smokedir/router.log" 2>&1 &
+router_pid=$!
+cluster_pids="$cluster_pids $router_pid"
+router_addr=$(wait_addr "$smokedir/router.log" "$router_pid")
+i=0
+until curl -fsS "http://$router_addr/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ $i -lt 100 ] || { echo "router never became ready" >&2; cat "$smokedir/router.log" >&2; exit 1; }
+    sleep 0.2
+done
+go run ./cmd/cordial-gen -seed 3 -uer-banks 20 -benign-banks 10 \
+    -log "$smokedir/fleet.jsonl" -format jsonl -truth ""
+lines=$(wc -l <"$smokedir/fleet.jsonl")
+curl -fsS -X POST --data-binary @"$smokedir/fleet.jsonl" \
+    "http://$router_addr/v1/events" >"$smokedir/ingest1.json"
+grep -q "\"accepted\":$lines" "$smokedir/ingest1.json" \
+    || { echo "router ingest incomplete:" >&2; cat "$smokedir/ingest1.json" >&2; exit 1; }
+kill -9 "$n2_pid" 2>/dev/null || true
+wait "$n2_pid" 2>/dev/null || true
+i=0
+until curl -fsS "http://$cp_addr/statsz" 2>/dev/null | grep -q '"takeovers":1'; do
+    i=$((i + 1))
+    [ $i -lt 150 ] || { echo "takeover never recorded" >&2; cat "$smokedir/cp.log" >&2; exit 1; }
+    sleep 0.2
+done
+for probe in "$n1_addr" "$router_addr"; do
+    i=0
+    until curl -fsS "http://$probe/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -lt 100 ] || { echo "$probe not ready after failover" >&2; exit 1; }
+        sleep 0.2
+    done
+done
+curl -fsS -X POST --data-binary @"$smokedir/fleet.jsonl" \
+    "http://$router_addr/v1/events" >"$smokedir/ingest2.json"
+grep -q "\"accepted\":$lines" "$smokedir/ingest2.json" \
+    || { echo "post-failover ingest incomplete:" >&2; cat "$smokedir/ingest2.json" >&2; exit 1; }
+curl -fsS "http://$router_addr/statsz" | grep -q '"n1"' \
+    || { echo "router statsz missing survivor" >&2; exit 1; }
 
 echo "==> ok"
