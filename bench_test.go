@@ -6,8 +6,10 @@ package cordial
 // regenerates the full-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -16,7 +18,10 @@ import (
 	"cordial/internal/core"
 	"cordial/internal/ecc"
 	"cordial/internal/experiments"
+	"cordial/internal/mcelog"
 	"cordial/internal/mltree"
+	"cordial/internal/stream"
+	"cordial/internal/wal"
 	"cordial/internal/xrand"
 )
 
@@ -489,4 +494,92 @@ func BenchmarkGeneratorValidation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchmarkBinaryIngest replays the shared fleet log through the binary
+// wire path: pre-encoded frames are decoded with a reused FrameDecoder and
+// moved into the engine whole-frame via IngestBatch — the exact hot loop of
+// POST /v1/events.bin. walDir != "" adds the durable path (group-commit WAL,
+// one AppendBatch per frame).
+func benchmarkBinaryIngest(b *testing.B, shards int, durable bool) {
+	pipe, events := streamBenchState()
+	var encBuf bytes.Buffer
+	enc := mcelog.NewFrameEncoder(&encBuf, 1024)
+	for _, e := range events {
+		if err := enc.Add(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	raw := encBuf.Bytes()
+	dec := mcelog.NewFrameDecoder(nil)
+	batch := make([]Event, 0, 1024)
+	base := b.TempDir()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultStreamConfig(pipe)
+		cfg.Shards = shards
+		cfg.QueueDepth = 4096
+		if durable {
+			cfg.Durability = stream.DurabilityConfig{
+				Dir:  filepath.Join(base, fmt.Sprintf("run%d", i)),
+				Sync: wal.SyncAlways, // group commit on by default
+			}
+		}
+		engine, err := NewStreamEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range engine.Actions() {
+			}
+		}()
+		dec.Reset(bytes.NewReader(raw))
+		for {
+			fr, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+			for j, n := 0, fr.Len(); j < n; j++ {
+				batch = append(batch, fr.Event(j))
+			}
+			if acc, _, err := engine.IngestBatch(batch); err != nil || acc != len(batch) {
+				b.Fatalf("IngestBatch = (%d, %v), want %d", acc, err, len(batch))
+			}
+		}
+		if err := engine.Close(); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(len(events)*b.N), "ns/event")
+}
+
+// BenchmarkBinaryIngest is the end-to-end binary ingest benchmark: decode +
+// batch-enqueue + session inference, in memory and with the group-commit
+// WAL. Decode cost alone (the zero-allocation bound) is pinned separately
+// by BenchmarkWireFrameDecode in internal/mcelog.
+func BenchmarkBinaryIngest(b *testing.B) {
+	shardCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, n := range shardCounts {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) { benchmarkBinaryIngest(b, n, false) })
+	}
+	b.Run("durable/group-commit", func(b *testing.B) { benchmarkBinaryIngest(b, runtime.GOMAXPROCS(0), true) })
 }

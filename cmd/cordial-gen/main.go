@@ -35,7 +35,7 @@ func run() error {
 		uerBanks    = flag.Int("uer-banks", 300, "banks given a UER failure pattern")
 		benignBanks = flag.Int("benign-banks", 2200, "banks with only CE/UEO noise")
 		logPath     = flag.String("log", "fleet.mcelog", "output error-log path")
-		format      = flag.String("format", "binary", "log format: binary, jsonl or stream")
+		format      = flag.String("format", "binary", "log format: binary, jsonl, stream or wire")
 		truthPath   = flag.String("truth", "truth.json", "output ground-truth path (empty to skip)")
 	)
 	flag.Parse()
@@ -68,8 +68,18 @@ func run() error {
 			}
 		}
 		err = w.Flush()
+	case "wire":
+		// CRC-framed ingest wire format: the output is a valid request body
+		// for POST /v1/events.bin on cordial-serve and cordial-router.
+		enc := mcelog.NewFrameEncoder(logFile, 0)
+		for _, e := range fleet.Log.Events() {
+			if err := enc.Add(e); err != nil {
+				return err
+			}
+		}
+		err = enc.Flush()
 	default:
-		return fmt.Errorf("unknown format %q (want binary, jsonl or stream)", *format)
+		return fmt.Errorf("unknown format %q (want binary, jsonl, stream or wire)", *format)
 	}
 	if err != nil {
 		return err

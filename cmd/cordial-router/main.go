@@ -11,7 +11,8 @@
 //
 // Endpoints:
 //
-//	POST /v1/events   JSONL batch ingest (same contract as cordial-serve)
+//	POST /v1/events      JSONL batch ingest (same contract as cordial-serve)
+//	POST /v1/events.bin  binary-framed batch ingest (same contract)
 //	GET  /statsz      router counters plus every node's /statsz, by node ID
 //	GET  /healthz     liveness
 //	GET  /readyz      readiness (503 until a ring has been fetched)
@@ -46,6 +47,7 @@ func run() error {
 		cpURL     = flag.String("control-plane", "", "control plane base URL (http://host:port), required")
 		refresh   = flag.Duration("refresh-interval", 2*time.Second, "background ring poll period")
 		attempts  = flag.Int("max-attempts", 5, "forwarding attempts per node batch before lines are dropped")
+		upstream  = flag.String("upstream", cluster.CodecBinary, "codec for forwarding to serve nodes: binary or jsonl")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
@@ -64,10 +66,15 @@ func run() error {
 	}
 	logger := slog.New(handler)
 
+	if *upstream != cluster.CodecBinary && *upstream != cluster.CodecJSONL {
+		return fmt.Errorf("unknown upstream codec %q (want binary or jsonl)", *upstream)
+	}
+
 	rt := cluster.NewRouter(cluster.RouterConfig{
 		ControlPlane:    *cpURL,
 		RefreshInterval: *refresh,
 		MaxAttempts:     *attempts,
+		UpstreamCodec:   *upstream,
 		Logger:          logger,
 	})
 

@@ -79,6 +79,7 @@ func run() error {
 		walDir     = flag.String("wal-dir", "", "durability directory: journal accepted events, snapshot sessions, recover on boot")
 		snapEvery  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 disables; requires -wal-dir)")
 		fsync      = flag.String("fsync", "always", "journal fsync policy with -wal-dir: always, interval or never")
+		groupWAL   = flag.Bool("group-commit", true, "coalesce concurrent journal appends into shared fsyncs under -fsync=always")
 		deadLetter = flag.String("dead-letter", "", "append quarantined events (panicked processing) to this JSONL file")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		pprofOn    = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
@@ -126,7 +127,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cfg.Durability = stream.DurabilityConfig{Dir: *walDir, Sync: pol}
+		cfg.Durability = stream.DurabilityConfig{Dir: *walDir, Sync: pol, NoGroupCommit: !*groupWAL}
 	} else if *snapEvery > 0 {
 		return fmt.Errorf("-snapshot-interval requires -wal-dir")
 	}

@@ -437,3 +437,79 @@ func (c *fakeClock) Advance(d time.Duration) time.Time {
 	c.t = c.t.Add(d)
 	return c.t
 }
+
+// postEventsBin posts a binary-framed batch and returns status + result.
+func postEventsBin(t *testing.T, baseURL string, events []mcelog.Event) (int, ingestResult) {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := mcelog.NewFrameEncoder(&buf, 0)
+	for _, ev := range events {
+		if err := enc.Add(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/events.bin", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res ingestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, res
+}
+
+// TestRouterCodecMatrix: every client-codec × upstream-codec combination
+// delivers the same batch — binary framing is the default upstream, JSONL
+// stays as a compatibility codec, and either may arrive from clients.
+func TestRouterCodecMatrix(t *testing.T) {
+	_, cpSrv := startCP(t, CPConfig{})
+	n1 := startNode(t, cpSrv.URL, "n1")
+	n2 := startNode(t, cpSrv.URL, "n2")
+	waitFor(t, "two nodes", func() bool {
+		return n1.agent.Epoch() >= 2 && n2.agent.Epoch() >= 2
+	})
+
+	for _, tc := range []struct {
+		name     string
+		upstream string
+		binaryIn bool
+	}{
+		{"jsonl-in binary-up", CodecBinary, false},
+		{"binary-in binary-up", CodecBinary, true},
+		{"jsonl-in jsonl-up", CodecJSONL, false},
+		{"binary-in jsonl-up", CodecJSONL, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := NewRouter(RouterConfig{
+				ControlPlane:  cpSrv.URL,
+				UpstreamCodec: tc.upstream,
+				Backoff:       10 * time.Millisecond,
+				Logger:        quiet,
+			})
+			if err := rt.refreshRing(); err != nil {
+				t.Fatal(err)
+			}
+			rtSrv := httptest.NewServer(rt)
+			defer rtSrv.Close()
+
+			var batch []mcelog.Event
+			row := 1
+			for b := 0; b < 8; b++ {
+				batch = append(batch, clusterUER(clusterBank(b), row, b))
+			}
+			post := postEvents
+			if tc.binaryIn {
+				post = postEventsBin
+			}
+			status, res := post(t, rtSrv.URL, batch)
+			if status != http.StatusOK || res.Accepted != len(batch) {
+				t.Fatalf("%s: status %d result %+v", tc.name, status, res)
+			}
+		})
+	}
+}

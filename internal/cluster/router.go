@@ -5,7 +5,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"sync"
@@ -31,8 +33,14 @@ type RouterConfig struct {
 	RefreshInterval time.Duration
 	// MaxBodyBytes caps one POST /v1/events body. Default 32 MiB.
 	MaxBodyBytes int64
-	// MaxLineBytes caps one JSONL line. Default 1 MiB.
+	// MaxLineBytes caps one JSONL line. Defaults to MaxBodyBytes so a
+	// line the body cap admits is never refused by the line scanner.
 	MaxLineBytes int
+	// UpstreamCodec selects how batches are forwarded to serve nodes:
+	// CodecBinary (default) re-frames events into the binary wire codec
+	// and posts to /v1/events.bin; CodecJSONL posts JSON lines to
+	// /v1/events for nodes that predate the binary endpoint.
+	UpstreamCodec string
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 	// Client is the HTTP client for node and control-plane calls.
@@ -60,7 +68,10 @@ func (c RouterConfig) withDefaults() RouterConfig {
 		c.MaxBodyBytes = 32 << 20
 	}
 	if c.MaxLineBytes == 0 {
-		c.MaxLineBytes = 1 << 20
+		c.MaxLineBytes = int(c.MaxBodyBytes)
+	}
+	if c.UpstreamCodec == "" {
+		c.UpstreamCodec = CodecBinary
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -120,6 +131,7 @@ func NewRouter(cfg RouterConfig) *Router {
 			return float64(rt.ring.Epoch())
 		})
 	rt.mux.HandleFunc("POST /v1/events", rt.handleEvents)
+	rt.mux.HandleFunc("POST /v1/events.bin", rt.handleEventsBin)
 	rt.mux.HandleFunc("GET /statsz", rt.handleStats)
 	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -195,8 +207,18 @@ func (rt *Router) refreshRing() error {
 	return nil
 }
 
-// routedLine is one parsed JSONL line awaiting forwarding.
+// Upstream codec names for RouterConfig.UpstreamCodec.
+const (
+	CodecBinary = "binary"
+	CodecJSONL  = "jsonl"
+)
+
+// routedLine is one parsed event awaiting forwarding. text holds the
+// original JSONL line and is retained only under the jsonl upstream codec
+// (binary forwarding re-frames from ev; jsonl forwarding of binary input
+// re-encodes from ev on demand).
 type routedLine struct {
+	ev   mcelog.Event
 	text []byte
 	key  uint64
 }
@@ -242,7 +264,11 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		lines = append(lines, routedLine{text: append([]byte(nil), raw...), key: ev.Addr.BankKey()})
+		ln := routedLine{ev: ev, key: ev.Addr.BankKey()}
+		if rt.cfg.UpstreamCodec == CodecJSONL {
+			ln.text = append([]byte(nil), raw...)
+		}
+		lines = append(lines, ln)
 	}
 	if err := sc.Err(); err != nil {
 		agg.Truncated = true
@@ -259,6 +285,58 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, status, agg)
+}
+
+// handleEventsBin accepts the binary wire codec from clients and routes
+// it like handleEvents. Records decode unconditionally here — geometry
+// validation stays on the serve nodes, which know the fleet's shape. A
+// corrupt frame is a 400 (no way to resynchronise), but frames before it
+// are already routed.
+func (rt *Router) handleEventsBin(w http.ResponseWriter, r *http.Request) {
+	if rt.currentRing() == nil {
+		http.Error(w, "no ring yet", http.StatusServiceUnavailable)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+	dec := mcelog.NewFrameDecoder(body)
+
+	var agg ingestResult
+	var lines []routedLine
+	frameNo := 0
+	for {
+		fr, err := dec.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			agg.Truncated = true
+			if len(agg.Errors) < 16 {
+				agg.Errors = append(agg.Errors, fmt.Sprintf("after frame %d: %v", frameNo, err))
+			}
+			rt.lines.Add(uint64(len(lines)))
+			rt.forward(lines, &agg)
+			status := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, agg)
+			return
+		}
+		frameNo++
+		for i, n := 0, fr.Len(); i < n; i++ {
+			ev := fr.Event(i)
+			lines = append(lines, routedLine{ev: ev, key: ev.Addr.BankKey()})
+		}
+	}
+	rt.lines.Add(uint64(len(lines)))
+	rt.forward(lines, &agg)
+	if agg.Epoch == 0 {
+		if ring := rt.currentRing(); ring != nil {
+			agg.Epoch = ring.Epoch()
+		}
+	}
+	writeJSON(w, http.StatusOK, agg)
 }
 
 // forward delivers lines to their owners, retrying refused or failed
@@ -333,17 +411,40 @@ func (rt *Router) forward(lines []routedLine, agg *ingestResult) {
 	}
 }
 
-// postBatch sends one node its slice of the batch. Any 2xx or a 503
-// carrying an IngestResult body parses as a result; everything else is
-// an error (the caller re-resolves owners and retries).
+// postBatch sends one node its slice of the batch, re-framed in the
+// configured upstream codec. Any 2xx or a 503 carrying an IngestResult
+// body parses as a result; everything else is an error (the caller
+// re-resolves owners and retries).
 func (rt *Router) postBatch(m Member, group []routedLine) (ingestResult, error) {
 	rt.forwards.Inc()
 	var buf bytes.Buffer
-	for _, ln := range group {
-		buf.Write(ln.text)
-		buf.WriteByte('\n')
+	var path, contentType string
+	if rt.cfg.UpstreamCodec == CodecJSONL {
+		path, contentType = "/v1/events", "application/x-ndjson"
+		for _, ln := range group {
+			text := ln.text
+			if text == nil { // binary client input under the jsonl codec
+				var err error
+				if text, err = mcelog.MarshalJSONEvent(ln.ev); err != nil {
+					return ingestResult{}, fmt.Errorf("re-encoding event for node %s: %w", m.ID, err)
+				}
+			}
+			buf.Write(text)
+			buf.WriteByte('\n')
+		}
+	} else {
+		path, contentType = "/v1/events.bin", "application/octet-stream"
+		enc := mcelog.NewFrameEncoder(&buf, 0)
+		for _, ln := range group {
+			if err := enc.Add(ln.ev); err != nil {
+				return ingestResult{}, fmt.Errorf("framing event for node %s: %w", m.ID, err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			return ingestResult{}, fmt.Errorf("framing batch for node %s: %w", m.ID, err)
+		}
 	}
-	resp, err := rt.cfg.Client.Post("http://"+m.Addr+"/v1/events", "application/x-ndjson", &buf)
+	resp, err := rt.cfg.Client.Post("http://"+m.Addr+path, contentType, &buf)
 	if err != nil {
 		return ingestResult{}, err
 	}

@@ -34,6 +34,14 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
+// MarshalJSONEvent renders one event in the per-line shape WriteJSONL
+// emits (no trailing newline). It is ParseJSONEvent's inverse — used by
+// forwarders that received an event in another codec and must re-encode
+// it for a JSONL-only peer.
+func MarshalJSONEvent(ev Event) ([]byte, error) {
+	return json.Marshal(jsonEvent{Time: ev.Time.UTC(), Addr: ev.Addr.String(), Class: ev.Class.String()})
+}
+
 // ParseJSONEvent parses one JSONL-encoded event (the per-line shape
 // WriteJSONL emits). Unlike ReadJSONL it is line-granular, so tolerant
 // ingestors can reject a malformed line and keep the rest of the batch.

@@ -44,11 +44,13 @@ type Label struct {
 // L is shorthand for constructing a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// DefLatencyBuckets spans 1µs to 10s on a 1-2.5-5 ladder — wide enough
-// for both in-process event handling (microseconds) and fsync-bound WAL
-// appends (milliseconds to seconds). Values are in seconds, the Prometheus
-// base unit for durations.
+// DefLatencyBuckets spans 100ns to 10s on a 1-2.5-5 ladder — wide enough
+// for both in-process event handling (the binary ingest path decodes and
+// enqueues in well under a microsecond, so the ladder starts below it) and
+// fsync-bound WAL appends (milliseconds to seconds). Values are in seconds,
+// the Prometheus base unit for durations.
 var DefLatencyBuckets = []float64{
+	1e-7, 2.5e-7, 5e-7,
 	1e-6, 2.5e-6, 5e-6,
 	1e-5, 2.5e-5, 5e-5,
 	1e-4, 2.5e-4, 5e-4,

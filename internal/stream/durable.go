@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"cordial/internal/core"
-	"cordial/internal/ecc"
 	"cordial/internal/faultsim"
 	"cordial/internal/hbm"
 	"cordial/internal/mcelog"
@@ -39,6 +38,11 @@ type DurabilityConfig struct {
 	SyncInterval time.Duration
 	// SegmentBytes is the journal segment rotation size (0 = 8 MiB).
 	SegmentBytes int64
+	// NoGroupCommit disables WAL group commit. By default, concurrent
+	// appends under SyncAlways coalesce into shared fsyncs (each ack still
+	// waits for the fsync covering its record); set this to force one
+	// fsync per append, trading throughput for simpler failure analysis.
+	NoGroupCommit bool
 	// SnapshotKeep is how many snapshot files to retain (0 = 3).
 	SnapshotKeep int
 }
@@ -96,17 +100,14 @@ func (e *Engine) writeDeadLetter(d *DeadLetter) {
 // ---- journal event records -------------------------------------------------
 
 // eventRecordSize is the fixed WAL payload for one event: int64 unix-nanos,
-// uint64 packed address, uint8 ECC class — the same triple mcelog's binary
-// log format persists.
-const eventRecordSize = 17
+// uint64 packed address, uint8 ECC class — byte-identical to the wire
+// codec's record (mcelog.WireRecordSize), so a binary frame's payload is
+// exactly the concatenation of the journal payloads it produces.
+const eventRecordSize = mcelog.WireRecordSize
 
 // encodeEventRecord packs one event into a journal payload.
 func encodeEventRecord(ev mcelog.Event) []byte {
-	var b [eventRecordSize]byte
-	binary.LittleEndian.PutUint64(b[0:8], uint64(ev.Time.UnixNano()))
-	binary.LittleEndian.PutUint64(b[8:16], ev.Addr.Pack())
-	b[16] = byte(ev.Class)
-	return b[:]
+	return mcelog.AppendWireRecord(nil, ev)
 }
 
 // decodeEventRecord unpacks a journal payload.
@@ -114,11 +115,7 @@ func decodeEventRecord(p []byte) (mcelog.Event, error) {
 	if len(p) != eventRecordSize {
 		return mcelog.Event{}, fmt.Errorf("stream: event record of %d bytes, want %d", len(p), eventRecordSize)
 	}
-	return mcelog.Event{
-		Time:  time.Unix(0, int64(binary.LittleEndian.Uint64(p[0:8]))).UTC(),
-		Addr:  hbm.Unpack(binary.LittleEndian.Uint64(p[8:16])),
-		Class: ecc.Class(p[16]),
-	}, nil
+	return mcelog.DecodeWireRecord(p), nil
 }
 
 // ingestDurable journals the event, then enqueues it. The per-shard
@@ -129,7 +126,7 @@ func decodeEventRecord(p []byte) (mcelog.Event, error) {
 func (e *Engine) ingestDurable(s *shard, ev mcelog.Event) error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
-	if e.cfg.Policy == IngestDrop && len(s.in) == cap(s.in) {
+	if e.cfg.Policy == IngestDrop && s.in.free() == 0 {
 		s.dropped.Inc()
 		return ErrDropped
 	}
@@ -147,10 +144,97 @@ func (e *Engine) ingestDurable(s *shard, ev mcelog.Event) error {
 		e.lastAppendErr.Store("") // append works again: readiness restored
 	}
 	t0 := time.Now()
-	s.in <- queued{ev: ev, lsn: lsn}
+	s.in.push(queued{ev: ev, lsn: lsn})
 	e.ingestWait.observe(time.Since(t0))
 	e.metrics.ingested.Inc()
 	return nil
+}
+
+// ingestBatchDurable is IngestBatch's journaled path. The invariant it
+// must preserve is the same one ingestDurable's per-shard lock encodes:
+// within a shard, queue order equals LSN order. Batches touch several
+// shards, so the batch takes every touched shard's ingest lock in shard
+// index order (all batch ingests lock ascending and singles lock one, so
+// lock order is globally consistent — no deadlock) and holds them across
+// journal-append + enqueue. Concurrent appends from other shards land in
+// the same WAL group-commit window and share the fsync. Drop-policy
+// admission runs BEFORE the append (shed events must never be journaled,
+// or replay would resurrect them), truncating each shard group to its
+// queue's free space — safe because the consumer only grows it and every
+// producer for that shard is excluded by the ingest lock.
+func (e *Engine) ingestBatchDurable(events []mcelog.Event, sc *batchScratch) (accepted, dropped int, err error) {
+	for si := range sc.groups {
+		if len(sc.groups[si]) == 0 {
+			continue
+		}
+		e.shards[si].ingestMu.Lock()
+		defer e.shards[si].ingestMu.Unlock()
+	}
+	if e.cfg.Policy == IngestDrop {
+		for si, g := range sc.groups {
+			if len(g) == 0 {
+				continue
+			}
+			if free := e.shards[si].in.free(); len(g) > free {
+				sc.drops[si] = len(g) - free
+				dropped += sc.drops[si]
+				sc.groups[si] = g[:free]
+			}
+		}
+	}
+	// Encode admitted events in arrival order, so a batch's LSN assignment
+	// is exactly what the same events ingested one at a time would get.
+	// Session snapshots embed LSN watermarks and the crash gate compares
+	// them byte-for-byte across ingest shapes; arrival order also keeps
+	// the assignment independent of the shard count, which recovery is
+	// allowed to change. A shard's admitted events are the first
+	// len(groups[si]) of its arrivals (admission trims the tail), tracked
+	// by the pos cursor. Each queued entry temporarily holds its offset
+	// within the batch; the WAL's first LSN is added after the append.
+	total := 0
+	for _, ev := range events {
+		si := e.shardIndex(ev.Addr.BankKey())
+		if sc.pos[si] >= len(sc.groups[si]) {
+			continue // shed by admission
+		}
+		sc.groups[si][sc.pos[si]].lsn = uint64(total)
+		sc.pos[si]++
+		sc.enc = mcelog.AppendWireRecord(sc.enc, ev)
+		total++
+	}
+	if total > 0 {
+		first, aerr := e.wal.AppendBatch(sc.enc, eventRecordSize)
+		if aerr != nil {
+			// Nothing journaled, nothing queued: the caller must treat the
+			// whole batch as rejected (shed events are not counted either —
+			// their fate was never decided). Readiness flips as for singles.
+			e.walAppendErrs.Add(1)
+			e.lastAppendErr.Store(aerr.Error())
+			return 0, 0, fmt.Errorf("stream: journaling batch: %w", aerr)
+		}
+		if last, _ := e.lastAppendErr.Load().(string); last != "" {
+			e.lastAppendErr.Store("")
+		}
+		for si, g := range sc.groups {
+			if len(g) == 0 {
+				continue
+			}
+			for i := range g {
+				g[i].lsn += first
+			}
+			t0 := time.Now()
+			e.shards[si].in.pushBatch(g)
+			e.ingestWait.observe(time.Since(t0))
+			accepted += len(g)
+		}
+		e.metrics.ingested.Add(uint64(accepted))
+	}
+	for si, n := range sc.drops {
+		if n > 0 {
+			e.shards[si].dropped.Add(uint64(n))
+		}
+	}
+	return accepted, dropped, nil
 }
 
 // ---- snapshot payload ------------------------------------------------------
@@ -519,6 +603,7 @@ func (e *Engine) recoverDurable() error {
 		SegmentBytes: dcfg.SegmentBytes,
 		Sync:         dcfg.Sync,
 		SyncInterval: dcfg.SyncInterval,
+		GroupCommit:  !dcfg.NoGroupCommit,
 		Metrics:      e.cfg.Metrics,
 	})
 	if err != nil {

@@ -112,7 +112,7 @@ func (e *Engine) registerMetrics() {
 		s.process.attach(m.processDur)
 		reg.GaugeFunc("cordial_shard_queue_depth",
 			"Current shard input queue occupancy.",
-			func() float64 { return float64(len(s.in)) }, shard)
+			func() float64 { return float64(s.in.length()) }, shard)
 		reg.GaugeFunc("cordial_shard_feature_state_bytes",
 			"Per-shard breakdown of cordial_feature_state_bytes.",
 			func() float64 {

@@ -260,6 +260,86 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryEquivalenceBatched runs the durability gate over the
+// batched ingest path under the production defaults: IngestBatch journals
+// whole batches through one WAL AppendBatch under SyncAlways with group
+// commit. A crashed batched run must recover to byte-identical state and
+// the same action set as an uninterrupted single-event run — batching and
+// commit coalescing may change fsync counts, never recovered bytes.
+func TestCrashRecoveryEquivalenceBatched(t *testing.T) {
+	r := xrand.New(31)
+	const banks, n = 10, 400
+	evs := make([]mcelog.Event, 0, n)
+	for i := 0; i < n; i++ {
+		ev := uerAt(testBank(r.Intn(banks)), 1+r.Intn(8), i)
+		if r.Intn(4) == 0 {
+			ev.Class = ecc.ClassCE
+		}
+		evs = append(evs, ev)
+	}
+	strategy := &fakeStrategy{budget: 3}
+	refPayload, wantActions := refRun(t, strategy, evs, 4)
+	wantBody := refPayload[snapBodyOffset:]
+
+	// ingestBatches feeds events in random-size batches; every event must
+	// be accepted (block policy, healthy WAL).
+	ingestBatches := func(t *testing.T, e *Engine, evs []mcelog.Event) {
+		t.Helper()
+		for i := 0; i < len(evs); {
+			sz := 1 + r.Intn(32)
+			if i+sz > len(evs) {
+				sz = len(evs) - i
+			}
+			accepted, dropped, err := e.IngestBatch(evs[i : i+sz])
+			if err != nil || accepted != sz || dropped != 0 {
+				t.Fatalf("IngestBatch(%d..%d) = (%d, %d, %v)", i, i+sz, accepted, dropped, err)
+			}
+			i += sz
+		}
+	}
+
+	for trial := 0; trial < 4; trial++ {
+		kill := r.Intn(n + 1)
+		t.Run(fmt.Sprintf("kill=%d", kill), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := durCfg(dir, 3, strategy)
+			cfg.Durability.Sync = wal.SyncAlways // group commit is the default
+			e1, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingestBatches(t, e1, evs[:kill])
+			if err := e1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			a1 := drainActions(e1)
+
+			e2, err := New(durCfg(dir, 5, strategy))
+			if err != nil {
+				t.Fatalf("recovery failed (kill=%d): %v", kill, err)
+			}
+			if got := e2.Stats().RecoveredEvents; got != uint64(kill) {
+				t.Errorf("RecoveredEvents = %d, want %d", got, kill)
+			}
+			ingestBatches(t, e2, evs[kill:])
+			if err := e2.Drain(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			payload, _, err := e2.encodeSnapshot(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(payload[snapBodyOffset:], wantBody) {
+				t.Errorf("kill=%d: batched recovered state diverged from uninterrupted run", kill)
+			}
+			if err := e2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			assertSameActionSet(t, actionKeys(append(a1, drainActions(e2)...)), wantActions)
+		})
+	}
+}
+
 // TestCrashRecoveryEquivalenceTrained runs the same gate over the real
 // Cordial pipeline: the byte-compared session images embed the full
 // incremental feature state, so equality here pins the recovered pattern and

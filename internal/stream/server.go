@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -21,7 +22,10 @@ import (
 type ServerConfig struct {
 	// MaxBodyBytes caps one POST /v1/events body. Default 32 MiB.
 	MaxBodyBytes int64
-	// MaxLineBytes caps one JSONL line. Default 1 MiB.
+	// MaxLineBytes caps one JSONL line. Defaults to MaxBodyBytes: a line
+	// the body cap admits must not be refused by the line scanner, or a
+	// legal batch aborts mid-body (the whole batch used to sink when one
+	// line crossed an unrelated 1 MiB scanner default).
 	MaxLineBytes int
 	// MaxStoredActions caps the in-memory action store served by
 	// GET /v1/actions; the oldest actions are evicted past it. Default 4096.
@@ -37,7 +41,7 @@ func (c ServerConfig) withDefaults() ServerConfig {
 		c.MaxBodyBytes = 32 << 20
 	}
 	if c.MaxLineBytes == 0 {
-		c.MaxLineBytes = 1 << 20
+		c.MaxLineBytes = int(c.MaxBodyBytes)
 	}
 	if c.MaxStoredActions == 0 {
 		c.MaxStoredActions = 4096
@@ -56,9 +60,11 @@ type Server struct {
 	cfg    ServerConfig
 	mux    *http.ServeMux
 
-	requests *obs.Counter
-	notOwned *obs.Counter
-	decode   latencySampler
+	requests  *obs.Counter
+	notOwned  *obs.Counter
+	decode    latencySampler
+	binDecode latencySampler
+	binPool   sync.Pool // *binScratch: frame decoder + event slice reuse
 
 	// ownership is nil while the node serves standalone (it owns every
 	// bank). In a cluster the node agent installs the current ring view
@@ -90,6 +96,9 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 		"Ingest batches refused because a bank is outside this node's ring ownership.")
 	s.decode.attach(reg.Histogram("cordial_http_decode_seconds",
 		"Per-line JSONL event decode time on POST /v1/events.", nil))
+	s.binDecode.attach(reg.Histogram("cordial_http_bin_decode_seconds",
+		"Per-frame binary decode time on POST /v1/events.bin.", nil))
+	s.binPool.New = func() any { return &binScratch{dec: mcelog.NewFrameDecoder(nil)} }
 	reg.GaugeFunc("cordial_actions_stored",
 		"Actions currently held in the bounded GET /v1/actions store.",
 		func() float64 {
@@ -98,6 +107,7 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 			return float64(len(s.stored))
 		})
 	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/events.bin", s.handleEventsBin)
 	s.mux.HandleFunc("GET /v1/actions", s.handleActions)
 	s.mux.HandleFunc("GET /v1/banks/{addr}", s.handleBank)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -251,6 +261,110 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, res)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// binScratch is the per-request reusable state of the binary ingest path:
+// the frame decoder (which owns the payload read buffer) and the decoded
+// event slice handed to IngestBatch. Pooled so a steady stream of binary
+// batches decodes without per-request allocation.
+type binScratch struct {
+	dec    *mcelog.FrameDecoder
+	events []mcelog.Event
+}
+
+// handleEventsBin ingests a length-prefixed CRC-framed binary batch (the
+// mcelog wire codec: "CBF1" magic, then u32 length | u32 crc32c | N×17-byte
+// records per frame). It mirrors handleEvents' response contract — same
+// IngestResult shape, same consumed-prefix rule on 503 — but moves whole
+// frames through Engine.IngestBatch, so a frame costs one shard lock round
+// and (when durable) one WAL batch append instead of per-event synchronisation.
+//
+// Error semantics differ from JSONL in one deliberate way: a framing error
+// (bad CRC, truncated or oversized frame) is a 400, not a per-record
+// rejection. A corrupt frame leaves no way to find the next frame boundary,
+// so the rest of the body is undecodable; counts in the response cover the
+// frames consumed before the corruption.
+func (s *Server) handleEventsBin(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	bs := s.binPool.Get().(*binScratch)
+	defer func() {
+		bs.dec.Reset(nil)
+		bs.events = bs.events[:0]
+		s.binPool.Put(bs)
+	}()
+	bs.dec.Reset(body)
+
+	var res IngestResult
+	geo := s.engine.Config().Geometry
+	own := s.ownership.Load()
+	if own != nil {
+		res.Epoch = own.epoch
+	}
+	frameNo := 0
+	for {
+		t0 := time.Now()
+		fr, err := bs.dec.Next()
+		s.binDecode.observe(time.Since(t0))
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			res.Truncated = true
+			if len(res.Errors) < s.cfg.MaxBatchErrors {
+				res.Errors = append(res.Errors, fmt.Sprintf("after frame %d: %v", frameNo, err))
+			}
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSON(w, http.StatusRequestEntityTooLarge, res)
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, res)
+			return
+		}
+		frameNo++
+
+		// Validate and ownership-scan the frame, collecting the ingestable
+		// prefix. A record for a bank this node does not own stops the scan:
+		// everything before it is ingested below, then the 503 tells the
+		// router to resend from index Accepted+Rejected+Dropped.
+		bs.events = bs.events[:0]
+		notOwned := false
+		for i, n := 0, fr.Len(); i < n; i++ {
+			ev := fr.Event(i)
+			if err := ev.Validate(geo); err != nil {
+				res.Rejected++
+				if len(res.Errors) < s.cfg.MaxBatchErrors {
+					res.Errors = append(res.Errors, fmt.Sprintf("frame %d record %d: %v", frameNo, i, err))
+				}
+				continue
+			}
+			if own != nil && own.owns != nil && !own.owns(ev.Addr.BankKey()) {
+				notOwned = true
+				break
+			}
+			bs.events = append(bs.events, ev)
+		}
+		accepted, dropped, err := s.engine.IngestBatch(bs.events)
+		res.Accepted += accepted
+		res.Dropped += dropped
+		if err != nil {
+			// Engine closed or journaling failed: nothing from this frame
+			// landed; report what previous frames ingested.
+			res.Truncated = true
+			if len(res.Errors) < s.cfg.MaxBatchErrors {
+				res.Errors = append(res.Errors, fmt.Sprintf("frame %d: %v", frameNo, err))
+			}
+			writeJSON(w, http.StatusServiceUnavailable, res)
+			return
+		}
+		if notOwned {
+			res.NotOwned = 1
+			s.notOwned.Inc()
+			writeJSON(w, http.StatusServiceUnavailable, res)
 			return
 		}
 	}

@@ -225,20 +225,54 @@ func TestServerBankErrors(t *testing.T) {
 	}
 }
 
-// TestServerOversizedLine hits the line cap: the batch truncates but the
-// prefix survives and the connection-level failure is reported.
-func TestServerOversizedLine(t *testing.T) {
+// TestServerLongLineWithinBody: a line longer than the old 1 MiB scanner
+// default but within the body cap must be handled per-line, not abort the
+// batch. (Regression: the scanner buffer used to be capped at 1 MiB even
+// with a 32 MiB body limit, so one long line sank the whole batch.)
+func TestServerLongLineWithinBody(t *testing.T) {
 	engine, srv := newTestServer(t, Config{Shards: 1})
 	var buf bytes.Buffer
 	if err := mcelog.FromEvents([]mcelog.Event{uerAt(testBank(1), 1, 0)}).WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
+	// A valid event line padded past 2 MiB (JSON tolerates surrounding
+	// whitespace) — must be accepted, not refused for its length.
+	var padded bytes.Buffer
+	if err := mcelog.FromEvents([]mcelog.Event{uerAt(testBank(1), 2, 1)}).WriteJSONL(&padded); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(strings.Repeat(" ", 2<<20))
+	buf.Write(padded.Bytes())
+	// And a 2 MiB junk line — rejected as one line, batch continues.
 	buf.WriteString(strings.Repeat("x", 2<<20) + "\n")
+	if err := mcelog.FromEvents([]mcelog.Event{uerAt(testBank(1), 3, 2)}).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
 	res := post(t, srv, &buf)
-	if res.Accepted != 1 || !res.Truncated {
-		t.Fatalf("ingest result %+v", res)
+	if res.Accepted != 3 || res.Rejected != 1 || res.Truncated {
+		t.Fatalf("ingest result %+v, want 3 accepted / 1 rejected / not truncated", res)
 	}
 	if err := engine.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerExplicitLineCap: an explicitly configured MaxLineBytes still
+// truncates the batch at an oversized line, preserving the prefix.
+func TestServerExplicitLineCap(t *testing.T) {
+	e := newTestEngine(t, Config{Shards: 1})
+	t.Cleanup(func() { e.Close() })
+	srv := NewServer(e, ServerConfig{MaxLineBytes: 1 << 16})
+	var buf bytes.Buffer
+	if err := mcelog.FromEvents([]mcelog.Event{uerAt(testBank(1), 1, 0)}).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(strings.Repeat("x", 2<<16) + "\n")
+	res := post(t, srv, &buf)
+	if res.Accepted != 1 || !res.Truncated {
+		t.Fatalf("ingest result %+v, want 1 accepted and truncated", res)
+	}
+	if err := e.Drain(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,346 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"cordial/internal/obs"
+)
+
+// batchRecords builds n fixed-size records with recognisable contents.
+func batchRecords(n, size int) []byte {
+	out := make([]byte, 0, n*size)
+	for i := 0; i < n; i++ {
+		rec := bytes.Repeat([]byte{byte(i)}, size)
+		binary.LittleEndian.PutUint32(rec[:4], uint32(i))
+		out = append(out, rec...)
+	}
+	return out
+}
+
+// TestAppendBatch: a batch lands under consecutive LSNs, replays in
+// order, and interleaves correctly with single appends.
+func TestAppendBatch(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	if _, err := w.Append([]byte("single-1")); err != nil {
+		t.Fatal(err)
+	}
+	const n, size = 100, 17
+	first, err := w.AppendBatch(batchRecords(n, size), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 2 {
+		t.Fatalf("batch first LSN = %d, want 2", first)
+	}
+	if _, err := w.Append([]byte("single-2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Appended(); got != n+2 {
+		t.Fatalf("Appended() = %d, want %d", got, n+2)
+	}
+
+	var lsns []uint64
+	var payloads [][]byte
+	if err := w.Replay(func(lsn uint64, p []byte) error {
+		lsns = append(lsns, lsn)
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != n+2 {
+		t.Fatalf("replayed %d records, want %d", len(lsns), n+2)
+	}
+	for i, lsn := range lsns {
+		if lsn != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d, want %d (batch LSNs must be consecutive)", i, lsn, i+1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := payloads[i+1]
+		if len(p) != size || binary.LittleEndian.Uint32(p[:4]) != uint32(i) {
+			t.Fatalf("batch record %d replayed wrong: %x", i, p)
+		}
+	}
+}
+
+// TestAppendBatchValidation: shape errors are rejected before staging.
+func TestAppendBatchValidation(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.AppendBatch(make([]byte, 35), 17); err == nil {
+		t.Error("ragged batch accepted")
+	}
+	if _, err := w.AppendBatch(make([]byte, 17), 0); err == nil {
+		t.Error("zero record size accepted")
+	}
+	if first, err := w.AppendBatch(nil, 17); err != nil || first != 0 {
+		t.Errorf("empty batch: got (%d, %v), want (0, nil)", first, err)
+	}
+	if next := w.NextLSN(); next != firstRecLSN {
+		t.Errorf("rejected batches advanced NextLSN to %d", next)
+	}
+}
+
+// TestAppendBatchRotation: a batch larger than one segment spans the
+// rotation and every record survives.
+func TestAppendBatchRotation(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{Sync: SyncNever, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const n, size = 200, 17
+	for i := 0; i < 5; i++ {
+		if _, err := w.AppendBatch(batchRecords(n, size), size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Segments() < 2 {
+		t.Fatalf("expected rotation, still %d segment(s)", w.Segments())
+	}
+	count := 0
+	if err := w.Replay(func(lsn uint64, p []byte) error {
+		if lsn != uint64(count+1) {
+			return fmt.Errorf("LSN %d at position %d", lsn, count)
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5*n {
+		t.Fatalf("replayed %d records, want %d", count, 5*n)
+	}
+}
+
+// TestAppendBatchSingleFsync pins the amortisation: one batch under
+// SyncAlways costs exactly one fsync, not one per record.
+func TestAppendBatchSingleFsync(t *testing.T) {
+	reg := obs.NewRegistry()
+	w, err := Open(t.TempDir(), Options{Sync: SyncAlways, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const n, size = 300, 17
+	if _, err := w.AppendBatch(batchRecords(n, size), size); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, fmt.Sprintf("cordial_wal_appends_total %d\n", n)) {
+		t.Errorf("appends_total should count records:\n%s", out)
+	}
+	if !strings.Contains(out, "cordial_wal_fsyncs_total 1\n") {
+		t.Errorf("a %d-record batch should cost exactly 1 fsync:\n%s", n, out)
+	}
+}
+
+// TestGroupCommitConcurrent: concurrent appenders under group commit all
+// get distinct LSNs, every acked record replays, and the journal is
+// byte-valid after a reopen (the crash path).
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{Sync: SyncAlways, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 8, 50
+	lsns := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				payload := fmt.Appendf(nil, "w%d-%d", g, i)
+				lsn, err := w.Append(payload)
+				if err != nil {
+					t.Errorf("worker %d append %d: %v", g, i, err)
+					return
+				}
+				lsns[g] = append(lsns[g], lsn)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	seen := map[uint64]bool{}
+	for g := range lsns {
+		for i, lsn := range lsns[g] {
+			if seen[lsn] {
+				t.Fatalf("LSN %d assigned twice", lsn)
+			}
+			seen[lsn] = true
+			if i > 0 && lsn <= lsns[g][i-1] {
+				t.Fatalf("worker %d: LSN %d after %d — per-appender order broken", g, lsn, lsns[g][i-1])
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen as recovery would and check every acked record is present.
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got := map[uint64]string{}
+	if err := w2.Replay(func(lsn uint64, p []byte) error {
+		got[lsn] = string(p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != workers*perWorker {
+		t.Fatalf("recovered %d records, want %d", len(got), workers*perWorker)
+	}
+	for g := range lsns {
+		for i, lsn := range lsns[g] {
+			want := fmt.Sprintf("w%d-%d", g, i)
+			if got[lsn] != want {
+				t.Fatalf("LSN %d holds %q, want %q", lsn, got[lsn], want)
+			}
+		}
+	}
+}
+
+// TestGroupCommitCoalesces: under contention the window protocol must
+// produce fewer fsyncs than appends — the whole point of group commit.
+func TestGroupCommitCoalesces(t *testing.T) {
+	reg := obs.NewRegistry()
+	w, err := Open(t.TempDir(), Options{Sync: SyncAlways, GroupCommit: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := w.Append([]byte("rec")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	appends, fsyncs := -1, -1
+	for _, line := range strings.Split(b.String(), "\n") {
+		if _, err := fmt.Sscanf(line, "cordial_wal_appends_total %d", &appends); err == nil {
+			continue
+		}
+		_, _ = fmt.Sscanf(line, "cordial_wal_fsyncs_total %d", &fsyncs)
+	}
+	if appends != workers*perWorker {
+		t.Fatalf("appends_total = %d, want %d", appends, workers*perWorker)
+	}
+	if fsyncs < 1 || fsyncs > appends {
+		t.Fatalf("fsyncs_total = %d outside (0, %d]", fsyncs, appends)
+	}
+	t.Logf("group commit: %d appends over %d fsyncs (%.1fx coalescing)",
+		appends, fsyncs, float64(appends)/float64(fsyncs))
+}
+
+// TestGroupCommitFsyncFailure: a failed window fsync fails every append
+// that joined the window — no record is acked whose covering fsync did
+// not complete.
+func TestGroupCommitFsyncFailure(t *testing.T) {
+	ffs := NewFaultFS(OSFS)
+	w, err := Open(t.TempDir(), Options{FS: ffs, Sync: SyncAlways, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailSyncAfter(0)
+	const workers = 4
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[g] = w.Append([]byte("doomed"))
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err == nil {
+			t.Errorf("worker %d: append acked despite failed covering fsync", g)
+		}
+	}
+	ffs.FailSyncAfter(-1)
+	if _, err := w.Append([]byte("recovered")); err != nil {
+		t.Fatalf("append after fsync recovery: %v", err)
+	}
+}
+
+// BenchmarkAppendBatch measures batch append cost per record; sync=always
+// shows the fsync amortisation a 1024-record batch buys (one fsync per
+// batch instead of one per record).
+func BenchmarkAppendBatch(b *testing.B) {
+	for _, pol := range []struct {
+		name string
+		sync SyncPolicy
+	}{{"never", SyncNever}, {"always", SyncAlways}} {
+		b.Run("sync="+pol.name, func(b *testing.B) {
+			w, err := Open(b.TempDir(), Options{Sync: pol.sync, GroupCommit: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			const n, size = 1024, 17
+			recs := batchRecords(n, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.AppendBatch(recs, size); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "records/sec")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n*b.N), "ns/record")
+		})
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -118,6 +119,14 @@ type Options struct {
 	// SyncInterval is the flush interval under SyncInterval (default
 	// 100ms).
 	SyncInterval time.Duration
+	// GroupCommit, under SyncAlways, lets concurrent appenders share one
+	// fsync: the first appender to commit becomes the window leader,
+	// briefly yields so racing appenders can stage their records, then
+	// performs one buffered write and one fsync covering the whole
+	// window. Every ack is still released only after the fsync that
+	// covers it — append-before-ack is unchanged, only the fsync count
+	// drops. Ignored under the other policies (which already batch).
+	GroupCommit bool
 	// Metrics, when non-nil, receives the journal's instruments
 	// (cordial_wal_*): append/fsync counts, error counts and duration
 	// histograms, plus live-segment and next-LSN gauges. The registry
@@ -183,13 +192,23 @@ type WAL struct {
 	metrics walMetrics
 
 	mu       sync.Mutex
-	f        File  // current segment
-	size     int64 // current segment size
+	f        File   // current segment
+	size     int64  // current segment size, staged bytes included
+	buf      []byte // staged frames not yet written to f
+	window   *commitWindow
 	nextLSN  uint64
 	segments []uint64 // first LSN of each live segment, ascending
 	lastSync time.Time
 	appended uint64
 	closed   bool
+}
+
+// commitWindow is one group-commit round: the leader flushes and fsyncs
+// every record staged while it was open, then publishes the shared
+// verdict by closing done.
+type commitWindow struct {
+	done chan struct{}
+	err  error
 }
 
 // segName returns the filename for a segment starting at lsn.
@@ -398,39 +417,182 @@ func (w *WAL) append(payload []byte) (uint64, error) {
 	if w.closed {
 		return 0, fmt.Errorf("wal: append to closed journal")
 	}
+	lsn, err := w.stageLocked(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.commitLocked(); err != nil {
+		// Outside a group-commit window no one else staged after us, so
+		// the LSN can be reused; inside one, racing appenders may already
+		// hold later LSNs and the failed window leaves a gap instead.
+		if w.nextLSN == lsn+1 {
+			w.nextLSN = lsn
+		}
+		return 0, err
+	}
+	w.appended++
+	return lsn, nil
+}
+
+// AppendBatch journals a contiguous run of fixed-size records (the batch
+// ingest path: one frame's worth of decoded events) under consecutive
+// LSNs: record i of n gets first+i. The whole batch is staged, written
+// with one buffered write, and — policy permitting — made durable by one
+// fsync before AppendBatch returns, so acknowledging the batch after a
+// nil return preserves append-before-ack for every record in it. An
+// error means none of the batch's records may be considered durable.
+func (w *WAL) AppendBatch(records []byte, recordSize int) (first uint64, err error) {
+	if recordSize <= 0 || recordSize > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: invalid batch record size %d", recordSize)
+	}
+	if len(records)%recordSize != 0 {
+		return 0, fmt.Errorf("wal: batch of %d bytes is not a whole number of %d-byte records", len(records), recordSize)
+	}
+	n := len(records) / recordSize
+	if n == 0 {
+		return 0, nil
+	}
+	t0 := time.Now()
+	first, err = w.appendBatch(records, recordSize, n)
+	w.metrics.appendDur.ObserveSince(t0)
+	if err != nil {
+		w.metrics.appendErrors.Add(uint64(n))
+	} else {
+		w.metrics.appends.Add(uint64(n))
+	}
+	return first, err
+}
+
+func (w *WAL) appendBatch(records []byte, recordSize, n int) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: append to closed journal")
+	}
+	first := w.nextLSN
+	for i := 0; i < n; i++ {
+		if _, err := w.stageLocked(records[i*recordSize : (i+1)*recordSize]); err != nil {
+			w.nextLSN = first
+			return 0, err
+		}
+	}
+	if err := w.commitLocked(); err != nil {
+		if w.nextLSN == first+uint64(n) {
+			w.nextLSN = first
+		}
+		return 0, err
+	}
+	w.appended += uint64(n)
+	return first, nil
+}
+
+// stageLocked frames payload under the next LSN into the staging buffer,
+// rotating segments first if the current one is full. Staged frames are
+// invisible to readers until flushLocked writes them; every exit path
+// that reads or seals the file flushes first. Callers hold w.mu.
+func (w *WAL) stageLocked(payload []byte) (uint64, error) {
 	if w.size >= w.opts.SegmentBytes && w.size > segHdrSize {
 		if err := w.rotateLocked(); err != nil {
 			return 0, err
 		}
 	}
 	lsn := w.nextLSN
-	frame := make([]byte, recHdrSize+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint64(frame[8:16], lsn)
-	copy(frame[recHdrSize:], payload)
-	sum := crc32.Update(0, crcTable, frame[8:16])
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(payload)))
+	crcOff := len(w.buf)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, 0) // CRC patched below
+	lsnOff := len(w.buf)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, lsn)
+	w.buf = append(w.buf, payload...)
+	sum := crc32.Update(0, crcTable, w.buf[lsnOff:lsnOff+8])
 	sum = crc32.Update(sum, crcTable, payload)
-	binary.LittleEndian.PutUint32(frame[4:8], sum)
-	if _, err := w.f.Write(frame); err != nil {
-		return 0, fmt.Errorf("wal: appending record: %w", err)
+	binary.LittleEndian.PutUint32(w.buf[crcOff:], sum)
+	w.size += int64(recHdrSize + len(payload))
+	w.nextLSN = lsn + 1
+	return lsn, nil
+}
+
+// flushLocked writes every staged frame to the current segment in one
+// write. On a write error the unwritten remainder is dropped — their
+// appenders are told the append failed, and any torn bytes are truncated
+// by the next Open. Callers hold w.mu.
+func (w *WAL) flushLocked() error {
+	if len(w.buf) == 0 {
+		return nil
 	}
-	w.size += int64(len(frame))
+	n, err := w.f.Write(w.buf)
+	if err != nil {
+		w.size -= int64(len(w.buf) - n)
+		w.buf = w.buf[:0]
+		return fmt.Errorf("wal: appending records: %w", err)
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// commitLocked makes the staged frames durable per the sync policy.
+// Callers hold w.mu; under group commit the lock is briefly released to
+// gather a window (see commitWindowLocked) and re-held on return.
+func (w *WAL) commitLocked() error {
 	switch w.opts.Sync {
 	case SyncAlways:
-		if err := w.syncTimed(); err != nil {
-			return 0, fmt.Errorf("wal: syncing record: %w", err)
+		if w.opts.GroupCommit {
+			return w.commitWindowLocked()
 		}
+		if err := w.flushLocked(); err != nil {
+			return err
+		}
+		if err := w.syncTimed(); err != nil {
+			return fmt.Errorf("wal: syncing record: %w", err)
+		}
+		return nil
 	case SyncInterval:
+		if err := w.flushLocked(); err != nil {
+			return err
+		}
 		if time.Since(w.lastSync) >= w.opts.SyncInterval {
 			if err := w.syncTimed(); err != nil {
-				return 0, fmt.Errorf("wal: syncing record: %w", err)
+				return fmt.Errorf("wal: syncing record: %w", err)
 			}
 			w.lastSync = time.Now()
 		}
+		return nil
+	default: // SyncNever: write through, let the OS flush
+		return w.flushLocked()
 	}
-	w.nextLSN = lsn + 1
-	w.appended++
-	return lsn, nil
+}
+
+// commitWindowLocked is the SyncAlways group-commit protocol. The first
+// committer becomes the window leader: it opens a window, yields the
+// lock so concurrently arriving appenders can stage their records, then
+// flushes and fsyncs everything staged and publishes the verdict.
+// Later committers that find a window open are followers — their records
+// were staged under the lock while the window was open, so the leader's
+// flush and fsync necessarily cover them; they block until the window
+// resolves and return its verdict. Either way, a nil return means the
+// caller's records are on stable storage. Callers hold w.mu, which is
+// released while waiting and re-held on return.
+func (w *WAL) commitWindowLocked() error {
+	if win := w.window; win != nil {
+		w.mu.Unlock()
+		<-win.done
+		w.mu.Lock()
+		return win.err
+	}
+	win := &commitWindow{done: make(chan struct{})}
+	w.window = win
+	w.mu.Unlock()
+	runtime.Gosched() // give racing appenders a beat to join the window
+	w.mu.Lock()
+	w.window = nil
+	err := w.flushLocked()
+	if err == nil {
+		if serr := w.syncTimed(); serr != nil {
+			err = fmt.Errorf("wal: syncing record: %w", serr)
+		}
+	}
+	win.err = err
+	close(win.done)
+	return err
 }
 
 // syncTimed fsyncs the current segment under the journal's fsync
@@ -446,8 +608,12 @@ func (w *WAL) syncTimed() error {
 	return err
 }
 
-// rotateLocked seals the current segment and opens the next.
+// rotateLocked seals the current segment (staged frames flushed first —
+// they carry LSNs below the new segment's first) and opens the next.
 func (w *WAL) rotateLocked() error {
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
 	if err := w.syncTimed(); err != nil {
 		return fmt.Errorf("wal: syncing sealed segment: %w", err)
 	}
@@ -457,12 +623,16 @@ func (w *WAL) rotateLocked() error {
 	return w.openSegment(w.nextLSN)
 }
 
-// Sync flushes the current segment to stable storage.
+// Sync flushes the current segment (staged frames included) to stable
+// storage.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed || w.f == nil {
 		return nil
+	}
+	if err := w.flushLocked(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
 	}
 	if err := w.syncTimed(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
@@ -498,6 +668,15 @@ func (w *WAL) Segments() int {
 // only valid for the duration of the call.
 func (w *WAL) Replay(fn func(lsn uint64, payload []byte) error) error {
 	w.mu.Lock()
+	// Replay reads the segment files, so records still sitting in the
+	// staging buffer must be written out first or the tail would be
+	// invisible (ExportRange — live cluster handoff — rides on this too).
+	if w.f != nil && !w.closed {
+		if err := w.flushLocked(); err != nil {
+			w.mu.Unlock()
+			return err
+		}
+	}
 	segs := append([]uint64(nil), w.segments...)
 	valid := w.nextLSN
 	w.mu.Unlock()
@@ -578,6 +757,10 @@ func (w *WAL) Close() error {
 	w.closed = true
 	if w.f == nil {
 		return nil
+	}
+	if err := w.flushLocked(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("wal: final flush: %w", err)
 	}
 	if err := w.syncTimed(); err != nil {
 		w.f.Close()

@@ -11,6 +11,12 @@
 # flatness of ns/event between the 1k and 10k histories is the O(1)
 # per-event claim of the incremental feature state.
 #
+# A third pass records the binary ingest path in BENCH_ingest.json:
+# BenchmarkWireFrameDecode is the headline steady-state decode number
+# (events/sec, ns/event, and — via -benchmem — allocs/op, which must be 0),
+# BenchmarkAppendBatch isolates WAL group-commit throughput per sync
+# policy, and BenchmarkBinaryIngest is the end-to-end decode→ingest path.
+#
 # Usage: scripts/bench.sh [benchtime]   (default 20x)
 set -eu
 
@@ -98,3 +104,63 @@ END {
 }' "$tmp" > BENCH_stream.json
 
 echo "wrote BENCH_stream.json"
+
+go test -run '^$' \
+    -bench 'BenchmarkWireFrameDecode$' \
+    -benchtime "$benchtime" -benchmem ./internal/mcelog/ | tee "$tmp"
+go test -run '^$' \
+    -bench 'BenchmarkAppendBatch$' \
+    -benchtime "$benchtime" -benchmem ./internal/wal/ | tee -a "$tmp"
+go test -run '^$' \
+    -bench 'BenchmarkBinaryIngest$' \
+    -benchtime "$benchtime" -benchmem . | tee -a "$tmp"
+
+# -benchmem shifts the column layout, so the metrics are parsed by their
+# unit tags rather than by position. Every benchmark keeps whatever subset
+# of the known units it reports.
+awk \
+    -v go_version="$(go version | awk '{print $3}')" \
+    -v maxprocs="$(go env GOMAXPROCS 2>/dev/null || echo 0)" \
+    -v nproc="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" \
+    -v benchtime="$benchtime" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^pkg:/ { pkg = $2 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    key = pkg "." name
+    order[++n] = key
+    for (f = 2; f < NF; f++) {
+        u = $(f + 1)
+        if (u ~ /^(ns\/op|events\/sec|ns\/event|records\/sec|ns\/record|B\/op|allocs\/op)$/)
+            m[key "|" u] = $f
+    }
+}
+END {
+    nu = split("ns/op events/sec ns/event records/sec ns/record B/op allocs/op", units, " ")
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cores\": %d,\n", nproc
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++) {
+        key = order[i]
+        printf "    \"%s\": {", key
+        first = 1
+        for (j = 1; j <= nu; j++) {
+            u = units[j]
+            if ((key "|" u) in m) {
+                printf "%s\"%s\": %s", (first ? "" : ", "), u, m[key "|" u]
+                first = 0
+            }
+        }
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+}' "$tmp" > BENCH_ingest.json
+
+echo "wrote BENCH_ingest.json"

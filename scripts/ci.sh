@@ -76,8 +76,20 @@ echo "==> fuzz smoke (consistent-hash ring placement, 5s)"
 # and membership changes move at most ≈1/N of keys.
 go test -run '^$' -fuzz 'FuzzRingPlacement' -fuzztime 5s ./internal/cluster/
 
+echo "==> fuzz smoke (binary wire-frame decoder, 5s)"
+# The frame decoder sits on the network edge: arbitrary bytes must come
+# back as decoded records, a framing error, or clean EOF — never a panic,
+# an over-read, or a record that a re-encode wouldn't reproduce.
+go test -run '^$' -fuzz 'FuzzBinaryFrameDecode' -fuzztime 5s ./internal/mcelog/
+
 echo "==> bench smoke (1 iteration)"
 go test -run '^$' -bench . -benchtime 1x ./...
+
+echo "==> binary ingest perf gate (steady-state decode allocates nothing)"
+# The zero-allocation claim for the hot decode loop is pinned by an
+# AllocsPerRun test, not just a benchmark — run it by name so a regression
+# fails CI with a direct message rather than a drifting BENCH number.
+go test -run 'TestWireDecodeZeroAllocs' -count 1 ./internal/mcelog/
 
 echo "==> daemon smoke (/readyz + /metrics over a live cordial-serve)"
 # Boots the daemon, waits for readiness, ingests a small batch, and asserts
@@ -157,6 +169,16 @@ grep -q '^cordial_ingest_accepted_total 3$' "$smokedir/metrics.txt" \
     || { echo "metrics missing ingest counter:" >&2; cat "$smokedir/metrics.txt" >&2; exit 1; }
 grep -q '^# TYPE cordial_process_seconds histogram$' "$smokedir/metrics.txt" \
     || { echo "metrics missing process histogram" >&2; exit 1; }
+# Binary ingest smoke: the same daemon accepts the CRC-framed wire format
+# on /v1/events.bin (cordial-gen -format wire emits a valid request body).
+go run ./cmd/cordial-gen -seed 5 -uer-banks 4 -benign-banks 4 \
+    -log "$smokedir/fleet.wire" -format wire -truth "" >"$smokedir/gen.out"
+nwire=$(sed -n 's/^generated \([0-9]*\) events.*/\1/p' "$smokedir/gen.out")
+[ -n "$nwire" ] || { echo "cordial-gen reported no event count" >&2; exit 1; }
+curl -fsS -X POST -H 'Content-Type: application/octet-stream' \
+    --data-binary @"$smokedir/fleet.wire" "http://$addr/v1/events.bin" \
+    | grep -q "\"accepted\": $nwire" \
+    || { echo "binary ingest smoke failed" >&2; exit 1; }
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
@@ -224,5 +246,14 @@ grep -q "\"accepted\":$lines" "$smokedir/ingest2.json" \
     || { echo "post-failover ingest incomplete:" >&2; cat "$smokedir/ingest2.json" >&2; exit 1; }
 curl -fsS "http://$router_addr/statsz" | grep -q '"n1"' \
     || { echo "router statsz missing survivor" >&2; exit 1; }
+# Binary end-to-end: the same fleet as CRC-framed wire frames through the
+# router's /v1/events.bin, forwarded upstream over the binary codec.
+go run ./cmd/cordial-gen -seed 3 -uer-banks 20 -benign-banks 10 \
+    -log "$smokedir/fleet.wire" -format wire -truth ""
+curl -fsS -X POST -H 'Content-Type: application/octet-stream' \
+    --data-binary @"$smokedir/fleet.wire" \
+    "http://$router_addr/v1/events.bin" >"$smokedir/ingest3.json"
+grep -q "\"accepted\":$lines" "$smokedir/ingest3.json" \
+    || { echo "router binary ingest incomplete:" >&2; cat "$smokedir/ingest3.json" >&2; exit 1; }
 
 echo "==> ok"
