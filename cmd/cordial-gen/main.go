@@ -16,7 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"cordial/internal/faultsim"
 	"cordial/internal/hbm"
 	"cordial/internal/mcelog"
 	"cordial/internal/trace"
@@ -29,6 +32,35 @@ func main() {
 	}
 }
 
+// parseWeights turns "single=15,double=5,scattered=70" into a pattern
+// sampling distribution. Patterns left out get weight 0.
+func parseWeights(s string) (faultsim.PatternWeights, error) {
+	names := map[string]faultsim.Pattern{
+		"single":    faultsim.PatternSingleRow,
+		"double":    faultsim.PatternDoubleRow,
+		"half":      faultsim.PatternHalfTotalRow,
+		"scattered": faultsim.PatternScattered,
+		"wholecol":  faultsim.PatternWholeColumn,
+	}
+	w := make(faultsim.PatternWeights)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad weight %q (want name=value)", pair)
+		}
+		p, ok := names[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown pattern %q (want single, double, half, scattered or wholecol)", name)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad weight value %q for %s", val, name)
+		}
+		w[p] = f
+	}
+	return w, nil
+}
+
 func run() error {
 	var (
 		seed        = flag.Uint64("seed", 1, "deterministic generation seed")
@@ -37,6 +69,7 @@ func run() error {
 		logPath     = flag.String("log", "fleet.mcelog", "output error-log path")
 		format      = flag.String("format", "binary", "log format: binary, jsonl, stream or wire")
 		truthPath   = flag.String("truth", "truth.json", "output ground-truth path (empty to skip)")
+		weights     = flag.String("weights", "", "failure-pattern mix as name=weight pairs, e.g. single=15,double=5,scattered=70 (default: the paper's field distribution; use this to simulate a drifted regime)")
 	)
 	flag.Parse()
 
@@ -44,6 +77,13 @@ func run() error {
 	spec.Seed = *seed
 	spec.UERBanks = *uerBanks
 	spec.BenignBanks = *benignBanks
+	if *weights != "" {
+		w, err := parseWeights(*weights)
+		if err != nil {
+			return err
+		}
+		spec.Weights = w
+	}
 
 	fleet, err := trace.Generate(spec)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"cordial/internal/core"
 	"cordial/internal/ecc"
@@ -49,6 +50,10 @@ func run() error {
 	}
 	if err := pipe.LoadModels(modelsFile); err != nil {
 		return err
+	}
+	if meta := pipe.Meta(); meta != nil {
+		fmt.Fprintf(os.Stderr, "model: trainedAt=%s banks=%d events=%d trees=%d\n",
+			meta.TrainedAt.Format(time.RFC3339), meta.BankCount, meta.EventCount, meta.Params.Trees)
 	}
 
 	logFile, err := os.Open(*logPath)

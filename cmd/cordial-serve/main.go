@@ -34,6 +34,19 @@
 // consistent-hash ring assigns it, and takes part in session handoff when
 // membership changes. On graceful shutdown it first asks the control plane
 // to rebalance its banks away.
+//
+// Model lifecycle: with a registry directory (-registry-dir, defaulting to
+// <wal-dir>/models when durability is on) the daemon serves versioned model
+// artefacts. The first boot installs the -models/-selftrain pipeline as
+// version 1; later boots serve whatever version the registry marks active —
+// boot flags never silently downgrade a model that online retraining or an
+// operator promoted. SIGHUP re-reads the -models file, installs it as a new
+// version and swaps it in atomically (new banks bind it immediately;
+// existing banks keep the version they started under). With -retrain the
+// daemon also watches the live class mix for drift, refits from the
+// journal, shadow-scores the candidate and promotes it only if its
+// isolation coverage holds up; /v1/models exposes the state and manual
+// promote/rollback/retrain controls.
 package main
 
 import (
@@ -47,12 +60,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"cordial/internal/cluster"
 	"cordial/internal/core"
 	"cordial/internal/hbm"
+	"cordial/internal/lifecycle"
+	"cordial/internal/registry"
 	"cordial/internal/stream"
 	"cordial/internal/trace"
 	"cordial/internal/wal"
@@ -88,6 +104,10 @@ func run() error {
 		nodeID     = flag.String("node-id", "", "stable cluster identity (default: the resolved listen address)")
 		advertise  = flag.String("advertise", "", "address cluster peers reach this node at (default: the resolved listen address)")
 		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "cluster registration refresh interval")
+		regDir     = flag.String("registry-dir", "", "versioned model registry directory (default <wal-dir>/models when -wal-dir is set)")
+		retrain    = flag.Bool("retrain", false, "watch the live class mix for drift and retrain/shadow/promote online (requires -wal-dir)")
+		retrainInt = flag.Duration("retrain-interval", 30*time.Second, "drift-check cadence with -retrain")
+		driftP     = flag.Float64("drift-p", 0.01, "chi-square p-value below which the live class mix counts as drifted")
 	)
 	flag.Parse()
 
@@ -131,6 +151,14 @@ func run() error {
 	} else if *snapEvery > 0 {
 		return fmt.Errorf("-snapshot-interval requires -wal-dir")
 	}
+	if *regDir == "" && *walDir != "" {
+		*regDir = filepath.Join(*walDir, "models")
+	}
+	if *retrain {
+		if *walDir == "" {
+			return fmt.Errorf("-retrain requires -wal-dir (the trainer refits from the journal)")
+		}
+	}
 	cfg.DeadLetterPath = *deadLetter
 	cfg.Logger = logger
 
@@ -138,7 +166,36 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cfg.Strategy = &core.CordialStrategy{Pipeline: pipe, Geometry: hbm.DefaultGeometry}
+	logModelMeta(logger, "model loaded", pipe.Meta())
+
+	// With a registry the engine resolves models by version through it;
+	// without one it pins everything to the single loaded pipeline.
+	var reg *registry.Registry
+	if *regDir != "" {
+		reg, err = registry.Open(registry.Options{Dir: *regDir, Geometry: hbm.DefaultGeometry})
+		if err != nil {
+			return err
+		}
+		if reg.Len() == 0 {
+			meta, err := reg.Install(pipe, "boot")
+			if err != nil {
+				return err
+			}
+			if err := reg.Activate(meta.Version); err != nil {
+				return err
+			}
+			logger.Info("model installed in registry", "version", meta.Version, "dir", *regDir)
+		} else {
+			// The registry's active pointer outranks boot flags: a model
+			// promoted by online retraining (or an operator) must survive a
+			// restart with stale -models/-selftrain flags.
+			logger.Info("registry supersedes boot model",
+				"activeVersion", reg.ActiveVersion(), "versions", reg.Len(), "dir", *regDir)
+		}
+		cfg.Models = reg
+	} else {
+		cfg.Strategy = &core.CordialStrategy{Pipeline: pipe, Geometry: hbm.DefaultGeometry}
+	}
 	engine, err := stream.New(cfg)
 	if err != nil {
 		return err
@@ -148,7 +205,31 @@ func run() error {
 			"sessions", st.RecoveredSessions, "events", st.RecoveredEvents,
 			"dir", *walDir, "snapshotSeq", st.LastSnapshotSeq)
 	}
-	api := stream.NewServer(engine, stream.ServerConfig{})
+
+	// Online retraining: the lifecycle manager watches drift, refits from
+	// the journal and promotes through the engine's swap point. Its admin
+	// surface rides the ingest API under /v1/models.
+	var apiCfg stream.ServerConfig
+	var mgr *lifecycle.Manager
+	if *retrain {
+		mgr, err = lifecycle.New(lifecycle.Config{
+			Engine:      engine,
+			Registry:    reg,
+			Geometry:    hbm.DefaultGeometry,
+			Train:       trainConfig(*trees, *seed),
+			Interval:    *retrainInt,
+			DriftPValue: *driftP,
+			Metrics:     engine.Metrics(),
+			Logger:      logger,
+		})
+		if err != nil {
+			return err
+		}
+		apiCfg.ModelAdmin = lifecycle.AdminFor(mgr)
+		logger.Info("online retraining enabled",
+			"interval", retrainInt.String(), "driftP", *driftP)
+	}
+	api := stream.NewServer(engine, apiCfg)
 
 	// Periodic checkpoints bound replay time after a crash.
 	var snapStop, snapDone chan struct{}
@@ -243,6 +324,18 @@ func run() error {
 		}()
 	}
 
+	mgrCtx, stopMgr := context.WithCancel(context.Background())
+	defer stopMgr()
+	mgrDone := make(chan struct{})
+	if mgr != nil {
+		go func() {
+			defer close(mgrDone)
+			mgr.Run(mgrCtx)
+		}()
+	} else {
+		close(mgrDone)
+	}
+
 	stopSnapshots := func() {
 		if snapStop != nil {
 			close(snapStop)
@@ -251,15 +344,28 @@ func run() error {
 		}
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case s := <-sig:
-		logger.Info("shutting down", "signal", s.String())
-	case err := <-errc:
-		stopSnapshots()
-		engine.Close()
-		return err
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+serve:
+	for {
+		select {
+		case s := <-sig:
+			if s == syscall.SIGHUP {
+				// Hot model reload: re-read the -models artefact and swap it
+				// in through the same path online promotion uses.
+				if err := reloadModel(logger, engine, reg, *modelsPath); err != nil {
+					logger.Error("model reload failed", "err", err)
+				}
+				continue
+			}
+			logger.Info("shutting down", "signal", s.String())
+			break serve
+		case err := <-errc:
+			stopMgr()
+			stopSnapshots()
+			engine.Close()
+			return err
+		}
 	}
 
 	// Graceful shutdown. In cluster mode, first hand this node's banks to
@@ -271,6 +377,10 @@ func run() error {
 		}
 		stopAgent()
 	}
+	// Stop the retrainer before draining so no swap or registry write races
+	// the final snapshot.
+	stopMgr()
+	<-mgrDone
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -301,6 +411,66 @@ func run() error {
 	logger.Info("drained",
 		"ingested", st.Ingested, "processed", st.Processed,
 		"sessions", st.SessionsLive, "actions", st.ActionsEmitted, "dropped", st.Dropped)
+	return nil
+}
+
+// trainConfig is the ensemble configuration online retraining refits with.
+func trainConfig(trees int, seed uint64) core.Config {
+	cfg := core.DefaultConfig(core.RandomForest)
+	cfg.Params.Trees = trees
+	cfg.Seed = seed
+	return cfg
+}
+
+// logModelMeta reports a model's provenance (who trained it, on what, when)
+// so operators can tell from the boot log which artefact is actually live.
+func logModelMeta(logger *slog.Logger, msg string, meta *core.ModelMeta) {
+	if meta == nil {
+		logger.Info(msg, "meta", "none")
+		return
+	}
+	attrs := []any{
+		"events", meta.EventCount,
+		"banks", meta.BankCount,
+		"trees", meta.Params.Trees,
+	}
+	if !meta.TrainedAt.IsZero() {
+		attrs = append(attrs, "trainedAt", meta.TrainedAt.UTC().Format(time.RFC3339))
+	}
+	if len(meta.ClassMix) > 0 {
+		attrs = append(attrs, "classMix", meta.ClassMix)
+	}
+	logger.Info(msg, attrs...)
+}
+
+// reloadModel (SIGHUP) re-reads the -models artefact, installs it as a new
+// registry version and swaps it in: new banks bind it immediately, existing
+// banks keep the version they were born under. Same ordering as online
+// promotion — journal the engine swap first, then move the registry's
+// active pointer.
+func reloadModel(logger *slog.Logger, engine *stream.Engine, reg *registry.Registry, modelsPath string) error {
+	if modelsPath == "" {
+		return fmt.Errorf("reload needs -models (self-trained models have no file to re-read)")
+	}
+	if reg == nil {
+		return fmt.Errorf("reload needs a model registry (-registry-dir or -wal-dir)")
+	}
+	pipe, err := loadPipeline(logger, modelsPath, false, 0, 0, 0)
+	if err != nil {
+		return err
+	}
+	meta, err := reg.Install(pipe, "sighup")
+	if err != nil {
+		return err
+	}
+	if _, err := engine.SwapModel(meta.Version); err != nil {
+		return err
+	}
+	if err := reg.Activate(meta.Version); err != nil {
+		return fmt.Errorf("engine swapped to %d but registry activation failed (retry via POST /v1/models/promote): %w", meta.Version, err)
+	}
+	logModelMeta(logger, "model reloaded", meta.Model)
+	logger.Info("model swapped", "version", meta.Version, "trigger", "sighup")
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cordial/internal/core"
 	"cordial/internal/faultsim"
@@ -91,6 +92,11 @@ func run() error {
 	if err := pipe.Fit(banks); err != nil {
 		return err
 	}
+	// Fit leaves TrainedAt zero so fitting stays deterministic; the saved
+	// artefact is where provenance belongs, so stamp it here.
+	if meta := pipe.Meta(); meta != nil {
+		meta.TrainedAt = time.Now().UTC()
+	}
 
 	outFile, err := os.Create(*out)
 	if err != nil {
@@ -106,5 +112,9 @@ func run() error {
 
 	fmt.Printf("trained %s on %d banks (block threshold %.3f) -> %s\n",
 		kind, len(banks), pipe.Config().Threshold, *out)
+	if meta := pipe.Meta(); meta != nil {
+		fmt.Printf("meta: trainedAt=%s events=%d classMix=%v\n",
+			meta.TrainedAt.Format(time.RFC3339), meta.EventCount, meta.ClassMix)
+	}
 	return nil
 }

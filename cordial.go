@@ -34,8 +34,10 @@ import (
 	"cordial/internal/faultsim"
 	"cordial/internal/features"
 	"cordial/internal/hbm"
+	"cordial/internal/lifecycle"
 	"cordial/internal/mcelog"
 	"cordial/internal/mltree"
+	"cordial/internal/registry"
 	"cordial/internal/sparing"
 	"cordial/internal/stream"
 	"cordial/internal/trace"
@@ -375,4 +377,48 @@ func DefaultStreamConfig(p *Pipeline) StreamConfig {
 // stats endpoints); mount the returned handler on any mux or server.
 func NewStreamServer(e *StreamEngine) *stream.Server {
 	return stream.NewServer(e, stream.ServerConfig{})
+}
+
+// StreamDurability configures the engine's journal + snapshot directory;
+// set it on StreamConfig.Durability to make ingest crash-safe (and to give
+// the lifecycle manager a journal to retrain from).
+type StreamDurability = stream.DurabilityConfig
+
+// ModelRegistry is the versioned, crash-safe model store (DESIGN.md §13).
+// It satisfies the stream engine's model source: set StreamConfig.Models
+// to a registry and sessions bind the registry's active version.
+type ModelRegistry = registry.Registry
+
+// ModelRegistryOptions configures OpenModelRegistry. An empty Dir keeps the
+// registry in memory (versions are assigned but nothing survives restart).
+type ModelRegistryOptions = registry.Options
+
+// ModelVersionMeta describes one stored model version (training window,
+// class mix, trigger, creation time).
+type ModelVersionMeta = registry.Meta
+
+// OpenModelRegistry loads (or initialises) a versioned model registry.
+func OpenModelRegistry(opts ModelRegistryOptions) (*ModelRegistry, error) {
+	return registry.Open(opts)
+}
+
+// LifecycleManager runs the online drift→retrain→shadow→promote loop over
+// a stream engine and a model registry: it watches the live class mix for
+// drift, refits a candidate from the engine's own journal (self-labelled),
+// shadow-scores it against live traffic, and promotes it through the
+// engine's atomic swap point only if its isolation coverage holds up.
+type LifecycleManager = lifecycle.Manager
+
+// LifecycleConfig configures a LifecycleManager; Engine and Registry are
+// required, everything else has conservative defaults.
+type LifecycleConfig = lifecycle.Config
+
+// LifecycleStatus is a point-in-time picture of the lifecycle loop.
+type LifecycleStatus = lifecycle.Status
+
+// NewLifecycleManager validates the configuration and returns a manager.
+// Call Run to drive the loop on a cadence, or Tick/Retrain/Promote/Rollback
+// to step it by hand.
+func NewLifecycleManager(cfg LifecycleConfig) (*LifecycleManager, error) {
+	return lifecycle.New(cfg)
 }

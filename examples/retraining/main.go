@@ -1,13 +1,19 @@
 // Retraining: operate Cordial across a fleet whose failure behaviour drifts
-// — a single-row-dominated first quarter gives way to a scattered-heavy
-// regime (a bad firmware rollout, say). The Trainer retrains on a sliding
-// window and its chi-square drift detector pulls retraining forward when the
-// class mix shifts, keeping the pattern classifier honest.
+// — a single-row-dominated first regime gives way to a scattered-heavy one
+// (a bad firmware rollout, say). This example runs the ONLINE lifecycle
+// loop in-process: a versioned model registry, a stream engine whose
+// sessions pin the model version they were born under, and a lifecycle
+// manager that detects the drift in the live class mix, refits a candidate
+// from the engine's own journal (self-labelled, no ground truth), shadow-
+// scores it against the incumbent on live traffic, and hot-swaps it only
+// if its isolation coverage holds up. See DESIGN.md §13.
 package main
 
 import (
 	"fmt"
 	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"cordial"
@@ -47,49 +53,113 @@ func main() {
 	for r := 0; r < 2; r++ {
 		fmt.Printf("  regime %d mix: %v\n", r, fleet.MixOf(r))
 	}
+	var regime0, regime1 []*cordial.BankFault
+	for i, bf := range fleet.Faults {
+		if fleet.RegimeOf[i] == 0 {
+			regime0 = append(regime0, bf)
+		} else {
+			regime1 = append(regime1, bf)
+		}
+	}
 
+	// Boot model: trained offline on regime-0 ground truth, installed as
+	// version 1 of an in-memory registry (use Dir for a persistent one).
 	cfg := cordial.DefaultConfig(cordial.RandomForest)
 	cfg.Params = cordial.ModelParams{Trees: 30, Depth: 8}
-	policy := cordial.RetrainPolicy{
-		Window:      40 * 24 * time.Hour,
-		Interval:    14 * 24 * time.Hour,
-		MinBanks:    40,
-		DriftPValue: 0.01,
-		DriftSample: 40,
+	boot, err := cordial.TrainWithConfig(cfg, regime0)
+	if err != nil {
+		log.Fatal(err)
 	}
-	trainer, err := cordial.NewTrainer(cfg, policy)
+	reg, err := cordial.OpenModelRegistry(cordial.ModelRegistryOptions{
+		Geometry: cordial.DefaultGeometry,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bootMeta, err := reg.Install(boot, "boot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.Activate(bootMeta.Version); err != nil {
+		log.Fatal(err)
+	}
+
+	// The engine serves the registry's active version; the journal is what
+	// the lifecycle manager retrains from, so durability is on.
+	walDir, err := os.MkdirTemp("", "cordial-retrain-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+	engine, err := cordial.NewStreamEngine(cordial.StreamConfig{
+		Models:     reg,
+		Geometry:   cordial.DefaultGeometry,
+		Durability: cordial.StreamDurability{Dir: walDir},
+		Logger:     slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for range engine.Actions() {
+		}
+	}()
+	mgr, err := cordial.NewLifecycleManager(cordial.LifecycleConfig{
+		Engine:      engine,
+		Registry:    reg,
+		Geometry:    cordial.DefaultGeometry,
+		Train:       cfg,
+		DriftPValue: 0.01,
+		MinBanks:    40,
+		Logger:      slog.New(slog.DiscardHandler),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Replay the fleet in onset order; each bank's ground truth "resolves"
-	// a day after its first failure.
-	for _, bf := range fleet.Faults {
-		resolved := bf.UERTimes[0].Add(24 * time.Hour)
-		did, err := trainer.ObserveBank(bf, resolved)
-		if err != nil {
+	// The regime changes: live the first half of the drifted banks through
+	// the engine, then let the manager look for drift.
+	ingest := func(banks []*cordial.BankFault) {
+		for _, bf := range banks {
+			for _, ev := range bf.Events {
+				if err := engine.Ingest(ev); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if err := engine.Drain(30 * time.Second); err != nil {
 			log.Fatal(err)
 		}
-		if did {
-			kind := "scheduled"
-			if trainer.DriftRetrains > 0 && did {
-				kind = "scheduled/drift"
-			}
-			fmt.Printf("%s  retrained (%s) on recent window\n",
-				resolved.Format("Jan 02"), kind)
-		}
 	}
-	fmt.Printf("\nretrainings: %d total, %d triggered by drift detection\n",
-		trainer.Retrains, trainer.DriftRetrains)
-	if trainer.DriftRetrains > 0 {
-		fmt.Println("→ the regime change was caught by the chi-square mix test before the")
-		fmt.Println("  scheduled retrain, so the classifier adapted to the scattered-heavy mix early.")
+	ingest(regime1[:len(regime1)/2])
+	mgr.Tick() // drift check → retrain from the journal → shadow starts
+	st := mgr.Status()
+	fmt.Printf("\nafter the regime change: drift p=%.2g, state=%s, candidate=v%d\n",
+		st.LastDriftP, st.State, st.CandidateVersion)
+	if st.State != "shadowing" {
+		log.Fatalf("drift was not caught (lastError=%q)", st.LastError)
 	}
 
-	// Sanity: the final pipeline still classifies current-regime banks.
+	// Fresh drifted banks create their sessions while the shadow is live,
+	// so each gets a candidate twin and the shadow scores real traffic.
+	ingest(regime1[len(regime1)/2:])
+	mgr.Tick() // judge: promote only if the candidate's ICR holds up
+	st = mgr.Status()
+	fmt.Printf("verdict: active=v%d (promotions=%d rollbacks=%d)\n",
+		st.ActiveVersion, st.Promotions, st.Rollbacks)
+	for _, meta := range reg.Versions() {
+		fmt.Printf("  v%d  trigger=%-6s trainedOn=%d banks, mix=%v\n",
+			meta.Version, meta.Trigger, meta.Model.BankCount, meta.Model.ClassMix)
+	}
+
+	// Sanity: the promoted pipeline classifies current-regime banks.
+	pipe, err := reg.Pipeline(st.ActiveVersion)
+	if err != nil {
+		log.Fatal(err)
+	}
 	correct, total := 0, 0
-	for _, bf := range fleet.Faults[len(fleet.Faults)-40:] {
-		got, err := trainer.Pipeline().ClassifyPattern(bf.Events)
+	for _, bf := range regime1[len(regime1)-40:] {
+		got, err := pipe.ClassifyPattern(bf.Events)
 		if err != nil {
 			continue
 		}
@@ -98,5 +168,9 @@ func main() {
 			correct++
 		}
 	}
-	fmt.Printf("final model accuracy on the last 40 banks: %d/%d\n", correct, total)
+	fmt.Printf("active model accuracy on the last 40 drifted banks: %d/%d\n",
+		correct, total)
+	if err := engine.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

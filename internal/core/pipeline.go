@@ -73,6 +73,7 @@ type Pipeline struct {
 	cfg          Config
 	patternModel mltree.Classifier
 	blockModel   mltree.Classifier
+	meta         *ModelMeta
 }
 
 // New returns an unfitted pipeline.
@@ -127,6 +128,7 @@ func (p *Pipeline) Fit(banks []*faultsim.BankFault) error {
 		}
 		p.cfg.Threshold = thr
 	}
+	p.meta = buildMeta(banks, p.cfg.Params)
 	return nil
 }
 
@@ -307,6 +309,10 @@ type savedHeader struct {
 	Pattern   features.PatternConfig `json:"pattern"`
 	Block     features.BlockSpec     `json:"block"`
 	Model     ModelKind              `json:"model"`
+	// Meta carries the training provenance. Optional in both directions:
+	// pre-metadata files decode with a nil Meta, and files written here
+	// still load under older readers (unknown JSON fields are ignored).
+	Meta *ModelMeta `json:"meta,omitempty"`
 }
 
 // SaveModels serialises the effective configuration and the two fitted
@@ -320,6 +326,7 @@ func (p *Pipeline) SaveModels(w io.Writer) error {
 		Pattern:   p.cfg.Pattern,
 		Block:     p.cfg.Block,
 		Model:     p.cfg.Model,
+		Meta:      p.meta,
 	}
 	if err := json.NewEncoder(w).Encode(head); err != nil {
 		return fmt.Errorf("core: writing model header: %w", err)
@@ -352,6 +359,7 @@ func (p *Pipeline) LoadModels(r io.Reader) error {
 	p.cfg.Pattern = head.Pattern
 	p.cfg.Block = head.Block
 	p.cfg.Model = head.Model
+	p.meta = head.Meta
 	p.patternModel, p.blockModel = pm, bm
 	return nil
 }

@@ -1,0 +1,128 @@
+package faultsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cordial/internal/ecc"
+	"cordial/internal/hbm"
+	"cordial/internal/mcelog"
+)
+
+// Self-labelling turns an OBSERVED per-bank error log back into a labelled
+// BankFault, so the online trainer can refit the pipeline from the journal
+// without ground truth. The generator's patterns are geometric by
+// construction, so the label is recoverable from the spatial layout alone:
+// cluster the distinct UER rows with a row-gap threshold and count the
+// clusters. The default threshold of 512 rows sits an order of magnitude
+// above the intra-cluster spread (ClusterSigma 64 puts ~99% of a cluster
+// within ±200 rows) and well below the double-row gap floor (2048), so
+// both pattern families land on the right side of it with margin.
+
+// LabelGapThreshold is the row gap that separates two UER-row clusters for
+// self-labelling.
+const LabelGapThreshold = 512
+
+// labelColumnFraction is the share of UER events one column must carry
+// before a many-row bank is labelled whole-column.
+const labelColumnFraction = 0.9
+
+// labelColumnMinRows is the minimum distinct UER rows for a whole-column
+// label; small aggregation banks trivially concentrate on few columns.
+const labelColumnMinRows = 16
+
+// LabelPattern infers the failure pattern from the spatial layout of a
+// bank's observed UERs: the distinct failed rows and, per column, how many
+// UER events it carried. It is the inverse of the generator's spatial draw,
+// evaluated on whatever prefix of the fault has surfaced so far.
+func LabelPattern(geo hbm.Geometry, uerRows []int, uerColHits map[int]int) Pattern {
+	if len(uerRows) == 0 {
+		return PatternScattered
+	}
+
+	// Whole-column: errors span many rows but one column carries nearly
+	// all of them.
+	if len(uerRows) >= labelColumnMinRows {
+		total, best := 0, 0
+		for _, n := range uerColHits {
+			total += n
+			if n > best {
+				best = n
+			}
+		}
+		if total > 0 && float64(best) >= labelColumnFraction*float64(total) {
+			return PatternWholeColumn
+		}
+	}
+
+	rows := append([]int(nil), uerRows...)
+	sort.Ints(rows)
+	clusters := 1
+	// Cluster centres as the midpoint of each run; only the two-cluster
+	// case needs them (for the half-total-row gap test).
+	starts := []int{rows[0]}
+	ends := []int{rows[0]}
+	for i := 1; i < len(rows); i++ {
+		if rows[i]-rows[i-1] > LabelGapThreshold {
+			clusters++
+			starts = append(starts, rows[i])
+			ends = append(ends, rows[i])
+		} else {
+			ends[len(ends)-1] = rows[i]
+		}
+	}
+
+	switch clusters {
+	case 1:
+		return PatternSingleRow
+	case 2:
+		c1 := (starts[0] + ends[0]) / 2
+		c2 := (starts[1] + ends[1]) / 2
+		gap := c2 - c1
+		half := geo.RowsPerBank / 2
+		// The generator pins the half-total-row gap at exactly rows/2;
+		// allow the cluster-centre estimate a ±1/16-bank error.
+		if abs(gap-half) <= geo.RowsPerBank/16 {
+			return PatternHalfTotalRow
+		}
+		return PatternDoubleRow
+	default:
+		return PatternScattered
+	}
+}
+
+// ObservedFault reconstructs a labelled BankFault from an observed,
+// time-sorted event log: UERRows/UERTimes in first-failure order, SuddenRow
+// from whether any same-row error preceded the row's first UER, and Pattern
+// from LabelPattern. Returns an error when the log holds no UERs (nothing
+// to label — the bank is benign so far). Cause is left unset; it is not a
+// training input.
+func ObservedFault(geo hbm.Geometry, bank hbm.BankAddress, events []mcelog.Event) (*BankFault, error) {
+	bf := &BankFault{Bank: bank, Events: events}
+	seenRow := make(map[int]bool) // rows with any error so far
+	uerRow := make(map[int]bool)  // rows with a UER so far
+	colHits := make(map[int]int)  // UER events per column
+	var lastUER time.Time
+	for _, ev := range events {
+		if ev.Time.Before(lastUER) {
+			return nil, fmt.Errorf("faultsim: observed events out of order for bank %v", bank)
+		}
+		if ev.Class == ecc.ClassUER {
+			lastUER = ev.Time
+			colHits[ev.Addr.Column]++
+			if !uerRow[ev.Addr.Row] {
+				uerRow[ev.Addr.Row] = true
+				bf.UERRows = append(bf.UERRows, ev.Addr.Row)
+				bf.UERTimes = append(bf.UERTimes, ev.Time)
+				bf.SuddenRow = append(bf.SuddenRow, !seenRow[ev.Addr.Row])
+			}
+		}
+		seenRow[ev.Addr.Row] = true
+	}
+	if len(bf.UERRows) == 0 {
+		return nil, fmt.Errorf("faultsim: no UERs observed for bank %v", bank)
+	}
+	bf.Pattern = LabelPattern(geo, bf.UERRows, colHits)
+	return bf, nil
+}

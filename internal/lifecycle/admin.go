@@ -1,0 +1,43 @@
+package lifecycle
+
+import (
+	"cordial/internal/registry"
+	"cordial/internal/stream"
+)
+
+// admin adapts a Manager (and its registry) to the stream.ModelAdmin
+// surface the HTTP server exposes under /v1/models. The stream package
+// cannot import this one, so the dependency points this way.
+type admin struct {
+	mgr *Manager
+}
+
+// AdminFor wraps a manager for stream.ServerConfig.ModelAdmin.
+func AdminFor(mgr *Manager) stream.ModelAdmin {
+	return &admin{mgr: mgr}
+}
+
+// overview is the GET /v1/models body.
+type overview struct {
+	// ActiveVersion is the registry's active pointer (what new sessions
+	// bind after the engine swap that accompanies every activation).
+	ActiveVersion uint64 `json:"activeVersion"`
+	// Versions lists every installed artefact, oldest first.
+	Versions []registry.Meta `json:"versions"`
+	// Lifecycle is the manager's drift/shadow/promotion state.
+	Lifecycle Status `json:"lifecycle"`
+}
+
+func (a *admin) Overview() any {
+	return overview{
+		ActiveVersion: a.mgr.cfg.Registry.ActiveVersion(),
+		Versions:      a.mgr.cfg.Registry.Versions(),
+		Lifecycle:     a.mgr.Status(),
+	}
+}
+
+func (a *admin) Promote(version uint64) error { return a.mgr.Promote(version) }
+
+func (a *admin) Rollback() error { return a.mgr.Rollback() }
+
+func (a *admin) Retrain(trigger string) error { return a.mgr.Retrain(trigger) }

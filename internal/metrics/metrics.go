@@ -180,9 +180,9 @@ func (b *Binary) Total() int { return b.TP + b.FP + b.TN + b.FN }
 // rows that were preemptively isolated before their failure (§V-A).
 type ICR struct {
 	// Covered counts UER rows that were isolated before their first UER.
-	Covered int
+	Covered int `json:"covered"`
 	// Total counts all UER rows in scope.
-	Total int
+	Total int `json:"total"`
 }
 
 // Add records one UER row and whether it was isolated in time.

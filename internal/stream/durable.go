@@ -240,12 +240,18 @@ func (e *Engine) ingestBatchDurable(events []mcelog.Event, sc *batchScratch) (ac
 // ---- snapshot payload ------------------------------------------------------
 
 // Engine snapshot payload layout (wrapped in wal's checksummed snapshot
-// framing): magic, version, session count, then per session the bank key,
-// packed address, LSN watermark, engine bookkeeping (stats, distinct-UER
-// and spared-row sets) and the strategy session's own state image.
+// framing): magic, version, retention floor, the active model epoch
+// (version + the journal position it took effect), session count, then
+// per session the bank key, packed address, LSN watermark, pinned model
+// version, engine bookkeeping (stats, distinct-UER and spared-row sets)
+// and the strategy session's own state image.
+//
+// Version 2 added the model epoch header fields and the per-session
+// pinned version; version-1 payloads still decode (sessions come back
+// with version 0 = "whatever was active at boot").
 const (
 	engineSnapMagic   = "CENG"
-	engineSnapVersion = 1
+	engineSnapVersion = 2
 	maxSnapSessions   = 1 << 24
 )
 
@@ -387,6 +393,7 @@ func (e *Engine) encodeSnapshot(filter func(bankKey uint64) bool) (payload []byt
 			se.u64(key)
 			se.u64(uint64(bs.bank.Pack()))
 			se.u64(bs.lastLSN)
+			se.u64(bs.version)
 			st := &bs.stats
 			se.int(st.Events)
 			se.int(st.UEREvents)
@@ -410,10 +417,17 @@ func (e *Engine) encodeSnapshot(filter func(bankKey uint64) bool) (payload []byt
 		floor = 0
 	}
 	sort.Slice(images, func(i, j int) bool { return images[i].key < images[j].key })
+	// The active epoch rides in the header so recovery can rebind new
+	// sessions correctly even after the swap record itself is truncated.
+	// Snapshot takes snapMu and SwapModel excludes it, so the header can
+	// never name an epoch the floor disagrees with.
+	active := e.activeEpoch()
 	out := &snapEncoder{b: make([]byte, 0, 1024)}
 	out.b = append(out.b, engineSnapMagic...)
 	out.u8(engineSnapVersion)
 	out.u64(floor)
+	out.u64(active.version)
+	out.u64(active.sinceLSN)
 	out.int(len(images))
 	for _, im := range images {
 		out.bytes(im.blob)
@@ -437,27 +451,43 @@ type sessionImage struct {
 	key     uint64
 	bank    hbm.BankAddress
 	lastLSN uint64
+	version uint64
 	stats   SessionStats
 	uerRows []int
 	spared  []int
 	blob    []byte
 }
 
+// snapshotHeader is the decoded fixed prefix of an engine snapshot
+// payload: the retention floor plus the model epoch that was active when
+// it was taken (both zero for version-1 payloads' epoch fields).
+type snapshotHeader struct {
+	floor         uint64
+	activeVersion uint64
+	activeSince   uint64
+}
+
 // decodeSnapshotSessions validates an engine snapshot payload and decodes
-// its session images. The floor is the source engine's retention floor —
-// informational for a restore, and the WAL-suffix start for a handoff.
-func decodeSnapshotSessions(payload []byte) (floor uint64, images []sessionImage, err error) {
+// its session images. The header's floor is the source engine's retention
+// floor — informational for a restore, and the WAL-suffix start for a
+// handoff.
+func decodeSnapshotSessions(payload []byte) (hdr snapshotHeader, images []sessionImage, err error) {
 	if len(payload) < len(engineSnapMagic)+1 {
-		return 0, nil, fmt.Errorf("stream: snapshot payload too short")
+		return hdr, nil, fmt.Errorf("stream: snapshot payload too short")
 	}
 	if string(payload[:4]) != engineSnapMagic {
-		return 0, nil, fmt.Errorf("stream: bad snapshot payload magic")
+		return hdr, nil, fmt.Errorf("stream: bad snapshot payload magic")
 	}
-	if v := payload[4]; v != engineSnapVersion {
-		return 0, nil, fmt.Errorf("stream: unsupported snapshot payload version %d", v)
+	ver := payload[4]
+	if ver != 1 && ver != engineSnapVersion {
+		return hdr, nil, fmt.Errorf("stream: unsupported snapshot payload version %d", ver)
 	}
 	d := &snapDecoder{b: payload, off: 5}
-	floor = d.u64()
+	hdr.floor = d.u64()
+	if ver >= 2 {
+		hdr.activeVersion = d.u64()
+		hdr.activeSince = d.u64()
+	}
 	n := d.count()
 	for i := 0; i < n && d.err == nil; i++ {
 		body := d.bytes()
@@ -469,6 +499,9 @@ func decodeSnapshotSessions(payload []byte) (floor uint64, images []sessionImage
 		im.key = sd.u64()
 		im.bank = hbm.Unpack(sd.u64())
 		im.lastLSN = sd.u64()
+		if ver >= 2 {
+			im.version = sd.u64()
+		}
 		st := &im.stats
 		st.Events = sd.int()
 		st.UEREvents = sd.int()
@@ -485,15 +518,16 @@ func decodeSnapshotSessions(payload []byte) (floor uint64, images []sessionImage
 		im.spared = sd.ints()
 		im.blob = sd.bytes()
 		if sd.err != nil {
-			return 0, nil, sd.err
+			return hdr, nil, sd.err
 		}
 		if sd.off != len(body) {
-			return 0, nil, fmt.Errorf("stream: %d trailing bytes in session image", len(body)-sd.off)
+			return hdr, nil, fmt.Errorf("stream: %d trailing bytes in session image", len(body)-sd.off)
 		}
 		st.Bank = im.bank
+		st.ModelVersion = im.version
 		images = append(images, im)
 	}
-	return floor, images, d.err
+	return hdr, images, d.err
 }
 
 // buildSession reconstructs a live bankSession from a decoded image,
@@ -510,6 +544,7 @@ func buildSession(ds core.DurableStrategy, im sessionImage) (*bankSession, error
 		uerRows: make(map[int]struct{}, len(im.uerRows)),
 		spared:  make(map[int]struct{}, len(im.spared)),
 		lastLSN: im.lastLSN,
+		version: im.version,
 	}
 	for _, r := range im.uerRows {
 		bs.uerRows[r] = struct{}{}
@@ -544,17 +579,32 @@ func (s *shard) installSession(key uint64, bs *bankSession) {
 	}
 }
 
-// restoreSnapshot rebuilds every session from an engine snapshot payload.
-// Called during New, before the consumers start.
-func (e *Engine) restoreSnapshot(payload []byte, ds core.DurableStrategy) error {
-	_, images, err := decodeSnapshotSessions(payload)
+// restoreSnapshot rebuilds every session from an engine snapshot payload,
+// re-seeding the model epoch table from the header and rebinding each
+// session to its pinned version. A version the model source cannot resolve
+// is a hard error — serving a bank under the wrong model would silently
+// diverge from the pre-crash verdict stream, which is worse than refusing
+// to boot. Called during New, before the consumers start.
+func (e *Engine) restoreSnapshot(payload []byte) error {
+	hdr, images, err := decodeSnapshotSessions(payload)
 	if err != nil {
 		return err
 	}
+	if hdr.activeVersion != 0 {
+		strat, serr := e.strategyFor(hdr.activeVersion)
+		if serr != nil {
+			return fmt.Errorf("stream: resolving snapshot's active model version %d: %w", hdr.activeVersion, serr)
+		}
+		e.seedEpochs(modelEpoch{version: hdr.activeVersion, sinceLSN: hdr.activeSince, strategy: strat})
+	}
 	for _, im := range images {
-		bs, err := buildSession(ds, im)
-		if err != nil {
-			return err
+		ds, derr := e.resolveDurable(im.version)
+		if derr != nil {
+			return derr
+		}
+		bs, berr := buildSession(ds, im)
+		if berr != nil {
+			return berr
 		}
 		e.shardFor(im.key).installSession(im.key, bs)
 		e.recoveredSessions++
@@ -577,7 +627,9 @@ func (e *Engine) recoverDurable() error {
 	if fs == nil {
 		fs = wal.OSFS
 	}
-	ds := e.cfg.Strategy.(core.DurableStrategy) // checked by Validate
+	// The boot epoch table, restored before each fallback attempt so a
+	// half-restored snapshot cannot leave its header's epoch behind.
+	bootEpochs := e.epochList()
 
 	snaps, err := wal.ListSnapshots(fs, dcfg.Dir)
 	if err != nil {
@@ -588,10 +640,11 @@ func (e *Engine) recoverDurable() error {
 		if rerr != nil {
 			continue // corrupt file: fall back to the previous snapshot
 		}
-		if rerr = e.restoreSnapshot(payload, ds); rerr != nil {
+		if rerr = e.restoreSnapshot(payload); rerr != nil {
 			// Undecodable payload (e.g. version skew): also fall back, but
 			// drop any partially restored sessions first.
 			e.resetSessions()
+			e.epochs.Store(bootEpochs)
 			continue
 		}
 		e.snapSeq = seq
@@ -613,6 +666,18 @@ func (e *Engine) recoverDurable() error {
 
 	var replayed uint64
 	err = w.Replay(func(lsn uint64, payload []byte) error {
+		if version, isSwap := decodeSwapRecord(payload); isSwap {
+			// Re-install the epoch at its original position so sessions
+			// created later in the replay bind the same version they bound
+			// live. Idempotent against the snapshot header's seed. An
+			// unresolvable version fails the boot loudly, same as restore.
+			strat, serr := e.strategyFor(version)
+			if serr != nil {
+				return fmt.Errorf("stream: resolving replayed model swap to version %d: %w", version, serr)
+			}
+			e.installEpoch(modelEpoch{version: version, sinceLSN: lsn, strategy: strat})
+			return nil
+		}
 		ev, derr := decodeEventRecord(payload)
 		if derr != nil {
 			return derr

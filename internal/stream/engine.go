@@ -28,6 +28,7 @@ import (
 	"log/slog"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,8 +78,15 @@ var (
 // serviceable default.
 type Config struct {
 	// Strategy supplies per-bank prediction sessions (normally
-	// core.CordialStrategy over a fitted pipeline).
+	// core.CordialStrategy over a fitted pipeline). Shorthand for a
+	// single-model engine: when Models is nil, the engine wraps Strategy in
+	// StaticModels. Ignored when Models is set.
 	Strategy core.Strategy
+	// Models resolves strategies by version — the swap point of the online
+	// retraining loop. New sessions bind the source's active model at
+	// creation; SwapModel changes what "active" means without touching
+	// existing sessions. Normally a *registry.Registry.
+	Models ModelSource
 	// Geometry validates incoming addresses. Zero means DefaultGeometry.
 	Geometry hbm.Geometry
 	// Shards is the number of session shards (and consumer goroutines).
@@ -114,6 +122,9 @@ type Config struct {
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
+	if c.Models == nil && c.Strategy != nil {
+		c.Models = StaticModels(c.Strategy)
+	}
 	if c.Shards == 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}
@@ -137,8 +148,12 @@ func (c Config) withDefaults() Config {
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
-	if c.Strategy == nil {
-		return fmt.Errorf("stream: nil strategy")
+	if c.Models == nil {
+		return fmt.Errorf("stream: no model source (set Strategy or Models)")
+	}
+	active, _ := c.Models.ActiveModel()
+	if active == nil {
+		return fmt.Errorf("stream: model source has no active model")
 	}
 	if c.Shards < 1 {
 		return fmt.Errorf("stream: shard count %d < 1", c.Shards)
@@ -153,8 +168,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("stream: invalid ingest policy %d", int(c.Policy))
 	}
 	if c.Durability.Dir != "" {
-		if _, ok := c.Strategy.(core.DurableStrategy); !ok {
-			return fmt.Errorf("stream: durability configured but strategy %T cannot restore sessions", c.Strategy)
+		if _, ok := active.(core.DurableStrategy); !ok {
+			return fmt.Errorf("stream: durability configured but strategy %T cannot restore sessions", active)
 		}
 	}
 	return c.Geometry.Validate()
@@ -211,6 +226,11 @@ type SessionStats struct {
 	// StateReleased reports that the session dropped its feature state
 	// after a terminal decision (bank spared).
 	StateReleased bool
+	// ModelVersion is the model version this session is pinned to: the
+	// active version when the session was created. A swap never rebinds a
+	// live session, so during a mixed-version window this differs from the
+	// engine's active version.
+	ModelVersion uint64
 	// Degraded reports that an event for this bank panicked during
 	// processing: the event was quarantined and the session no longer
 	// feeds events to its strategy session (its state may be inconsistent).
@@ -287,6 +307,13 @@ type EngineStats struct {
 	// (empty once an append succeeds again).
 	WALAppendErrors    uint64
 	LastWALAppendError string
+	// ActiveModelVersion is the model version new sessions currently bind;
+	// ModelSwaps counts SwapModel calls that took effect since boot.
+	ActiveModelVersion uint64
+	ModelSwaps         uint64
+	// Shadow describes the in-progress shadow evaluation (Active false
+	// when none is running).
+	Shadow ShadowStats
 }
 
 // Engine is the sharded online prediction engine. Construct with New; all
@@ -305,6 +332,22 @@ type Engine struct {
 	// readiness: a serving daemon that cannot persist intake is not ready.
 	walAppendErrs atomic.Uint64
 	lastAppendErr atomic.Value // string; "" once an append succeeds again
+
+	// epochs is the copy-on-write model epoch table ([]modelEpoch, oldest
+	// first); the tail is what new sessions bind. Written by SwapModel
+	// (under snapMu) and boot-time recovery; read lock-free on the session
+	// creation path.
+	epochs atomic.Value
+
+	// shadow holds the current *shadowEval (nil-typed when none) and
+	// shadowGen numbers evaluations so stale per-session twins are inert.
+	shadow    atomic.Value
+	shadowGen atomic.Uint64
+
+	// classifications counts pattern-stage classification flips (a session
+	// deciding its bank's class for the first time); the lifecycle manager
+	// uses it as an activity signal for drift-check scheduling.
+	classifications atomic.Uint64
 
 	// Durability state; all nil/zero when no WAL directory is configured.
 	wal               *walJournal
@@ -369,6 +412,13 @@ type bankSession struct {
 	// recovery stays correct even if the shard count changes across
 	// restarts.
 	lastLSN uint64
+	// version is the model version the session is pinned to (mirrored in
+	// stats.ModelVersion; kept as its own field because it also rides in
+	// snapshots and must survive stats rewrites).
+	version uint64
+	// shadow is the candidate-model twin while a shadow evaluation that
+	// saw this session's birth is running; nil otherwise.
+	shadow *shadowSession
 }
 
 // New validates cfg (after defaulting) and starts the shard consumers.
@@ -397,6 +447,12 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.lastAppendErr.Store("")
+	e.shadow.Store((*shadowEval)(nil))
+	// The boot epoch is whatever the model source calls active right now.
+	// Recovery may replace it (snapshot header + replayed swap records)
+	// with the epochs that were actually in force before the crash.
+	bootStrat, bootVer := cfg.Models.ActiveModel()
+	e.epochs.Store([]modelEpoch{{version: bootVer, strategy: bootStrat}})
 	// Instruments must exist before recovery (the WAL registers its own on
 	// Open) and before the first Ingest.
 	e.registerMetrics()
@@ -620,14 +676,30 @@ func (e *Engine) apply(s *shard, q queued) (out []Action, dead *DeadLetter) {
 	bs, ok := s.sessions[key]
 	if !ok {
 		bank := hbm.BankOf(ev.Addr)
+		// The swap point: a session binds the model epoch in force when it
+		// is born and stays pinned to it for life. Live events (and the
+		// non-durable path, lsn 0) bind the current active epoch; replayed
+		// events bind the epoch at their journal position, so recovery
+		// recreates each session under the same version it was born under.
+		ep := e.activeEpoch()
+		if q.lsn != 0 {
+			ep = e.epochFor(q.lsn)
+		}
 		bs = &bankSession{
 			bank:    bank,
-			sess:    e.cfg.Strategy.NewSession(bank),
+			sess:    ep.strategy.NewSession(bank),
+			version: ep.version,
 			uerRows: make(map[int]struct{}),
 			spared:  make(map[int]struct{}),
 		}
 		bs.stats.Bank = bank
 		bs.stats.FirstEvent = ev.Time
+		bs.stats.ModelVersion = ep.version
+		// A bank whose history starts while a shadow evaluation is running
+		// gets a candidate twin that will see the same full history.
+		if se := e.loadShadow(); se != nil {
+			bs.shadow = se.newShadowSession(bank)
+		}
 		s.sessions[key] = bs
 	}
 	if q.lsn != 0 {
@@ -667,11 +739,42 @@ func (e *Engine) apply(s *shard, q queued) (out []Action, dead *DeadLetter) {
 		}
 	}()
 	prevBytes, prevRows, prevReleased := bs.stats.StateBytes, bs.stats.StateRows, bs.stats.StateReleased
+	prevClassified := bs.stats.Classified
+	// Shadow scoring needs the primary's pre-fold coverage: was this UER's
+	// row (or the whole bank) already isolated when the event arrived?
+	var primCoveredUER bool
+	if bs.shadow != nil && ev.Class == ecc.ClassUER {
+		if bs.stats.BankSpared {
+			primCoveredUER = true
+		} else if _, done := bs.spared[ev.Addr.Row]; done {
+			primCoveredUER = true
+		}
+	}
 	out = foldEvent(bs, ev, &s.process)
 	s.stateBytes += int64(bs.stats.StateBytes - prevBytes)
 	s.stateRows += int64(bs.stats.StateRows - prevRows)
 	if bs.stats.StateReleased && !prevReleased {
 		s.released++
+	}
+	if !prevClassified && bs.stats.Classified {
+		e.classifications.Add(1)
+	}
+	if bs.shadow != nil {
+		if se := e.loadShadow(); se != nil && bs.shadow.gen == se.gen {
+			primSpareBank := false
+			primFresh := 0
+			for _, a := range out {
+				switch a.Kind {
+				case sparing.ActionBankSpare:
+					primSpareBank = true
+				case sparing.ActionRowSpare:
+					primFresh += len(a.Rows)
+				}
+			}
+			se.foldShadow(bs.shadow, ev, primCoveredUER, primSpareBank, primFresh)
+		} else {
+			bs.shadow = nil // evaluation over or superseded; release the twin
+		}
 	}
 	return out, nil
 }
@@ -787,6 +890,23 @@ func (e *Engine) Session(bank hbm.BankAddress) (SessionStats, bool) {
 	return bs.stats, true
 }
 
+// Sessions snapshots every live session's stats, sorted by bank key. The
+// admin surface uses it to report per-session pinned model versions.
+func (e *Engine) Sessions() []SessionStats {
+	var out []SessionStats
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, bs := range s.sessions {
+			out = append(out, bs.stats)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Bank.BankKey() < out[j].Bank.BankKey()
+	})
+	return out
+}
+
 // SessionCount returns the number of live sessions.
 func (e *Engine) SessionCount() int {
 	n := 0
@@ -829,6 +949,9 @@ func (e *Engine) Stats() EngineStats {
 		proc.merge(&s.process)
 	}
 	st.Process = proc.snapshot()
+	st.ActiveModelVersion = e.ActiveModelVersion()
+	st.ModelSwaps = e.metrics.modelSwaps.Value()
+	st.Shadow = e.ShadowStats()
 	st.RecoveredSessions = e.recoveredSessions
 	st.RecoveredEvents = e.recoveredEvents
 	st.RetentionErrors = e.metrics.retentionErrors.Value()

@@ -115,7 +115,7 @@ func TestConfigValidate(t *testing.T) {
 		name   string
 		mutate func(*Config)
 	}{
-		{"nil strategy", func(c *Config) { c.Strategy = nil }},
+		{"no model source", func(c *Config) { c.Strategy = nil; c.Models = nil }},
 		{"zero shards", func(c *Config) { c.Shards = -1 }},
 		{"negative queue", func(c *Config) { c.QueueDepth = -5 }},
 		{"negative buffer", func(c *Config) { c.ActionBuffer = -1 }},

@@ -76,9 +76,10 @@ type ImportStats struct {
 // this engine already holds are skipped and counted as conflicts.
 func (e *Engine) ImportSessions(payload []byte, suffix []wal.Record, owns func(bankKey uint64) bool) (ImportStats, error) {
 	var st ImportStats
-	ds, ok := e.cfg.Strategy.(core.DurableStrategy)
-	if !ok {
-		return st, fmt.Errorf("stream: import requires a durable strategy, have %T", e.cfg.Strategy)
+	if strat := e.activeEpoch().strategy; strat != nil {
+		if _, ok := strat.(core.DurableStrategy); !ok {
+			return st, fmt.Errorf("stream: import requires a durable strategy, have %T", strat)
+		}
 	}
 	e.mu.RLock()
 	closed := e.closed
@@ -110,6 +111,14 @@ func (e *Engine) ImportSessions(payload []byte, suffix []wal.Record, owns func(b
 			st.Conflicts++
 			continue
 		}
+		// Sessions keep their pinned version across the move; this engine's
+		// model source must be able to resolve it (version 0 — a pre-
+		// versioning export — binds the boot model, and a static source
+		// resolves any version to its one strategy).
+		ds, err := e.resolveDurable(im.version)
+		if err != nil {
+			return st, err
+		}
 		bs, err := buildSession(ds, im)
 		if err != nil {
 			return st, err
@@ -123,6 +132,12 @@ func (e *Engine) ImportSessions(payload []byte, suffix []wal.Record, owns func(b
 	// first erred after the source's last checkpoint).
 	var pending []Action
 	for _, rec := range suffix {
+		if _, isSwap := decodeSwapRecord(rec.Payload); isSwap {
+			// The source's model swaps are its own history; the importer's
+			// active model is governed by its own source.
+			st.Skipped++
+			continue
+		}
 		ev, derr := decodeEventRecord(rec.Payload)
 		if derr != nil {
 			return st, fmt.Errorf("stream: decoding handoff suffix record %d: %w", rec.LSN, derr)
@@ -139,14 +154,17 @@ func (e *Engine) ImportSessions(payload []byte, suffix []wal.Record, owns func(b
 				continue
 			}
 			bank := hbm.BankOf(ev.Addr)
+			ep := e.activeEpoch()
 			bs = &bankSession{
 				bank:    bank,
-				sess:    e.cfg.Strategy.NewSession(bank),
+				sess:    ep.strategy.NewSession(bank),
+				version: ep.version,
 				uerRows: make(map[int]struct{}),
 				spared:  make(map[int]struct{}),
 			}
 			bs.stats.Bank = bank
 			bs.stats.FirstEvent = ev.Time
+			bs.stats.ModelVersion = ep.version
 			adopted[key] = bs
 		}
 		if rec.LSN <= bs.lastLSN {

@@ -19,6 +19,11 @@ type engineMetrics struct {
 	ingestWaitDur  *obs.Histogram
 	processDur     *obs.Histogram
 
+	// Model lifecycle.
+	modelSwaps   *obs.Counter
+	swapPauseDur *obs.Histogram
+	shadowStarts *obs.Counter
+
 	// Durability layer (nil without a WAL directory).
 	snapshots         *obs.Counter
 	snapshotErrors    *obs.Counter
@@ -48,6 +53,33 @@ func (e *Engine) registerMetrics() {
 	m.processDur = reg.Histogram("cordial_process_seconds",
 		"Per-event session time: feature extraction plus model inference.", nil)
 	e.ingestWait.attach(m.ingestWaitDur)
+
+	m.modelSwaps = reg.Counter("cordial_model_swaps_total",
+		"Model swaps that took effect (new sessions bind the new version).")
+	m.swapPauseDur = reg.Histogram("cordial_model_swap_pause_seconds",
+		"Ingest pause taken by one model swap (journal the swap record under every shard's ingest lock).", nil)
+	m.shadowStarts = reg.Counter("cordial_shadow_evaluations_total",
+		"Shadow evaluations started.")
+	reg.GaugeFunc("cordial_model_active_version",
+		"Model version new sessions currently bind.",
+		func() float64 { return float64(e.ActiveModelVersion()) })
+	reg.GaugeFunc("cordial_shadow_active",
+		"1 while a shadow evaluation is running, else 0.",
+		func() float64 {
+			if e.loadShadow() != nil {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("cordial_shadow_events",
+		"Events folded into the current shadow evaluation's candidate twins.",
+		func() float64 { return float64(e.ShadowStats().Events) })
+	reg.GaugeFunc("cordial_shadow_agreements",
+		"Shadow-evaluation events where candidate and primary decided identically.",
+		func() float64 { return float64(e.ShadowStats().Agreements) })
+	reg.GaugeFunc("cordial_shadow_decisions",
+		"Shadow-evaluation events where either side decided something.",
+		func() float64 { return float64(e.ShadowStats().Decisions) })
 
 	reg.GaugeFunc("cordial_uptime_seconds",
 		"Seconds since the engine started.",

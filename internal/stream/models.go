@@ -1,0 +1,345 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cordial/internal/core"
+	"cordial/internal/faultsim"
+	"cordial/internal/mcelog"
+)
+
+// ModelSource resolves prediction strategies by version. It is the seam
+// between the engine and model ownership: the engine never holds "the"
+// strategy, it asks the source which version is active when a session is
+// born and resolves pinned versions again during recovery. The registry
+// package implements this over its artefact store; StaticModels adapts a
+// single fixed strategy (the pre-registry configuration) to the same shape.
+type ModelSource interface {
+	// ActiveModel returns the strategy new sessions should bind and its
+	// version number. A nil strategy means the source has nothing to serve
+	// (the engine refuses to start in that case).
+	ActiveModel() (core.Strategy, uint64)
+	// ModelByVersion resolves a specific version, for rebinding sessions
+	// that were pinned to it before a restart or handoff.
+	ModelByVersion(version uint64) (core.Strategy, error)
+}
+
+// staticVersion is the version a StaticModels source reports.
+const staticVersion = 1
+
+// staticSource adapts one fixed strategy to the ModelSource shape.
+type staticSource struct {
+	strategy core.Strategy
+}
+
+// StaticModels wraps a single strategy as a ModelSource with version 1.
+// ModelByVersion is deliberately tolerant — it returns the strategy for
+// ANY version — so snapshots taken under a registry-backed source still
+// recover when an operator points the daemon at a plain -models file, and
+// cluster handoffs between mixed configurations keep working. The version
+// numbers in that case are provenance labels, not distinct models.
+func StaticModels(s core.Strategy) ModelSource {
+	return &staticSource{strategy: s}
+}
+
+func (s *staticSource) ActiveModel() (core.Strategy, uint64) { return s.strategy, staticVersion }
+
+func (s *staticSource) ModelByVersion(uint64) (core.Strategy, error) { return s.strategy, nil }
+
+// modelEpoch is one reign of one model version: from journal position
+// sinceLSN (exclusive — the LSN of the swap record itself) until the next
+// epoch begins. Sessions created at LSN L bind the last epoch with
+// sinceLSN < L, so replay recreates each session under the same version it
+// was born under.
+type modelEpoch struct {
+	version  uint64
+	sinceLSN uint64
+	strategy core.Strategy
+}
+
+// epochList returns the current epoch table (immutable; installEpoch
+// replaces the slice wholesale).
+func (e *Engine) epochList() []modelEpoch {
+	return e.epochs.Load().([]modelEpoch)
+}
+
+// activeEpoch is the epoch new sessions bind outside replay.
+func (e *Engine) activeEpoch() modelEpoch {
+	eps := e.epochList()
+	return eps[len(eps)-1]
+}
+
+// epochFor resolves the epoch in force at journal position lsn: the last
+// epoch that began strictly before it. Positions at or before the first
+// epoch's start (a snapshot-seeded epoch whose swap record was truncated)
+// fall back to the first epoch.
+func (e *Engine) epochFor(lsn uint64) modelEpoch {
+	eps := e.epochList()
+	for i := len(eps) - 1; i >= 0; i-- {
+		if eps[i].sinceLSN < lsn {
+			return eps[i]
+		}
+	}
+	return eps[0]
+}
+
+// installEpoch inserts one epoch copy-on-write, keeping the table sorted
+// by sinceLSN. Re-installing an epoch already present (a replayed swap
+// record the snapshot header also seeded) is a no-op, which makes replay
+// idempotent; a replayed swap OLDER than the seeded header epoch slots in
+// before it, so epochFor stays correct for sessions born between the two.
+// Callers serialise: SwapModel under snapMu, recovery before the
+// consumers start.
+func (e *Engine) installEpoch(ep modelEpoch) {
+	old := e.epochList()
+	idx := len(old)
+	for i, x := range old {
+		if x.sinceLSN == ep.sinceLSN && x.version == ep.version {
+			return
+		}
+		if idx == len(old) && x.sinceLSN > ep.sinceLSN {
+			idx = i
+		}
+	}
+	next := make([]modelEpoch, 0, len(old)+1)
+	next = append(next, old[:idx]...)
+	next = append(next, ep)
+	next = append(next, old[idx:]...)
+	e.epochs.Store(next)
+}
+
+// seedEpochs replaces the whole table (snapshot-header recovery).
+func (e *Engine) seedEpochs(ep modelEpoch) {
+	e.epochs.Store([]modelEpoch{ep})
+}
+
+// strategyFor resolves a session's pinned version. Version 0 is the
+// pre-versioning snapshot encoding ("whatever was active at boot") and
+// resolves to the boot epoch.
+func (e *Engine) strategyFor(version uint64) (core.Strategy, error) {
+	if version == 0 {
+		return e.epochList()[0].strategy, nil
+	}
+	for _, ep := range e.epochList() {
+		if ep.version == version {
+			return ep.strategy, nil
+		}
+	}
+	return e.cfg.Models.ModelByVersion(version)
+}
+
+// resolveDurable is strategyFor for paths that must checkpoint the session
+// afterwards (recovery, handoff import).
+func (e *Engine) resolveDurable(version uint64) (core.DurableStrategy, error) {
+	strat, err := e.strategyFor(version)
+	if err != nil {
+		return nil, err
+	}
+	ds, ok := strat.(core.DurableStrategy)
+	if !ok {
+		return nil, fmt.Errorf("stream: model version %d strategy %T cannot restore sessions", version, strat)
+	}
+	return ds, nil
+}
+
+// ---- swap records ----------------------------------------------------------
+
+// A model swap is journaled like an event: a fixed 12-byte record, length-
+// discriminated from the 17-byte event records sharing the journal. Replay
+// re-installs the epoch at the same position, so sessions created after
+// the swap rebind the same version they bound live.
+const (
+	swapRecordMagic = "CSWP"
+	swapRecordSize  = 12
+)
+
+func encodeSwapRecord(version uint64) []byte {
+	b := make([]byte, swapRecordSize)
+	copy(b, swapRecordMagic)
+	b[4] = byte(version)
+	b[5] = byte(version >> 8)
+	b[6] = byte(version >> 16)
+	b[7] = byte(version >> 24)
+	b[8] = byte(version >> 32)
+	b[9] = byte(version >> 40)
+	b[10] = byte(version >> 48)
+	b[11] = byte(version >> 56)
+	return b
+}
+
+// decodeSwapRecord reports whether a journal payload is a swap record and,
+// if so, its model version.
+func decodeSwapRecord(p []byte) (uint64, bool) {
+	if len(p) != swapRecordSize || string(p[:4]) != swapRecordMagic {
+		return 0, false
+	}
+	v := uint64(p[4]) | uint64(p[5])<<8 | uint64(p[6])<<16 | uint64(p[7])<<24 |
+		uint64(p[8])<<32 | uint64(p[9])<<40 | uint64(p[10])<<48 | uint64(p[11])<<56
+	return v, true
+}
+
+// SwapModel atomically makes a model version the one new sessions bind.
+// Existing sessions keep their pinned version — a swap never rebinds live
+// per-bank state, so verdict streams are never re-ordered mid-history.
+//
+// Ordering: the swap takes the snapshot mutex and then every shard's
+// ingest mutex (ascending, the batch-ingest order), so (a) no event can be
+// journaled concurrently — the swap record lands at a single well-defined
+// position in every shard's intake order, and (b) no checkpoint can be
+// encoded concurrently — a snapshot either fully precedes the swap (its
+// header names the old version, the swap record is past its floor and
+// replays) or fully follows it (its header names the new version). Without
+// this exclusion a checkpoint could record the old active version while
+// its retention floor advanced past the swap record, erasing the swap.
+//
+// Returns the journal position of the swap record (0 without durability).
+func (e *Engine) SwapModel(version uint64) (uint64, error) {
+	strat, err := e.cfg.Models.ModelByVersion(version)
+	if err != nil {
+		return 0, err
+	}
+	if strat == nil {
+		return 0, fmt.Errorf("stream: model source returned no strategy for version %d", version)
+	}
+	if e.wal != nil {
+		if _, ok := strat.(core.DurableStrategy); !ok {
+			return 0, fmt.Errorf("stream: model version %d strategy %T cannot be used with durability", version, strat)
+		}
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	t0 := time.Now()
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	for _, s := range e.shards {
+		s.ingestMu.Lock()
+	}
+	defer func() {
+		for _, s := range e.shards {
+			s.ingestMu.Unlock()
+		}
+	}()
+	var since uint64
+	if e.wal != nil {
+		lsn, err := e.wal.Append(encodeSwapRecord(version))
+		if err != nil {
+			e.walAppendErrs.Add(1)
+			e.lastAppendErr.Store(err.Error())
+			return 0, fmt.Errorf("stream: journaling model swap: %w", err)
+		}
+		since = lsn
+		e.installEpoch(modelEpoch{version: version, sinceLSN: since, strategy: strat})
+	} else {
+		// No journal, no replay: the table only needs to name the active
+		// model, and repeated swaps (including rollbacks to an earlier
+		// version) must not accumulate identical zero-LSN entries.
+		e.seedEpochs(modelEpoch{version: version, strategy: strat})
+	}
+	e.metrics.modelSwaps.Inc()
+	e.metrics.swapPauseDur.Observe(time.Since(t0).Seconds())
+	e.cfg.Logger.Info("model swapped", "version", version, "lsn", since)
+	return since, nil
+}
+
+// ActiveModelVersion returns the version new sessions currently bind.
+func (e *Engine) ActiveModelVersion() uint64 {
+	return e.activeEpoch().version
+}
+
+// PinnedVersionFloor returns the lowest model version any live session is
+// pinned to (0 when no sessions exist). Registry pruning uses it to avoid
+// deleting artefacts a running session might still need to recover under.
+func (e *Engine) PinnedVersionFloor() uint64 {
+	var floor uint64
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, bs := range s.sessions {
+			if bs.version != 0 && (floor == 0 || bs.version < floor) {
+				floor = bs.version
+			}
+		}
+		s.mu.Unlock()
+	}
+	return floor
+}
+
+// ExportEvents decodes the journal's event records in [from, to) (the
+// whole journal when to is 0), skipping swap records — the feed the online
+// trainer retrains from.
+func (e *Engine) ExportEvents(from, to uint64) ([]mcelog.Event, error) {
+	if e.wal == nil {
+		return nil, ErrNotDurable
+	}
+	if to == 0 {
+		to = ^uint64(0)
+	}
+	recs, err := e.wal.ExportRange(from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mcelog.Event, 0, len(recs))
+	for _, rec := range recs {
+		if _, isSwap := decodeSwapRecord(rec.Payload); isSwap {
+			continue
+		}
+		ev, derr := decodeEventRecord(rec.Payload)
+		if derr != nil {
+			return nil, fmt.Errorf("stream: exporting journal record %d: %w", rec.LSN, derr)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// ---- live class mix --------------------------------------------------------
+
+// RecentClassMix is the drift detector's live sample: the n most recently
+// active UER banks, each labelled SPATIALLY from the UER rows its session
+// has observed (faultsim.LabelPattern), and the resulting class counts.
+// Spatial self-labels are deliberately model-independent — a drift test fed
+// the classifier's own predictions would see phantom drift at every model
+// swap and would inherit the incumbent's biases — and they are directly
+// comparable to the active model's training ClassMix, which comes from the
+// same labelling geometry.
+func (e *Engine) RecentClassMix(n int) (map[faultsim.Class]int, int) {
+	type cand struct {
+		last  time.Time
+		class faultsim.Class
+	}
+	var cands []cand
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, bs := range s.sessions {
+			if len(bs.uerRows) == 0 {
+				continue
+			}
+			rows := make([]int, 0, len(bs.uerRows))
+			for r := range bs.uerRows {
+				rows = append(rows, r)
+			}
+			p := faultsim.LabelPattern(e.cfg.Geometry, rows, nil)
+			cands = append(cands, cand{last: bs.stats.LastEvent, class: faultsim.ClassOf(p)})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].last.After(cands[j].last) })
+	if n < len(cands) {
+		cands = cands[:n]
+	}
+	out := make(map[faultsim.Class]int, len(faultsim.AllClasses))
+	for _, c := range cands {
+		out[c.class]++
+	}
+	return out, len(cands)
+}
+
+// ClassificationsTotal returns how many sessions have ever classified
+// (monotone; drives drift-check scheduling).
+func (e *Engine) ClassificationsTotal() uint64 {
+	return e.classifications.Load()
+}

@@ -33,6 +33,28 @@ type ServerConfig struct {
 	// MaxBatchErrors caps per-line error messages echoed in one ingest
 	// response. Default 16.
 	MaxBatchErrors int
+	// ModelAdmin, when set, enables the model-lifecycle admin endpoints
+	// (GET /v1/models, POST /v1/models/{promote,rollback,retrain}).
+	// Normally lifecycle.AdminFor over the daemon's Manager; nil leaves
+	// the endpoints answering 404.
+	ModelAdmin ModelAdmin
+}
+
+// ModelAdmin is the lifecycle hook behind the model administration
+// endpoints. The stream package cannot import the lifecycle manager (the
+// manager drives the engine), so the server takes the admin surface as an
+// interface and the lifecycle package provides the adapter.
+type ModelAdmin interface {
+	// Overview returns the JSON-serialisable body of GET /v1/models:
+	// installed versions plus lifecycle status.
+	Overview() any
+	// Promote makes a version active (0 = the current shadow candidate).
+	Promote(version uint64) error
+	// Rollback retires an in-flight candidate, or re-activates the
+	// previous installed version when no shadow is running.
+	Rollback() error
+	// Retrain forces a retrain cycle, tagging the artefact with trigger.
+	Retrain(trigger string) error
 }
 
 // withDefaults fills zero fields.
@@ -110,6 +132,10 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 	s.mux.HandleFunc("POST /v1/events.bin", s.handleEventsBin)
 	s.mux.HandleFunc("GET /v1/actions", s.handleActions)
 	s.mux.HandleFunc("GET /v1/banks/{addr}", s.handleBank)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/models/promote", s.handleModelPromote)
+	s.mux.HandleFunc("POST /v1/models/rollback", s.handleModelRollback)
+	s.mux.HandleFunc("POST /v1/models/retrain", s.handleModelRetrain)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
@@ -433,6 +459,7 @@ type jsonSession struct {
 	StateRows       int       `json:"featureStateRows"`
 	StateReleased   bool      `json:"featureStateReleased"`
 	Degraded        bool      `json:"degraded"`
+	ModelVersion    uint64    `json:"modelVersion"`
 }
 
 // handleBank returns one bank's session snapshot. The address may be any
@@ -463,11 +490,106 @@ func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
 		StateRows:       st.StateRows,
 		StateReleased:   st.StateReleased,
 		Degraded:        st.Degraded,
+		ModelVersion:    st.ModelVersion,
 	}
 	if st.Classified {
 		js.Class = st.Class.String()
 	}
 	writeJSON(w, http.StatusOK, js)
+}
+
+// admin resolves the configured ModelAdmin or answers 404 — a daemon
+// without a lifecycle manager simply does not have these routes.
+func (s *Server) admin(w http.ResponseWriter) (ModelAdmin, bool) {
+	if s.cfg.ModelAdmin == nil {
+		http.Error(w, "model administration not enabled on this node", http.StatusNotFound)
+		return nil, false
+	}
+	return s.cfg.ModelAdmin, true
+}
+
+// handleModels lists installed model versions and lifecycle status.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	admin, ok := s.admin(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, admin.Overview())
+}
+
+// decodeAdminBody decodes a small optional JSON body into v. An empty body
+// leaves v untouched; anything unparsable is the client's error.
+func decodeAdminBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// handleModelPromote activates a version ({"version": N}; 0 or an empty
+// body promotes the current shadow candidate). A refused promotion — no
+// candidate, unknown version — is a 409 so clients can tell operator error
+// from transport failure.
+func (s *Server) handleModelPromote(w http.ResponseWriter, r *http.Request) {
+	admin, ok := s.admin(w)
+	if !ok {
+		return
+	}
+	var req struct {
+		Version uint64 `json:"version"`
+	}
+	if !decodeAdminBody(w, r, &req) {
+		return
+	}
+	if err := admin.Promote(req.Version); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ActiveVersion uint64 `json:"activeVersion"`
+	}{s.engine.ActiveModelVersion()})
+}
+
+// handleModelRollback retires the candidate or reverts to the previous
+// installed version.
+func (s *Server) handleModelRollback(w http.ResponseWriter, r *http.Request) {
+	admin, ok := s.admin(w)
+	if !ok {
+		return
+	}
+	if err := admin.Rollback(); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ActiveVersion uint64 `json:"activeVersion"`
+	}{s.engine.ActiveModelVersion()})
+}
+
+// handleModelRetrain forces a retrain cycle off the journal
+// ({"trigger": "why"}; defaults to "manual"). The new candidate enters
+// shadow evaluation like a drift-triggered one; poll GET /v1/models for
+// its fate.
+func (s *Server) handleModelRetrain(w http.ResponseWriter, r *http.Request) {
+	admin, ok := s.admin(w)
+	if !ok {
+		return
+	}
+	req := struct {
+		Trigger string `json:"trigger"`
+	}{Trigger: "manual"}
+	if !decodeAdminBody(w, r, &req) {
+		return
+	}
+	if err := admin.Retrain(req.Trigger); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		Status string `json:"status"`
+	}{"retraining"})
 }
 
 // handleHealth answers liveness probes: the process is up and serving.
@@ -523,45 +645,94 @@ func toJSONLatency(l LatencySnapshot) jsonLatency {
 	}
 }
 
+// jsonShadow is the wire shape of a shadow-evaluation snapshot.
+type jsonShadow struct {
+	Active          bool      `json:"active"`
+	Version         uint64    `json:"version,omitempty"`
+	Since           time.Time `json:"since,omitempty"`
+	Banks           int       `json:"banks"`
+	Events          uint64    `json:"events"`
+	UEREvents       uint64    `json:"uerEvents"`
+	Decisions       uint64    `json:"decisions"`
+	Agreements      uint64    `json:"agreements"`
+	PrimaryActions  uint64    `json:"primaryActions"`
+	ShadowActions   uint64    `json:"shadowActions"`
+	PrimaryICR      float64   `json:"primaryICR"`
+	ShadowICR       float64   `json:"shadowICR"`
+	CandidatePanics uint64    `json:"candidatePanics"`
+}
+
+func toJSONShadow(ss ShadowStats) jsonShadow {
+	js := jsonShadow{
+		Active:          ss.Active,
+		Version:         ss.Version,
+		Banks:           ss.Banks,
+		Events:          ss.Events,
+		UEREvents:       ss.UEREvents,
+		Decisions:       ss.Decisions,
+		Agreements:      ss.Agreements,
+		PrimaryActions:  ss.PrimaryActions,
+		ShadowActions:   ss.ShadowActions,
+		PrimaryICR:      ss.PrimaryICR.Rate(),
+		ShadowICR:       ss.ShadowICR.Rate(),
+		CandidatePanics: ss.CandidatePanics,
+	}
+	if !ss.Since.IsZero() {
+		js.Since = ss.Since.UTC()
+	}
+	return js
+}
+
 // handleStats reports engine and server counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	es := s.engine.Stats()
 	s.mu.Lock()
 	stored, evicted := len(s.stored), s.evicted
 	s.mu.Unlock()
+	// Per-session pinned versions, folded to counts: version -> sessions
+	// still pinned to it. The interesting signal after a swap is how much
+	// of the fleet still rides the old model.
+	pinned := make(map[uint64]int)
+	for _, ses := range s.engine.Sessions() {
+		pinned[ses.ModelVersion]++
+	}
 	out := struct {
-		Uptime         string      `json:"uptime"`
-		Ingested       uint64      `json:"ingested"`
-		Dropped        uint64      `json:"dropped"`
-		Processed      uint64      `json:"processed"`
-		IngestRate     float64     `json:"ingestRatePerSec"`
-		SessionsLive   int         `json:"sessionsLive"`
-		Shards         int         `json:"shards"`
-		QueueDepths    []int       `json:"queueDepths"`
-		ActionsEmitted uint64      `json:"actionsEmitted"`
-		ActionsDropped uint64      `json:"actionsDropped"`
-		ActionsStored  int         `json:"actionsStored"`
-		ActionsEvicted uint64      `json:"actionsEvicted"`
-		HTTPRequests   uint64      `json:"httpRequests"`
-		Decode         jsonLatency `json:"decodeLatency"`
-		IngestWait     jsonLatency `json:"ingestWaitLatency"`
-		Process        jsonLatency `json:"processLatency"`
-		StateBytes     int64       `json:"featureStateBytes"`
-		StateRows      int64       `json:"featureStateRows"`
-		StateReleased  int         `json:"sessionsReleased"`
-		ShardStateB    []int64     `json:"shardFeatureStateBytes"`
-		Quarantined    uint64      `json:"quarantined"`
-		Degraded       int         `json:"sessionsDegraded"`
-		WALEnabled     bool        `json:"walEnabled"`
-		WALAppended    uint64      `json:"walAppended,omitempty"`
-		WALSegments    int         `json:"walSegments,omitempty"`
-		WALNextLSN     uint64      `json:"walNextLSN,omitempty"`
-		SnapshotSeq    uint64      `json:"lastSnapshotSeq,omitempty"`
-		RecoveredSess  int         `json:"recoveredSessions,omitempty"`
-		RecoveredEvts  uint64      `json:"recoveredEvents,omitempty"`
-		RetentionErrs  uint64      `json:"retentionErrors"`
-		WALAppendErrs  uint64      `json:"walAppendErrors"`
-		LastAppendErr  string      `json:"lastWALAppendError,omitempty"`
+		Uptime         string         `json:"uptime"`
+		Ingested       uint64         `json:"ingested"`
+		Dropped        uint64         `json:"dropped"`
+		Processed      uint64         `json:"processed"`
+		IngestRate     float64        `json:"ingestRatePerSec"`
+		SessionsLive   int            `json:"sessionsLive"`
+		Shards         int            `json:"shards"`
+		QueueDepths    []int          `json:"queueDepths"`
+		ActionsEmitted uint64         `json:"actionsEmitted"`
+		ActionsDropped uint64         `json:"actionsDropped"`
+		ActionsStored  int            `json:"actionsStored"`
+		ActionsEvicted uint64         `json:"actionsEvicted"`
+		HTTPRequests   uint64         `json:"httpRequests"`
+		Decode         jsonLatency    `json:"decodeLatency"`
+		IngestWait     jsonLatency    `json:"ingestWaitLatency"`
+		Process        jsonLatency    `json:"processLatency"`
+		StateBytes     int64          `json:"featureStateBytes"`
+		StateRows      int64          `json:"featureStateRows"`
+		StateReleased  int            `json:"sessionsReleased"`
+		ShardStateB    []int64        `json:"shardFeatureStateBytes"`
+		Quarantined    uint64         `json:"quarantined"`
+		Degraded       int            `json:"sessionsDegraded"`
+		WALEnabled     bool           `json:"walEnabled"`
+		WALAppended    uint64         `json:"walAppended,omitempty"`
+		WALSegments    int            `json:"walSegments,omitempty"`
+		WALNextLSN     uint64         `json:"walNextLSN,omitempty"`
+		SnapshotSeq    uint64         `json:"lastSnapshotSeq,omitempty"`
+		RecoveredSess  int            `json:"recoveredSessions,omitempty"`
+		RecoveredEvts  uint64         `json:"recoveredEvents,omitempty"`
+		RetentionErrs  uint64         `json:"retentionErrors"`
+		WALAppendErrs  uint64         `json:"walAppendErrors"`
+		LastAppendErr  string         `json:"lastWALAppendError,omitempty"`
+		ActiveModelV   uint64         `json:"activeModelVersion"`
+		ModelSwaps     uint64         `json:"modelSwaps"`
+		PinnedSessions map[uint64]int `json:"sessionsByModelVersion"`
+		Shadow         jsonShadow     `json:"shadow"`
 	}{
 		Uptime:         es.Uptime.String(),
 		Ingested:       es.Ingested,
@@ -595,6 +766,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RetentionErrs:  es.RetentionErrors,
 		WALAppendErrs:  es.WALAppendErrors,
 		LastAppendErr:  es.LastWALAppendError,
+		ActiveModelV:   es.ActiveModelVersion,
+		ModelSwaps:     es.ModelSwaps,
+		PinnedSessions: pinned,
+		Shadow:         toJSONShadow(es.Shadow),
 	}
 	writeJSON(w, http.StatusOK, out)
 }

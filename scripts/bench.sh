@@ -11,6 +11,12 @@
 # flatness of ns/event between the 1k and 10k histories is the O(1)
 # per-event claim of the incremental feature state.
 #
+# A fourth pass records the model-lifecycle costs in BENCH_retrain.json:
+# BenchmarkModelSwap times the atomic hot-swap pause (the window every
+# shard's intake is held while the swap record is journaled) and reports
+# its p99 as p99-pause-ns; BenchmarkShadowOverhead/off vs /on is the
+# per-event ingest cost without and with a live candidate shadow twin.
+#
 # A third pass records the binary ingest path in BENCH_ingest.json:
 # BenchmarkWireFrameDecode is the headline steady-state decode number
 # (events/sec, ns/event, and — via -benchmem — allocs/op, which must be 0),
@@ -164,3 +170,56 @@ END {
 }' "$tmp" > BENCH_ingest.json
 
 echo "wrote BENCH_ingest.json"
+
+go test -run '^$' \
+    -bench 'BenchmarkModelSwap$|BenchmarkShadowOverhead' \
+    -benchtime "$benchtime" ./internal/stream/ | tee "$tmp"
+
+# Unit-tagged parsing again: ModelSwap carries p99-pause-ns alongside
+# ns/op, the ShadowOverhead sub-benchmarks carry ns/event.
+awk \
+    -v go_version="$(go version | awk '{print $3}')" \
+    -v maxprocs="$(go env GOMAXPROCS 2>/dev/null || echo 0)" \
+    -v nproc="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" \
+    -v benchtime="$benchtime" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^pkg:/ { pkg = $2 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    key = pkg "." name
+    order[++n] = key
+    for (f = 2; f < NF; f++) {
+        u = $(f + 1)
+        if (u ~ /^(ns\/op|ns\/event|p99-pause-ns)$/)
+            m[key "|" u] = $f
+    }
+}
+END {
+    nu = split("ns/op ns/event p99-pause-ns", units, " ")
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cores\": %d,\n", nproc
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++) {
+        key = order[i]
+        printf "    \"%s\": {", key
+        first = 1
+        for (j = 1; j <= nu; j++) {
+            u = units[j]
+            if ((key "|" u) in m) {
+                printf "%s\"%s\": %s", (first ? "" : ", "), u, m[key "|" u]
+                first = 0
+            }
+        }
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+}' "$tmp" > BENCH_retrain.json
+
+echo "wrote BENCH_retrain.json"

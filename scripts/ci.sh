@@ -183,6 +183,68 @@ kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
 
+echo "==> online retraining smoke (drifted mix -> retrain -> shadow -> promote)"
+# Boots cordial-serve with the journal and model registry enabled, ingests
+# a drifted pattern mix, forces a retrain off the journal, feeds the
+# candidate's shadow twins with fresh drifted traffic, and promotes it
+# through the admin API — asserting the swap lands (cordial_model_swaps_total,
+# /statsz active version, registry pointer) with /readyz 200 throughout.
+# The lifecycle interval is parked at 30m so the smoke, not the timer,
+# drives every transition deterministically.
+"$smokedir/cordial-serve" -selftrain -seed 3 -train-banks 20 -trees 5 \
+    -addr 127.0.0.1:0 -log-format text \
+    -wal-dir "$smokedir/wal-retrain" -fsync never \
+    -retrain -retrain-interval 30m >"$smokedir/retrain.log" 2>&1 &
+serve_pid=$!
+addr=$(wait_addr "$smokedir/retrain.log" "$serve_pid")
+check_ready() {
+    curl -fsS "http://$addr/readyz" | grep -q '"ready": true' \
+        || { echo "readyz degraded during retraining smoke ($1)" >&2
+             cat "$smokedir/retrain.log" >&2; exit 1; }
+}
+check_ready boot
+# Drifted regime: the paper's field mix is single-row dominant; this one
+# is scattered/whole-column heavy.
+go run ./cmd/cordial-gen -seed 11 -uer-banks 40 -benign-banks 10 \
+    -weights 'single=5,scattered=70,wholecol=25' \
+    -log "$smokedir/drift-a.wire" -format wire -truth ""
+curl -fsS -X POST -H 'Content-Type: application/octet-stream' \
+    --data-binary @"$smokedir/drift-a.wire" "http://$addr/v1/events.bin" >/dev/null
+check_ready ingest
+curl -fsS -X POST -d '{"trigger":"ci-smoke"}' "http://$addr/v1/models/retrain" \
+    | grep -q '"status": "retraining"' \
+    || { echo "forced retrain refused:" >&2; cat "$smokedir/retrain.log" >&2; exit 1; }
+curl -fsS "http://$addr/v1/models" >"$smokedir/models.json"
+grep -q '"candidateVersion": 2' "$smokedir/models.json" \
+    || { echo "candidate not shadowing:" >&2; cat "$smokedir/models.json" >&2; exit 1; }
+# Fresh drifted banks (different seed) create their sessions while the
+# shadow is live, so each gets a candidate twin and the shadow scores
+# real traffic before the promotion decision.
+go run ./cmd/cordial-gen -seed 12 -uer-banks 40 -benign-banks 10 \
+    -weights 'single=5,scattered=70,wholecol=25' \
+    -log "$smokedir/drift-b.wire" -format wire -truth ""
+curl -fsS -X POST -H 'Content-Type: application/octet-stream' \
+    --data-binary @"$smokedir/drift-b.wire" "http://$addr/v1/events.bin" >/dev/null
+check_ready shadow
+curl -fsS -X POST "http://$addr/v1/models/promote" \
+    | grep -q '"activeVersion": 2' \
+    || { echo "candidate promotion failed:" >&2; cat "$smokedir/retrain.log" >&2; exit 1; }
+i=0
+until curl -fsS "http://$addr/metrics" | grep -q '^cordial_model_swaps_total 1$'; do
+    i=$((i + 1))
+    [ $i -lt 50 ] || { echo "model swap never reached /metrics" >&2
+                       cat "$smokedir/retrain.log" >&2; exit 1; }
+    sleep 0.2
+done
+check_ready promoted
+curl -fsS "http://$addr/statsz" | grep -q '"activeModelVersion": 2' \
+    || { echo "statsz missing new active version" >&2; exit 1; }
+curl -fsS "http://$addr/v1/models" | grep -q '"activeVersion": 2' \
+    || { echo "registry active pointer not flipped" >&2; exit 1; }
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
 echo "==> multi-node smoke (control plane + 2 nodes + router, kill one node)"
 # Boots a live two-node cluster behind the router, ingests through the
 # router, SIGKILLs one node, and asserts the cluster heals: the control
