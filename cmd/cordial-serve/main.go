@@ -96,7 +96,11 @@ func run() error {
 		snapEvery  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 disables; requires -wal-dir)")
 		fsync      = flag.String("fsync", "always", "journal fsync policy with -wal-dir: always, interval or never")
 		groupWAL   = flag.Bool("group-commit", true, "coalesce concurrent journal appends into shared fsyncs under -fsync=always")
+		faultSpec  = flag.String("faultfs", "", "chaos-testing disk faults for the WAL path (sync-fail[=N], write-budget=N, open-fail; comma-separated); starts DISARMED, SIGUSR2 toggles arm/disarm")
 		deadLetter = flag.String("dead-letter", "", "append quarantined events (panicked processing) to this JSONL file")
+		deadMaxMB  = flag.Int64("dead-letter-max-mb", 0, "rotate the dead-letter file past this many MiB (0 = default 64)")
+		deadKeep   = flag.Int("dead-letter-keep", 0, "rotated dead-letter files to keep (0 = default 4, negative keeps none)")
+		deadMaxAge = flag.Duration("dead-letter-max-age", 0, "additionally drop rotated dead-letter files older than this (0 = no age pruning)")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		pprofOn    = flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
 		drainWait  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound on draining in-flight events; logs a warning with the stranded count when it fires")
@@ -142,14 +146,35 @@ func run() error {
 	if *modelsPath == "" && !*selftrain {
 		return fmt.Errorf("need -models <path> or -selftrain")
 	}
+	var (
+		faultFS     *wal.FaultFS
+		armedFaults wal.FaultSpec
+	)
 	if *walDir != "" {
 		pol, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
 			return err
 		}
 		cfg.Durability = stream.DurabilityConfig{Dir: *walDir, Sync: pol, NoGroupCommit: !*groupWAL}
+		if *faultSpec != "" {
+			// Chaos plumbing: the WAL runs over a FaultFS that boots
+			// disarmed (recovery and steady state are unaffected) and flips
+			// to the parsed faults on SIGUSR2. The harness schedules the
+			// signal; the spec stays fixed for the process lifetime.
+			armedFaults, err = wal.ParseFaultSpec(*faultSpec)
+			if err != nil {
+				return err
+			}
+			if !armedFaults.Armed() {
+				return fmt.Errorf("-faultfs %q arms no faults", *faultSpec)
+			}
+			faultFS = wal.NewFaultFS(wal.OSFS)
+			cfg.Durability.FS = faultFS
+		}
 	} else if *snapEvery > 0 {
 		return fmt.Errorf("-snapshot-interval requires -wal-dir")
+	} else if *faultSpec != "" {
+		return fmt.Errorf("-faultfs requires -wal-dir (it injects faults into the WAL path)")
 	}
 	if *regDir == "" && *walDir != "" {
 		*regDir = filepath.Join(*walDir, "models")
@@ -160,6 +185,11 @@ func run() error {
 		}
 	}
 	cfg.DeadLetterPath = *deadLetter
+	cfg.DeadLetterRotation = stream.DeadLetterRotation{
+		MaxFileBytes: *deadMaxMB << 20,
+		MaxFiles:     *deadKeep,
+		MaxAge:       *deadMaxAge,
+	}
 	cfg.Logger = logger
 
 	pipe, err := loadPipeline(logger, *modelsPath, *selftrain, *seed, *trainBanks, *trees)
@@ -345,7 +375,8 @@ func run() error {
 	}
 
 	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP, syscall.SIGUSR2)
+	faultsArmed := false
 serve:
 	for {
 		select {
@@ -355,6 +386,23 @@ serve:
 				// in through the same path online promotion uses.
 				if err := reloadModel(logger, engine, reg, *modelsPath); err != nil {
 					logger.Error("model reload failed", "err", err)
+				}
+				continue
+			}
+			if s == syscall.SIGUSR2 {
+				// Chaos toggle: arm or disarm the -faultfs spec.
+				switch {
+				case faultFS == nil:
+					logger.Warn("SIGUSR2 ignored: no -faultfs configured")
+				case faultsArmed:
+					faultFS.Disarm()
+					faultsArmed = false
+					w, sy := faultFS.Faults()
+					logger.Info("disk faults disarmed", "spec", armedFaults.String(), "writeFaults", w, "syncFaults", sy)
+				default:
+					armedFaults.Apply(faultFS)
+					faultsArmed = true
+					logger.Info("disk faults armed", "spec", armedFaults.String())
 				}
 				continue
 			}

@@ -1,0 +1,197 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Daemon is one supervised fleet process (cordial-serve, cordial-control
+// or cordial-router). It mirrors the clitest harness pattern — launch,
+// scan stdout for the resolved-address slog line, capture output — but
+// lives outside testing.T so the chaos runner can also SIGKILL, pause and
+// restart processes mid-run.
+type Daemon struct {
+	Name string // role label: node-1, control, router, reference
+	Path string // binary path
+	Args []string
+
+	mu    sync.Mutex
+	cmd   *exec.Cmd
+	addr  string
+	out   *tailBuf
+	alive bool
+}
+
+// tailBuf is a concurrency-safe, bounded output capture: it keeps the
+// last maxTail bytes so a chatty daemon cannot balloon the harness.
+type tailBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+const maxTail = 256 << 10
+
+func (b *tailBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n, err := b.buf.Write(p)
+	if b.buf.Len() > maxTail {
+		rest := b.buf.Bytes()[b.buf.Len()-maxTail:]
+		trimmed := make([]byte, len(rest))
+		copy(trimmed, rest)
+		b.buf.Reset()
+		b.buf.Write(trimmed)
+	}
+	return n, err
+}
+
+func (b *tailBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startupTimeout bounds how long a daemon may take to report its listen
+// address; self-training dominates and can be slow on loaded CI hosts.
+const startupTimeout = 3 * time.Minute
+
+// Start launches the process and blocks until it logs
+// "msg=listening addr=127.0.0.1:NNNNN" on stdout.
+func (d *Daemon) Start() error {
+	d.mu.Lock()
+	if d.alive {
+		d.mu.Unlock()
+		return fmt.Errorf("chaos: %s already running", d.Name)
+	}
+	cmd := exec.Command(d.Path, d.Args...)
+	out := &tailBuf{}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("chaos: start %s: %w", d.Name, err)
+	}
+	d.cmd = cmd
+	d.out = out
+	d.alive = true
+	d.mu.Unlock()
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 64<<10), 64<<10)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(out, line)
+			if !strings.Contains(line, "msg=listening") {
+				continue
+			}
+			if _, rest, ok := strings.Cut(line, "addr="); ok {
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					select {
+					case addrc <- strings.Trim(fields[0], `"`):
+					default:
+					}
+				}
+			}
+		}
+	}()
+
+	select {
+	case addr := <-addrc:
+		d.mu.Lock()
+		d.addr = addr
+		d.mu.Unlock()
+		return nil
+	case <-time.After(startupTimeout):
+		d.Kill()
+		return fmt.Errorf("chaos: %s never reported its address; output:\n%s",
+			filepath.Base(d.Path), out.String())
+	}
+}
+
+// Addr returns the daemon's resolved listen address.
+func (d *Daemon) Addr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.addr
+}
+
+// URL joins the daemon's base URL with path.
+func (d *Daemon) URL(path string) string { return "http://" + d.Addr() + path }
+
+// Alive reports whether the harness believes the process is running (it
+// has been started and not yet killed/terminated by the harness).
+func (d *Daemon) Alive() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alive
+}
+
+// Output returns the captured (bounded) stdout+stderr tail.
+func (d *Daemon) Output() string {
+	d.mu.Lock()
+	out := d.out
+	d.mu.Unlock()
+	if out == nil {
+		return ""
+	}
+	return out.String()
+}
+
+// Signal delivers sig to the process.
+func (d *Daemon) Signal(sig syscall.Signal) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.alive || d.cmd == nil || d.cmd.Process == nil {
+		return fmt.Errorf("chaos: %s is not running", d.Name)
+	}
+	return d.cmd.Process.Signal(sig)
+}
+
+// Kill SIGKILLs the process and reaps it.
+func (d *Daemon) Kill() {
+	d.mu.Lock()
+	cmd := d.cmd
+	d.alive = false
+	d.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}
+
+// Terminate sends SIGTERM and waits up to grace for a clean exit, then
+// escalates to SIGKILL.
+func (d *Daemon) Terminate(grace time.Duration) {
+	d.mu.Lock()
+	cmd := d.cmd
+	d.alive = false
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		cmd.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		cmd.Process.Kill()
+		<-done
+	}
+}

@@ -1,0 +1,230 @@
+// Package chaos is the fleet-scale stress harness behind cordial-chaos: a
+// YAML scenario runner that generates workloads from weighted templates,
+// drives them through the real daemons (cordial-serve, cordial-control,
+// cordial-router) over the binary wire codec, injects failures on a
+// timeline — SIGKILL, disk faults, clock skew, poisoned events, router
+// partitions — and asserts SLOs scraped from the daemons' own /metrics
+// and /statsz endpoints. One scenario run is one repeatable fleet-scale
+// verdict over the whole serving stack.
+//
+// The repo carries no third-party dependencies, so the scenario loader
+// includes a minimal YAML subset parser (this file): nested maps keyed by
+// identifier-like scalars, block lists ("- item"), scalar leaves, and
+// comments. That subset covers every scenario shape the harness defines;
+// anchors, flow collections, multi-line strings and type tags are
+// deliberately out of scope and rejected loudly.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// yamlLine is one significant (non-blank, non-comment) line.
+type yamlLine struct {
+	indent int
+	text   string
+	num    int // 1-based source line, for errors
+}
+
+// parseYAML parses the supported YAML subset into nested
+// map[string]any / []any / string values. Scalars stay strings; typed
+// conversion happens at decode time where the field is known.
+func parseYAML(data []byte) (map[string]any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		if strings.ContainsRune(line, '\t') {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed for indentation", i+1)
+		}
+		lines = append(lines, yamlLine{
+			indent: len(line) - len(trimmed),
+			text:   strings.TrimSpace(trimmed),
+			num:    i + 1,
+		})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseValue(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected content %q (bad indentation?)", p.lines[p.pos].num, p.lines[p.pos].text)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("yaml: document root must be a mapping")
+	}
+	return m, nil
+}
+
+// stripComment removes a trailing "#..." that is not inside quotes.
+func stripComment(line string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || line[i-1] == ' ') {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseValue parses the block starting at the current line, which must be
+// indented at least minIndent.
+func (p *yamlParser) parseValue(minIndent int) (any, error) {
+	ln := p.lines[p.pos]
+	if ln.indent < minIndent {
+		return nil, fmt.Errorf("yaml line %d: unexpected outdent", ln.num)
+	}
+	if isListItem(ln.text) {
+		return p.parseList(ln.indent)
+	}
+	return p.parseMap(ln.indent)
+}
+
+func isListItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// parseMap parses consecutive "key: value" / "key:" lines at exactly
+// indent.
+func (p *yamlParser) parseMap(indent int) (map[string]any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("yaml line %d: unexpected indent under a scalar value", ln.num)
+		}
+		if isListItem(ln.text) {
+			break
+		}
+		key, rest, err := cutKey(ln.text, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", ln.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			m[key] = unquoteScalar(rest)
+			continue
+		}
+		// Block value: anything more indented; a list may also sit at the
+		// SAME indent as its key (common YAML style).
+		if p.pos < len(p.lines) &&
+			(p.lines[p.pos].indent > indent ||
+				(p.lines[p.pos].indent == indent && isListItem(p.lines[p.pos].text))) {
+			v, err := p.parseValue(indent)
+			if err != nil {
+				return nil, err
+			}
+			// An equally indented list was consumed as this key's value;
+			// a deeper block likewise. But an equally indented MAP line
+			// would have been a sibling key — parseValue only recursed for
+			// deeper indents or list items, so this is safe.
+			m[key] = v
+			continue
+		}
+		m[key] = nil
+	}
+	return m, nil
+}
+
+// parseList parses consecutive "- ..." lines at exactly indent.
+func (p *yamlParser) parseList(indent int) ([]any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || !isListItem(ln.text) {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest == "" {
+			// "-" alone: the item is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.parseValue(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		if key, _, err := cutKey(rest, ln.num); err == nil && key != "" {
+			// "- key: ..." starts a map item: rewrite the line as its first
+			// key at the item's content indent and parse the map there.
+			p.lines[p.pos] = yamlLine{indent: indent + 2, text: rest, num: ln.num}
+			m, err := p.parseMap(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+			continue
+		}
+		p.pos++
+		out = append(out, unquoteScalar(rest))
+	}
+	return out, nil
+}
+
+// cutKey splits "key: value" or "key:"; keys are identifier-like
+// (letters, digits, _, -). Anything else is not a mapping line.
+func cutKey(text string, num int) (key, rest string, err error) {
+	i := strings.IndexByte(text, ':')
+	if i <= 0 {
+		return "", "", fmt.Errorf("yaml line %d: expected \"key: value\", got %q", num, text)
+	}
+	key = text[:i]
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return "", "", fmt.Errorf("yaml line %d: invalid key %q", num, key)
+		}
+	}
+	rest = strings.TrimSpace(text[i+1:])
+	if rest != "" && !strings.HasPrefix(text[i+1:], " ") {
+		return "", "", fmt.Errorf("yaml line %d: missing space after %q:", num, key)
+	}
+	return key, rest, nil
+}
+
+// unquoteScalar strips one level of matching quotes.
+func unquoteScalar(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}

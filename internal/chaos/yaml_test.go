@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLShapes(t *testing.T) {
+	doc := `
+# top comment
+name: demo
+quoted: "hello # not a comment"
+empty:
+fleet:
+  nodes: 3
+  startup:
+    pattern: wave
+list:
+  - one
+  - two
+items:
+  - name: a
+    weight: 1.5
+  - name: b
+    weight: 2
+inline-list:
+- solo
+`
+	got, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":   "demo",
+		"quoted": "hello # not a comment",
+		"empty":  nil,
+		"fleet": map[string]any{
+			"nodes": "3",
+			"startup": map[string]any{
+				"pattern": "wave",
+			},
+		},
+		"list": []any{"one", "two"},
+		"items": []any{
+			map[string]any{"name": "a", "weight": "1.5"},
+			map[string]any{"name": "b", "weight": "2"},
+		},
+		"inline-list": []any{"solo"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseYAML mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"tab indent", "a:\n\tb: 1", "tabs"},
+		{"no space after colon", "a:1", "missing space"},
+		{"bare scalar root", "justastring", "expected"},
+		{"duplicate key", "a: 1\na: 2", "duplicate"},
+		{"weird key", "a b: 1", "invalid key"},
+		{"indent under scalar", "a: 1\n  b: 2", "indent"},
+	}
+	for _, tc := range cases {
+		_, err := parseYAML([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseYAMLEmpty(t *testing.T) {
+	got, err := parseYAML([]byte("\n# only a comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty doc = %#v, want empty map", got)
+	}
+}

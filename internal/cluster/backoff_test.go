@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayCeiling pins the deterministic ceiling schedule: pure
+// doubling from base, clamped at max.
+func TestBackoffDelayCeiling(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second,
+		2 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := backoffDelay(attempt, base, max); got != w {
+			t.Errorf("backoffDelay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+// TestJitteredBackoffBounds: every draw lands in [ceiling/2, ceiling], so
+// the exponential shape survives (attempt n never undercuts attempt n-1's
+// ceiling) and no draw exceeds the cap.
+func TestJitteredBackoffBounds(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := backoffDelay(attempt, base, max)
+		for i := 0; i < 200; i++ {
+			d := jitteredBackoff(attempt, base, max)
+			if d < ceil/2 || d > ceil {
+				t.Fatalf("jitteredBackoff(%d) = %v, want in [%v, %v]", attempt, d, ceil/2, ceil)
+			}
+		}
+	}
+}
+
+// TestJitteredBackoffSpreads: the whole point of the jitter is that two
+// clients retrying the same attempt do NOT sleep identically. With 100
+// draws over a 25ms half-window, a constant output would mean the jitter
+// is wired to a degenerate source.
+func TestJitteredBackoffSpreads(t *testing.T) {
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 100; i++ {
+		seen[jitteredBackoff(0, 50*time.Millisecond, 2*time.Second)] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("100 draws produced only %d distinct delays; jitter looks degenerate", len(seen))
+	}
+}

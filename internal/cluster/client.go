@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"time"
 
@@ -154,7 +155,7 @@ func truncate(b []byte, n int) string {
 	return string(b)
 }
 
-// backoffDelay is the bounded exponential retry schedule used by every
+// backoffDelay is the bounded exponential ceiling used by every
 // cluster-internal retry loop: base, 2×base, 4×base … capped at max.
 func backoffDelay(attempt int, base, max time.Duration) time.Duration {
 	d := base
@@ -165,4 +166,20 @@ func backoffDelay(attempt int, base, max time.Duration) time.Duration {
 		d = max
 	}
 	return d
+}
+
+// jitteredBackoff draws the actual sleep for one retry: uniform in
+// [ceiling/2, ceiling], where ceiling is backoffDelay's bounded
+// exponential. Without the jitter every client that lost the same node
+// retries on the same schedule, and a recovering node takes the whole
+// reconnect storm in synchronized waves; the half-width spread keeps the
+// exponential shape (attempt n never sleeps less than attempt n-1's
+// ceiling) while decorrelating the arrivals.
+func jitteredBackoff(attempt int, base, max time.Duration) time.Duration {
+	d := backoffDelay(attempt, base, max)
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(d-half)+1))
 }

@@ -242,7 +242,7 @@ func (a *Agent) Run(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoffDelay(attempt, 200*time.Millisecond, 5*time.Second)):
+		case <-time.After(jitteredBackoff(attempt, 200*time.Millisecond, 5*time.Second)):
 		}
 	}
 	tick := time.NewTicker(a.cfg.Heartbeat)

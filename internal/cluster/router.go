@@ -160,7 +160,7 @@ func (rt *Router) Run(ctx context.Context) error {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(backoffDelay(attempt, 200*time.Millisecond, 5*time.Second)):
+			case <-time.After(jitteredBackoff(attempt, 200*time.Millisecond, 5*time.Second)):
 			}
 		}
 	}
@@ -347,7 +347,7 @@ func (rt *Router) forward(lines []routedLine, agg *ingestResult) {
 	for attempt := 0; len(lines) > 0 && attempt < rt.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			rt.retries.Inc()
-			time.Sleep(backoffDelay(attempt-1, rt.cfg.Backoff, rt.cfg.BackoffCap))
+			time.Sleep(jitteredBackoff(attempt-1, rt.cfg.Backoff, rt.cfg.BackoffCap))
 		}
 		ring := rt.currentRing()
 		groups := make(map[string][]routedLine)

@@ -58,8 +58,8 @@ func ParseJSONEvent(line []byte) (Event, error) {
 	if err != nil {
 		return Event{}, fmt.Errorf("mcelog: %w", err)
 	}
-	if je.Time.IsZero() {
-		return Event{}, fmt.Errorf("mcelog: event has zero timestamp")
+	if err := ValidateTime(je.Time); err != nil {
+		return Event{}, err
 	}
 	return Event{Time: je.Time, Addr: addr, Class: class}, nil
 }

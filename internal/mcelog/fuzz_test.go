@@ -57,6 +57,13 @@ func FuzzReadJSONL(f *testing.F) {
 	f.Add([]byte(`{"time":"2025-01-01T00:00:00Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r1.col2","class":"CE"}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`not json`))
+	// Poisoned-timestamp seeds: zero, pre-epoch and far-future times that
+	// the ingest-path validation (ValidateTime) must reject without panic.
+	f.Add([]byte(`{"time":"0001-01-01T00:00:00Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r1.col2","class":"CE"}`))
+	f.Add([]byte(`{"time":"1969-07-20T20:17:00Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r1.col2","class":"CE"}`))
+	f.Add([]byte(`{"time":"2300-01-01T00:00:00Z","addr":"n0.u0.h0.s0.c0.p0.g0.b0.r1.col2","class":"UER"}`))
+	// Out-of-geometry address seed.
+	f.Add([]byte(`{"time":"2025-01-01T00:00:00Z","addr":"n999.u99.h9.s9.c99.p9.g9.b9.r99999999.col9999","class":"CE"}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		log, err := ReadJSONL(bytes.NewReader(data))

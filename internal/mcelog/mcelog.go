@@ -29,13 +29,42 @@ type Event struct {
 	Class ecc.Class
 }
 
+// Timestamp sanity bounds for ingested events. The binary wire record
+// carries raw int64 unix-nanos, so a flipped high bit or a poisoned
+// producer yields timestamps centuries away from any real observation;
+// such events would silently skew windowed analyses and session ageing
+// if admitted. The bounds are deliberately loose — decades of slack on
+// both sides of any plausible deployment — so they only ever reject
+// garbage, never clock skew.
+var (
+	// MinEventTime is the oldest admissible event timestamp (the Unix
+	// epoch: no BMC logged an HBM error before 1970).
+	MinEventTime = time.Unix(0, 0).UTC()
+	// MaxEventTime is the exclusive upper bound on event timestamps.
+	MaxEventTime = time.Date(2200, time.January, 1, 0, 0, 0, 0, time.UTC)
+)
+
+// ValidateTime checks a timestamp against the ingestion sanity bounds.
+func ValidateTime(t time.Time) error {
+	if t.IsZero() {
+		return fmt.Errorf("mcelog: event has zero timestamp")
+	}
+	if t.Before(MinEventTime) {
+		return fmt.Errorf("mcelog: event timestamp %v predates %v", t, MinEventTime)
+	}
+	if !t.Before(MaxEventTime) {
+		return fmt.Errorf("mcelog: event timestamp %v is implausibly far in the future (>= %v)", t, MaxEventTime)
+	}
+	return nil
+}
+
 // Validate reports whether the event is well-formed under the geometry.
 func (e Event) Validate(g hbm.Geometry) error {
 	if e.Class != ecc.ClassCE && e.Class != ecc.ClassUEO && e.Class != ecc.ClassUER {
 		return fmt.Errorf("mcelog: event class %v is not a loggable error class", e.Class)
 	}
-	if e.Time.IsZero() {
-		return fmt.Errorf("mcelog: event has zero timestamp")
+	if err := ValidateTime(e.Time); err != nil {
+		return err
 	}
 	if err := e.Addr.Validate(g); err != nil {
 		return fmt.Errorf("mcelog: event address: %w", err)

@@ -219,6 +219,15 @@ func FuzzBinaryFrameDecode(f *testing.F) {
 	bad := append([]byte(nil), good...)
 	bad[len(bad)-1] ^= 0x40
 	f.Add(bad) // CRC mismatch
+	// Correctly framed but poisoned payload: all-ones timestamp (pre-epoch
+	// once sign-extended), out-of-geometry packed address, junk class byte.
+	// The framing layer must pass it through (its CRC is valid) and leave
+	// the rejection to per-record validation — decoding must not panic.
+	poison := make([]byte, WireRecordSize)
+	for i := range poison {
+		poison[i] = 0xff
+	}
+	f.Add(append([]byte(wireMagic), encodeFrame(poison)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewFrameDecoder(bytes.NewReader(data))

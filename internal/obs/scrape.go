@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape-side companion to the registry: a parser for the Prometheus text
+// exposition format that turns a /metrics payload back into queryable
+// samples. The chaos harness uses it to assert SLOs against live daemons;
+// tests use it to read a registry's own WriteText output back without
+// string matching.
+
+// Sample is one parsed exposition line: a metric name, its label set and
+// the sample value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Snapshot is one parsed scrape. Samples keep payload order; lookups go
+// through an index keyed by name plus canonical label signature.
+type Snapshot struct {
+	Samples []Sample
+	byKey   map[string]float64
+	byName  map[string][]int // name -> indices into Samples
+}
+
+// ParseText parses a text exposition payload (the format WriteText
+// renders). Comment and blank lines are skipped; any malformed sample
+// line fails the whole parse — a scrape that is only partly readable is
+// not a scrape the harness should assert against.
+func ParseText(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{
+		byKey:  make(map[string]float64),
+		byName: make(map[string][]int),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		idx := len(snap.Samples)
+		snap.Samples = append(snap.Samples, s)
+		snap.byKey[sampleKey(s.Name, s.Labels)] = s.Value
+		snap.byName[s.Name] = append(snap.byName[s.Name], idx)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	return snap, nil
+}
+
+// Scrape fetches url and parses the body as a text exposition payload.
+// Non-200 statuses are errors; a nil client uses http.DefaultClient.
+func Scrape(client *http.Client, url string) (*Snapshot, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: scraping %s: status %d", url, resp.StatusCode)
+	}
+	snap, err := ParseText(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("obs: scraping %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// Value returns the sample for name with exactly the given label set.
+func (s *Snapshot) Value(name string, labels ...Label) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	v, ok := s.byKey[sampleKey(name, labels)]
+	return v, ok
+}
+
+// SumByName sums every series of the family, whatever its labels — the
+// natural read for counters split across label values (e.g. rejects by
+// reason).
+func (s *Snapshot) SumByName(name string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	idxs, ok := s.byName[name]
+	if !ok {
+		return 0, false
+	}
+	total := 0.0
+	for _, i := range idxs {
+		total += s.Samples[i].Value
+	}
+	return total, true
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the histogram family
+// name from its cumulative <name>_bucket series, restricted to series
+// whose labels include every given label. It interpolates linearly inside
+// the target bucket, the same estimate histogram_quantile gives. The
+// second return is false when the histogram is absent or empty.
+func (s *Snapshot) Quantile(name string, q float64, labels ...Label) (float64, bool) {
+	if s == nil || q <= 0 || q > 1 {
+		return 0, false
+	}
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	for _, i := range s.byName[name+"_bucket"] {
+		smp := s.Samples[i]
+		if !hasLabels(smp.Labels, labels) {
+			continue
+		}
+		le, ok := labelValue(smp.Labels, "le")
+		if !ok {
+			continue
+		}
+		bound, err := parseSampleValue(le)
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{le: bound, cum: smp.Value})
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	for i, b := range buckets {
+		if b.cum < rank {
+			continue
+		}
+		if math.IsInf(b.le, 1) {
+			// Off the ladder: report the highest finite bound.
+			if i > 0 {
+				return buckets[i-1].le, true
+			}
+			return 0, false
+		}
+		lower, prevCum := 0.0, 0.0
+		if i > 0 {
+			lower, prevCum = buckets[i-1].le, buckets[i-1].cum
+		}
+		if b.cum == prevCum {
+			return b.le, true
+		}
+		return lower + (b.le-lower)*(rank-prevCum)/(b.cum-prevCum), true
+	}
+	return buckets[len(buckets)-1].le, true
+}
+
+// parseSampleLine splits one exposition line into name, labels and value.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		close := strings.LastIndexByte(rest, '}')
+		if close < i {
+			return Sample{}, fmt.Errorf("obs: unterminated label block")
+		}
+		labels, err := parseLabelBlock(rest[i+1 : close])
+		if err != nil {
+			return Sample{}, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[close+1:])
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return Sample{}, fmt.Errorf("obs: no sample value")
+		}
+		s.Name, rest = rest[:sp], strings.TrimSpace(rest[sp+1:])
+	}
+	if !validName(s.Name, false) {
+		return Sample{}, fmt.Errorf("obs: invalid metric name %q", s.Name)
+	}
+	// Exposition lines may carry a trailing timestamp; the value is the
+	// first field.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseSampleValue(rest)
+	if err != nil {
+		return Sample{}, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseSampleValue parses a sample float, honouring the exposition
+// spellings of the special values.
+func parseSampleValue(v string) (float64, error) {
+	switch v {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// parseLabelBlock parses the inside of a {...} block into labels,
+// unescaping values.
+func parseLabelBlock(s string) ([]Label, error) {
+	var labels []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("obs: invalid label pair in %q", s)
+		}
+		key := s[:eq]
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("obs: unquoted label value for %q", key)
+		}
+		s = s[1:]
+		var b strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i])
+				}
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			b.WriteByte(s[i])
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("obs: unterminated label value for %q", key)
+		}
+		labels = append(labels, Label{Key: key, Value: b.String()})
+		s = s[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return labels, nil
+}
+
+// sampleKey is the lookup signature: name plus canonical label string.
+func sampleKey(name string, labels []Label) string {
+	return name + "{" + labelKey(labels) + "}"
+}
+
+// hasLabels reports whether have includes every label in want.
+func hasLabels(have, want []Label) bool {
+	for _, w := range want {
+		v, ok := labelValue(have, w.Key)
+		if !ok || v != w.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// labelValue finds key in labels.
+func labelValue(labels []Label, key string) (string, bool) {
+	for _, l := range labels {
+		if l.Key == key {
+			return l.Value, true
+		}
+	}
+	return "", false
+}

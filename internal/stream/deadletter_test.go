@@ -1,0 +1,145 @@
+package stream
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for rotation stamps.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// rotatedFiles lists path.<stamp> siblings, sorted by name.
+func rotatedFiles(t *testing.T, path string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(path + ".*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestDeadLetterRotatesAtSizeCap: the active file never exceeds
+// MaxFileBytes, full files rotate aside, and pruning keeps only MaxFiles
+// rotated files — so a sustained poison stream cannot fill the disk.
+func TestDeadLetterRotatesAtSizeCap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dead.jsonl")
+	clock := &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	l, err := openDeadLetterLog(path, DeadLetterRotation{
+		MaxFileBytes: 64,
+		MaxFiles:     2,
+		Clock:        clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.close()
+
+	line := []byte(strings.Repeat("x", 30)) // 31 bytes with newline; 2 per file
+	for i := 0; i < 20; i++ {
+		l.write(line)
+		clock.advance(time.Second) // distinct rotation stamps
+	}
+
+	if st, err := os.Stat(path); err != nil || st.Size() > 64 {
+		t.Errorf("active file size = %v (err %v), want <= 64", st.Size(), err)
+	}
+	rot := rotatedFiles(t, path)
+	if len(rot) != 2 {
+		t.Errorf("rotated files = %d (%v), want 2", len(rot), rot)
+	}
+	// Total trail stays under (MaxFiles+1) * MaxFileBytes.
+	total := int64(0)
+	for _, p := range append(rot, path) {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Size()
+	}
+	if total > 3*64 {
+		t.Errorf("total trail = %d bytes, want <= %d", total, 3*64)
+	}
+}
+
+// TestDeadLetterAgePruning: rotated files older than MaxAge disappear on
+// the next rotation even when the count cap would keep them.
+func TestDeadLetterAgePruning(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dead.jsonl")
+	clock := &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	l, err := openDeadLetterLog(path, DeadLetterRotation{
+		MaxFileBytes: 32,
+		MaxFiles:     100, // count cap out of the way
+		MaxAge:       time.Minute,
+		Clock:        clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.close()
+
+	line := []byte(strings.Repeat("y", 30))
+	l.write(line) // fills the file
+	l.write(line) // rotates: one rotated file stamped t0
+	if got := rotatedFiles(t, path); len(got) != 1 {
+		t.Fatalf("rotated files = %d, want 1", len(got))
+	}
+
+	clock.advance(2 * time.Minute)
+	l.write(line) // rotates again; the t0 file is now past MaxAge
+	rot := rotatedFiles(t, path)
+	if len(rot) != 1 {
+		t.Fatalf("rotated files after age prune = %d (%v), want 1", len(rot), rot)
+	}
+	// The survivor must be the fresh one (stamped after the advance).
+	if !strings.HasSuffix(rot[0], ".jsonl."+strconv.FormatInt(clock.now.UnixNano(), 10)) {
+		t.Errorf("surviving rotated file %q is not the freshest", rot[0])
+	}
+}
+
+// TestDeadLetterOpenPrunesLeftovers: boot-time open prunes rotated files
+// from earlier runs so a crash loop cannot accumulate them.
+func TestDeadLetterOpenPrunesLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dead.jsonl")
+	for i := 1; i <= 5; i++ {
+		if err := os.WriteFile(path+"."+strconv.Itoa(i), []byte("old\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A non-numeric sibling must be left alone.
+	other := path + ".bak"
+	if err := os.WriteFile(other, []byte("keep\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := openDeadLetterLog(path, DeadLetterRotation{MaxFileBytes: 1 << 20, MaxFiles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.close()
+
+	rot := rotatedFiles(t, path)
+	kept := 0
+	for _, p := range rot {
+		if p == other {
+			continue
+		}
+		kept++
+	}
+	if kept != 2 {
+		t.Errorf("kept %d rotated files (%v), want 2", kept, rot)
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Errorf("non-numeric sibling was pruned: %v", err)
+	}
+}

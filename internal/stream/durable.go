@@ -83,18 +83,17 @@ func (e *Engine) quarantine(s *shard, d *DeadLetter) {
 	e.writeDeadLetter(d)
 }
 
-// writeDeadLetter appends one entry to the dead-letter file, if any.
+// writeDeadLetter appends one entry to the rotating dead-letter log, if
+// one is configured.
 func (e *Engine) writeDeadLetter(d *DeadLetter) {
-	if e.deadFile == nil {
+	if e.dead == nil {
 		return
 	}
 	line, err := json.Marshal(d)
 	if err != nil {
 		return
 	}
-	e.deadMu.Lock()
-	_, _ = e.deadFile.Write(append(line, '\n'))
-	e.deadMu.Unlock()
+	e.dead.write(line)
 }
 
 // ---- journal event records -------------------------------------------------

@@ -26,7 +26,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -109,6 +108,10 @@ type Config struct {
 	// processing panicked) as JSON lines to this file. Quarantine happens
 	// with or without the file; the file preserves the evidence.
 	DeadLetterPath string
+	// DeadLetterRotation caps the quarantine trail on disk (file-size
+	// rotation plus count/age pruning of rotated files). The zero value
+	// applies the package defaults; it only matters with DeadLetterPath.
+	DeadLetterRotation DeadLetterRotation
 	// Metrics is the registry the engine registers its instruments in.
 	// Nil means a fresh private registry — instrumentation is always on
 	// (the instruments ARE the engine's counters); passing a registry only
@@ -356,8 +359,7 @@ type Engine struct {
 	recoveredSessions int        // set before consumers start
 	recoveredEvents   uint64
 
-	deadMu   sync.Mutex
-	deadFile *os.File
+	dead *deadLetterLog
 
 	mu     sync.RWMutex // guards closed against in-flight Ingest sends
 	closed bool
@@ -457,18 +459,18 @@ func New(cfg Config) (*Engine, error) {
 	// Open) and before the first Ingest.
 	e.registerMetrics()
 	if cfg.DeadLetterPath != "" {
-		f, err := os.OpenFile(cfg.DeadLetterPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		dl, err := openDeadLetterLog(cfg.DeadLetterPath, cfg.DeadLetterRotation)
 		if err != nil {
-			return nil, fmt.Errorf("stream: opening dead-letter file: %w", err)
+			return nil, err
 		}
-		e.deadFile = f
+		e.dead = dl
 	}
 	// Recovery (snapshot restore + WAL replay) runs before the consumers
 	// start, so replayed and live events can never interleave on a shard.
 	if cfg.Durability.Dir != "" {
 		if err := e.recoverDurable(); err != nil {
-			if e.deadFile != nil {
-				e.deadFile.Close()
+			if e.dead != nil {
+				e.dead.close()
 			}
 			return nil, err
 		}
@@ -1039,8 +1041,8 @@ func (e *Engine) Close() error {
 	if e.wal != nil {
 		err = e.wal.Close()
 	}
-	if e.deadFile != nil {
-		if cerr := e.deadFile.Close(); err == nil {
+	if e.dead != nil {
+		if cerr := e.dead.close(); err == nil {
 			err = cerr
 		}
 	}

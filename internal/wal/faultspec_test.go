@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestParseFaultSpec covers the grammar and its round trip.
+func TestParseFaultSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want FaultSpec
+		str  string
+	}{
+		{"", FaultSpec{WriteBudget: -1, SyncsLeft: -1}, ""},
+		{"sync-fail", FaultSpec{WriteBudget: -1, SyncsLeft: 0}, "sync-fail"},
+		{"sync-fail=3", FaultSpec{WriteBudget: -1, SyncsLeft: 3}, "sync-fail=3"},
+		{"write-budget=4096", FaultSpec{WriteBudget: 4096, SyncsLeft: -1}, "write-budget=4096"},
+		{"open-fail", FaultSpec{WriteBudget: -1, SyncsLeft: -1, FailOpens: true}, "open-fail"},
+		{"sync-fail, write-budget=10, open-fail", FaultSpec{WriteBudget: 10, SyncsLeft: 0, FailOpens: true}, "sync-fail,write-budget=10,open-fail"},
+	}
+	for _, tc := range cases {
+		got, err := ParseFaultSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseFaultSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseFaultSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		if got.String() != tc.str {
+			t.Errorf("ParseFaultSpec(%q).String() = %q, want %q", tc.in, got.String(), tc.str)
+		}
+		if want := tc.in != ""; got.Armed() != want {
+			t.Errorf("ParseFaultSpec(%q).Armed() = %v, want %v", tc.in, got.Armed(), want)
+		}
+	}
+
+	for _, bad := range []string{
+		"sync-fail=-1", "sync-fail=x", "write-budget", "write-budget=-5",
+		"open-fail=yes", "bogus", "sync-fail,,open-fail",
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("ParseFaultSpec(%q): want error, got nil", bad)
+		}
+	}
+}
+
+// TestFaultSpecApplyDisarm drives a FaultFS through the arm/disarm cycle
+// the chaos harness uses: disarmed pass-through, armed faults firing,
+// disarmed pass-through again.
+func TestFaultSpecApplyDisarm(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS)
+
+	write := func() error {
+		f, err := ffs.OpenFile(filepath.Join(dir, "probe"), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.Write([]byte("0123456789")); err != nil {
+			return err
+		}
+		return f.Sync()
+	}
+
+	if err := write(); err != nil {
+		t.Fatalf("disarmed write: %v", err)
+	}
+
+	spec, err := ParseFaultSpec("sync-fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Apply(ffs)
+	if err := write(); err == nil {
+		t.Fatal("armed sync-fail: want error, got nil")
+	}
+	if _, syncs := ffs.Faults(); syncs == 0 {
+		t.Error("sync fault did not count")
+	}
+
+	ffs.Disarm()
+	if err := write(); err != nil {
+		t.Fatalf("re-disarmed write: %v", err)
+	}
+}

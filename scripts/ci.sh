@@ -318,4 +318,18 @@ curl -fsS -X POST -H 'Content-Type: application/octet-stream' \
 grep -q "\"accepted\":$lines" "$smokedir/ingest3.json" \
     || { echo "router binary ingest incomplete:" >&2; cat "$smokedir/ingest3.json" >&2; exit 1; }
 
+echo "==> chaos scenarios (validate all, then the ~30s smoke run)"
+# Every checked-in scenario must parse and validate; then the short
+# two-node smoke scenario actually runs — fleet bring-up, wire-codec
+# load, one SIGKILL with journal takeover, a poison burst — and its SLO
+# verdict (recovery time, availability, zero verdict loss, zero poison
+# accepted) is the gate. Reuses the daemons built above via --bin.
+go build -o "$smokedir/cordial-chaos" ./cmd/cordial-chaos
+"$smokedir/cordial-chaos" validate scenarios/*.yaml
+"$smokedir/cordial-chaos" run scenarios/ci-smoke.yaml --bin "$smokedir" \
+    --work "$smokedir/chaos-work" \
+    --json "$smokedir/chaos-smoke.json" --html "$smokedir/chaos-smoke.html"
+grep -q '"pass": true' "$smokedir/chaos-smoke.json" \
+    || { echo "chaos smoke report does not record a pass" >&2; exit 1; }
+
 echo "==> ok"
