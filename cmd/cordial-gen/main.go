@@ -70,10 +70,15 @@ func run() error {
 		format      = flag.String("format", "binary", "log format: binary, jsonl, stream or wire")
 		truthPath   = flag.String("truth", "truth.json", "output ground-truth path (empty to skip)")
 		weights     = flag.String("weights", "", "failure-pattern mix as name=weight pairs, e.g. single=15,double=5,scattered=70 (default: the paper's field distribution; use this to simulate a drifted regime)")
+		topology    = flag.String("topology", hbm.ActiveProfile().Name, "topology profile: "+strings.Join(hbm.ProfileNames(), ", "))
 	)
 	flag.Parse()
 
-	spec := trace.DefaultSpec(hbm.DefaultGeometry)
+	prof, err := hbm.SetActiveProfile(*topology)
+	if err != nil {
+		return err
+	}
+	spec := trace.DefaultSpec(prof.Geometry)
 	spec.Seed = *seed
 	spec.UERBanks = *uerBanks
 	spec.BenignBanks = *benignBanks

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"cordial/internal/core"
@@ -35,8 +36,14 @@ func run() error {
 		logPath    = flag.String("log", "fleet.mcelog", "input error-log path")
 		format     = flag.String("format", "binary", "log format: binary, jsonl or stream")
 		maxRows    = flag.Int("max-rows", 16, "max predicted rows to print per bank")
+		topology   = flag.String("topology", hbm.ActiveProfile().Name, "topology profile the log was generated under: "+strings.Join(hbm.ProfileNames(), ", "))
 	)
 	flag.Parse()
+
+	prof, err := hbm.SetActiveProfile(*topology)
+	if err != nil {
+		return err
+	}
 
 	modelsFile, err := os.Open(*modelsPath)
 	if err != nil {
@@ -77,7 +84,7 @@ func run() error {
 	}
 	log.Sort()
 
-	geo := hbm.DefaultGeometry
+	geo := prof.Geometry
 	budget := pipe.Config().Pattern.UERBudget
 	groups := log.GroupByBank()
 	keys := log.BankKeys()

@@ -61,6 +61,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -112,8 +113,14 @@ func run() error {
 		retrain    = flag.Bool("retrain", false, "watch the live class mix for drift and retrain/shadow/promote online (requires -wal-dir)")
 		retrainInt = flag.Duration("retrain-interval", 30*time.Second, "drift-check cadence with -retrain")
 		driftP     = flag.Float64("drift-p", 0.01, "chi-square p-value below which the live class mix counts as drifted")
+		topology   = flag.String("topology", hbm.ActiveProfile().Name, "topology profile: "+strings.Join(hbm.ProfileNames(), ", "))
 	)
 	flag.Parse()
+
+	prof, err := hbm.SetActiveProfile(*topology)
+	if err != nil {
+		return err
+	}
 
 	var handler slog.Handler
 	switch *logFormat {
@@ -128,7 +135,7 @@ func run() error {
 
 	// Validate cheap configuration before the (possibly slow) model load.
 	cfg := stream.Config{
-		Geometry:   hbm.DefaultGeometry,
+		Geometry:   prof.Geometry,
 		Shards:     *shards,
 		QueueDepth: *queue,
 	}
@@ -202,7 +209,7 @@ func run() error {
 	// without one it pins everything to the single loaded pipeline.
 	var reg *registry.Registry
 	if *regDir != "" {
-		reg, err = registry.Open(registry.Options{Dir: *regDir, Geometry: hbm.DefaultGeometry})
+		reg, err = registry.Open(registry.Options{Dir: *regDir, Geometry: prof.Geometry})
 		if err != nil {
 			return err
 		}
@@ -224,7 +231,7 @@ func run() error {
 		}
 		cfg.Models = reg
 	} else {
-		cfg.Strategy = &core.CordialStrategy{Pipeline: pipe, Geometry: hbm.DefaultGeometry}
+		cfg.Strategy = &core.CordialStrategy{Pipeline: pipe, Geometry: prof.Geometry}
 	}
 	engine, err := stream.New(cfg)
 	if err != nil {
@@ -245,7 +252,7 @@ func run() error {
 		mgr, err = lifecycle.New(lifecycle.Config{
 			Engine:      engine,
 			Registry:    reg,
-			Geometry:    hbm.DefaultGeometry,
+			Geometry:    prof.Geometry,
 			Train:       trainConfig(*trees, *seed),
 			Interval:    *retrainInt,
 			DriftPValue: *driftP,
@@ -541,7 +548,7 @@ func loadPipeline(logger *slog.Logger, modelsPath string, selftrain bool, seed u
 		}
 		return pipe, nil
 	case selftrain:
-		spec := trace.DefaultSpec(hbm.DefaultGeometry)
+		spec := trace.DefaultSpec(hbm.ActiveProfile().Geometry)
 		spec.UERBanks = banks
 		spec.BenignBanks = 0
 		spec.Seed = seed

@@ -17,6 +17,7 @@ import (
 
 	"cordial/internal/core"
 	"cordial/internal/faultsim"
+	"cordial/internal/hbm"
 	"cordial/internal/profiling"
 )
 
@@ -48,10 +49,16 @@ func run() error {
 		trees     = flag.Int("trees", 80, "ensemble size / boosting rounds")
 		budget    = flag.Int("uer-budget", 3, "UERs used for pattern classification")
 		par       = flag.Int("parallelism", 0, "training/inference goroutines (0 = all cores)")
+		errBits   = flag.Bool("errbits", false, "append error-bit (DQ/burst) features to the pattern vectors; serving must load this model to match")
+		topology  = flag.String("topology", hbm.ActiveProfile().Name, "topology profile the ground truth was generated under: "+strings.Join(hbm.ProfileNames(), ", "))
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if _, err := hbm.SetActiveProfile(*topology); err != nil {
+		return err
+	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -85,6 +92,7 @@ func run() error {
 	cfg.Params.Trees = *trees
 	cfg.Params.Parallelism = *par
 	cfg.Pattern.UERBudget = *budget
+	cfg.ErrBits = *errBits
 	pipe, err := core.New(cfg)
 	if err != nil {
 		return err

@@ -135,14 +135,19 @@ func generateFleet(sc *Scenario, geo hbm.Geometry, rng *xrand.RNG) (*GeneratedFl
 	return fleet, nil
 }
 
-// planDigest fingerprints the event stream and resolved schedule.
+// planDigest fingerprints the event stream and resolved schedule. The
+// per-event image matches the wire record: time, packed address, class,
+// error bits — two plans differing only in reported DQ/burst patterns
+// hash differently.
 func planDigest(fleet *GeneratedFleet, chaos []ChaosAction) string {
 	h := fnv.New64a()
-	var buf [17]byte
+	var buf [19]byte
 	for _, ev := range fleet.Events {
 		putInt64(buf[0:8], ev.Time.UnixNano())
 		putUint64(buf[8:16], ev.Addr.Pack())
 		buf[16] = byte(ev.Class)
+		buf[17] = byte(ev.Bits)
+		buf[18] = byte(ev.Bits >> 8)
 		h.Write(buf[:])
 	}
 	for _, a := range chaos {

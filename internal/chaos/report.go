@@ -41,6 +41,7 @@ type FleetReport struct {
 	Events      int            `json:"events"`
 	PerTemplate map[string]int `json:"banksPerTemplate"`
 	Startup     string         `json:"startupPattern"`
+	Topology    string         `json:"topology,omitempty"`
 }
 
 // LoadReport summarises delivery.

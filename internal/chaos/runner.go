@@ -111,8 +111,21 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 		return nil, err
 	}
 
+	// The harness process must pack addresses under the same topology the
+	// daemons run: activate the scenario's profile for plan generation,
+	// load delivery and verdict comparison alike.
+	geo := hbm.ActiveProfile().Geometry
+	if sc.Fleet.Topology != "" {
+		prof, err := hbm.SetActiveProfile(sc.Fleet.Topology)
+		if err != nil {
+			return nil, err
+		}
+		geo = prof.Geometry
+		logf("topology profile: %s", prof.Name)
+	}
+
 	logf("building plan: %d banks, seed %d", sc.FleetGen.TotalBanks, sc.Seed)
-	plan, err := BuildPlan(sc, hbm.DefaultGeometry)
+	plan, err := BuildPlan(sc, geo)
 	if err != nil {
 		return nil, err
 	}
@@ -131,6 +144,7 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 			Events:      len(plan.Fleet.Events),
 			PerTemplate: plan.Fleet.PerTemplate,
 			Startup:     sc.Fleet.Startup.Pattern,
+			Topology:    sc.Fleet.Topology,
 		},
 		Load: LoadReport{Codec: sc.Load.Codec},
 	}
@@ -283,6 +297,9 @@ func serveArgs(sc *Scenario, walDir string, extra ...string) []string {
 	}
 	if sc.Fleet.Retrain {
 		args = append(args, "-retrain")
+	}
+	if sc.Fleet.Topology != "" {
+		args = append(args, "-topology", sc.Fleet.Topology)
 	}
 	return append(args, extra...)
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"cordial/internal/hbm"
 	"cordial/internal/wal"
 )
 
@@ -35,6 +36,7 @@ type FleetSpec struct {
 	TrainBanks int
 	Trees      int
 	TrainSeed  uint64
+	Topology   string // registered hbm profile name; empty means the active profile
 	Fsync      string // cordial-serve -fsync policy: always|interval|never
 	FaultFS    string // wal.FaultSpec armed/disarmed via SIGUSR2
 	Retrain    bool   // enable the drift retrain loop on serve nodes
@@ -171,6 +173,7 @@ func ParseScenario(data []byte) (*Scenario, error) {
 		d.intField(fl, "train_banks", &sc.Fleet.TrainBanks)
 		d.intField(fl, "trees", &sc.Fleet.Trees)
 		d.uint64(fl, "train_seed", &sc.Fleet.TrainSeed)
+		d.str(fl, "topology", &sc.Fleet.Topology)
 		d.str(fl, "fsync", &sc.Fleet.Fsync)
 		d.str(fl, "faultfs", &sc.Fleet.FaultFS)
 		d.boolField(fl, "retrain", &sc.Fleet.Retrain)
@@ -270,6 +273,11 @@ func (s *Scenario) Validate() error {
 	}
 	if f.TrainBanks < 1 || f.Trees < 1 {
 		return fmt.Errorf("scenario: fleet.train_banks and fleet.trees must be >= 1")
+	}
+	if f.Topology != "" {
+		if _, err := hbm.ProfileByName(f.Topology); err != nil {
+			return fmt.Errorf("scenario: fleet.topology: %w", err)
+		}
 	}
 	switch f.Fsync {
 	case "always", "interval", "never":

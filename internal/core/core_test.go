@@ -92,7 +92,7 @@ func TestNewModelAllKinds(t *testing.T) {
 
 func TestBuildPatternDataset(t *testing.T) {
 	fleet := testFleet(t, 1, 120)
-	ds, err := BuildPatternDataset(fleet.Faults, features.DefaultPatternConfig())
+	ds, err := BuildPatternDataset(fleet.Faults, features.DefaultPatternConfig(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestBuildPatternDataset(t *testing.T) {
 			t.Fatalf("unexpected label %d", l)
 		}
 	}
-	if _, err := BuildPatternDataset(nil, features.DefaultPatternConfig()); err == nil {
+	if _, err := BuildPatternDataset(nil, features.DefaultPatternConfig(), false); err == nil {
 		t.Fatal("empty bank list accepted")
 	}
 }

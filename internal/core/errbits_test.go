@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cordial/internal/features"
+	"cordial/internal/xrand"
+)
+
+// TestErrBitsPipeline pins the error-bit opt-in end to end: the flag
+// widens the pattern dataset by the error-bit columns, the fitted pipeline
+// classifies, and the flag survives a save/load round trip (serving must
+// extract the same vector shape the model was trained on).
+func TestErrBitsPipeline(t *testing.T) {
+	fleet := testFleet(t, 11, 60)
+	train, test, err := SplitBanks(fleet.Faults, xrand.New(7), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := BuildPatternDataset(train, features.DefaultPatternConfig(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := len(features.PatternFeatureNames()) + len(features.ErrBitFeatureNames())
+	if len(ds.Names) != wantCols {
+		t.Fatalf("errbits dataset has %d columns, want %d", len(ds.Names), wantCols)
+	}
+
+	cfg := DefaultConfig(RandomForest)
+	cfg.Params = smallParams()
+	cfg.ErrBits = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ClassifyPattern(test[0].Events); err != nil {
+		t.Fatalf("classify with errbits: %v", err)
+	}
+	// Importance only lists features used in splits; the call must accept
+	// the widened name table (it errors on a name/width mismatch).
+	if imp, err := p.PatternImportance(); err != nil || len(imp) == 0 {
+		t.Fatalf("PatternImportance: %d names, err %v", len(imp), err)
+	}
+
+	var buf bytes.Buffer
+	if err := p.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(DefaultConfig(RandomForest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Config().ErrBits {
+		t.Fatal("ErrBits flag lost across save/load")
+	}
+	want, err := p.ClassifyPattern(test[0].Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.ClassifyPattern(test[0].Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("restored pipeline classifies %v, original %v", got, want)
+	}
+}

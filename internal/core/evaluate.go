@@ -63,7 +63,11 @@ func EvaluatePattern(p *Pipeline, banks []*faultsim.BankFault) (*PatternEval, er
 	var vecs [][]float64
 	var truths []int
 	for _, bf := range banks {
-		vec, err := features.PatternVector(bf.Events, p.cfg.Pattern)
+		st, err := p.replayState(bf.Events)
+		if err != nil {
+			return nil, err
+		}
+		vec, err := patternVectorOf(st, p.cfg.ErrBits)
 		if err != nil {
 			continue // bank without UERs: out of scope
 		}

@@ -146,10 +146,18 @@ func minInt(a, b int) int {
 // BuildPatternDataset assembles the §IV-B pattern-classification dataset:
 // one sample per bank with at least one UER, labelled with the bank's
 // ground-truth class. Banks whose feature extraction fails are skipped.
-func BuildPatternDataset(banks []*faultsim.BankFault, cfg features.PatternConfig) (*mltree.Dataset, error) {
-	ds := &mltree.Dataset{Names: features.PatternFeatureNames()}
+// With errBits set, each vector gains the intra-word error-bit columns.
+func BuildPatternDataset(banks []*faultsim.BankFault, cfg features.PatternConfig, errBits bool) (*mltree.Dataset, error) {
+	ds := &mltree.Dataset{Names: patternFeatureNames(errBits)}
 	for _, bf := range banks {
-		vec, err := features.PatternVector(bf.Events, cfg)
+		st, err := features.NewBankState(cfg, features.DefaultBlockSpec())
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range bf.Events {
+			st.Observe(e)
+		}
+		vec, err := patternVectorOf(st, errBits)
 		if err != nil {
 			continue // bank without UERs: nothing to classify
 		}

@@ -32,6 +32,12 @@ type Config struct {
 	// imbalanced (typically 1-2 positive blocks of 16) and the calibrated
 	// cutoff maximises F1 on the training instances.
 	Threshold float64
+	// ErrBits appends the intra-word error-bit features (DQ/burst pattern
+	// aggregates) to the pattern-classification vector. Off by default:
+	// fleets whose BMCs report no syndrome detail gain nothing from the
+	// extra columns, and the flag must match between training and serving
+	// (it is persisted with the model).
+	ErrBits bool
 	// Seed drives model randomness.
 	Seed uint64
 }
@@ -93,9 +99,36 @@ func New(cfg Config) (*Pipeline, error) {
 // Config returns the pipeline's configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
+// patternVectorOf renders the state's pattern vector under the pipeline's
+// configuration, appending the error-bit features when enabled.
+func patternVectorOf(st *features.BankState, errBits bool) ([]float64, error) {
+	vec, err := st.PatternVector()
+	if err != nil {
+		return nil, err
+	}
+	if errBits {
+		eb, err := st.ErrBitVector()
+		if err != nil {
+			return nil, err
+		}
+		vec = append(vec, eb...)
+	}
+	return vec, nil
+}
+
+// patternFeatureNames returns the pattern-stage column names, including the
+// error-bit columns when enabled.
+func patternFeatureNames(errBits bool) []string {
+	names := features.PatternFeatureNames()
+	if errBits {
+		names = append(names, features.ErrBitFeatureNames()...)
+	}
+	return names
+}
+
 // Fit trains both stages on the ground-truth labelled training banks.
 func (p *Pipeline) Fit(banks []*faultsim.BankFault) error {
-	patternDS, err := BuildPatternDataset(banks, p.cfg.Pattern)
+	patternDS, err := BuildPatternDataset(banks, p.cfg.Pattern, p.cfg.ErrBits)
 	if err != nil {
 		return err
 	}
@@ -228,7 +261,7 @@ func (p *Pipeline) ClassifyPatternState(st *features.BankState) (faultsim.Class,
 	if p.patternModel == nil {
 		return 0, fmt.Errorf("core: pipeline not fitted")
 	}
-	vec, err := st.PatternVector()
+	vec, err := patternVectorOf(st, p.cfg.ErrBits)
 	if err != nil {
 		return 0, err
 	}
@@ -309,6 +342,10 @@ type savedHeader struct {
 	Pattern   features.PatternConfig `json:"pattern"`
 	Block     features.BlockSpec     `json:"block"`
 	Model     ModelKind              `json:"model"`
+	// ErrBits records whether the pattern model was trained with the
+	// error-bit feature columns; serving must match. Omitted when false so
+	// older readers see an unchanged header.
+	ErrBits bool `json:"errbits,omitempty"`
 	// Meta carries the training provenance. Optional in both directions:
 	// pre-metadata files decode with a nil Meta, and files written here
 	// still load under older readers (unknown JSON fields are ignored).
@@ -326,6 +363,7 @@ func (p *Pipeline) SaveModels(w io.Writer) error {
 		Pattern:   p.cfg.Pattern,
 		Block:     p.cfg.Block,
 		Model:     p.cfg.Model,
+		ErrBits:   p.cfg.ErrBits,
 		Meta:      p.meta,
 	}
 	if err := json.NewEncoder(w).Encode(head); err != nil {
@@ -359,6 +397,7 @@ func (p *Pipeline) LoadModels(r io.Reader) error {
 	p.cfg.Pattern = head.Pattern
 	p.cfg.Block = head.Block
 	p.cfg.Model = head.Model
+	p.cfg.ErrBits = head.ErrBits
 	p.meta = head.Meta
 	p.patternModel, p.blockModel = pm, bm
 	return nil
@@ -531,7 +570,7 @@ func (p *Pipeline) PatternImportance() ([]mltree.Importance, error) {
 	if p.patternModel == nil {
 		return nil, fmt.Errorf("core: pipeline not fitted")
 	}
-	return mltree.SplitImportance(p.patternModel, features.PatternFeatureNames())
+	return mltree.SplitImportance(p.patternModel, patternFeatureNames(p.cfg.ErrBits))
 }
 
 // BlockImportance returns the fitted cross-row block model's feature

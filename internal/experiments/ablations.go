@@ -211,11 +211,11 @@ func RunAblationFeatures(p Params) (*Ablation, error) {
 		return nil, err
 	}
 	cfg := features.DefaultPatternConfig()
-	trainDS, err := core.BuildPatternDataset(train, cfg)
+	trainDS, err := core.BuildPatternDataset(train, cfg, false)
 	if err != nil {
 		return nil, err
 	}
-	testDS, err := core.BuildPatternDataset(test, cfg)
+	testDS, err := core.BuildPatternDataset(test, cfg, false)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cordial/internal/hbm"
+)
+
+// TestTransferSmoke runs a tiny two-profile transfer study and checks the
+// pair grid, metric ranges, and that the active profile is restored.
+func TestTransferSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipelines")
+	}
+	before := hbm.ActiveProfile()
+
+	p := DefaultTransfer()
+	p.Profiles = []string{"hbm2e", "ddr5-dimm"}
+	p.UERBanks = 40
+	p.BenignBanks = 0
+	p.Model.Trees = 8
+	res, err := RunTransfer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hbm.ActiveProfile() != before {
+		t.Fatalf("active profile not restored: %s", hbm.ActiveProfile().Name)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2×2 pair grid)", len(res.Rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Rows {
+		seen[r.Train+"→"+r.Eval] = true
+		for name, v := range map[string]float64{
+			"pattern F1": r.PatternF1, "block F1": r.BlockF1,
+			"ICR": r.ICR, "cross-row ICR": r.CrossRowICR,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s→%s: %s = %g out of [0,1]", r.Train, r.Eval, name, v)
+			}
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("pair grid incomplete: %v", seen)
+	}
+
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "baseline") || !strings.Contains(out, "ddr5-dimm") {
+		t.Fatalf("render missing expected content:\n%s", out)
+	}
+}
+
+// TestTransferValidate pins the parameter checks.
+func TestTransferValidate(t *testing.T) {
+	p := DefaultTransfer()
+	p.Profiles = []string{"hbm2e"}
+	if _, err := RunTransfer(p); err == nil {
+		t.Error("single-profile transfer accepted")
+	}
+	p = DefaultTransfer()
+	p.Profiles = []string{"hbm2e", "no-such-topology"}
+	if _, err := RunTransfer(p); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}

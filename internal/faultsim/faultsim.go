@@ -229,15 +229,21 @@ type Config struct {
 }
 
 // DefaultConfig returns the calibrated configuration for the given geometry.
+// The double-row gap range scales with the bank's row count (1/16 to 3/8 of
+// it) so the two clusters stay well separated yet inside the bank on any
+// registered topology; at the HBM2E default of 32768 rows this reproduces
+// the calibrated [2048, 12288] range exactly.
 func DefaultConfig(g hbm.Geometry) Config {
+	gapMin := max(1, g.RowsPerBank/16)
+	gapMax := max(gapMin, g.RowsPerBank*3/8)
 	return Config{
 		Geometry:            g,
 		Start:               time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
 		Duration:            30 * 24 * time.Hour,
 		OnsetFraction:       0.6,
 		ClusterSigma:        64,
-		DoubleRowGapMin:     2048,
-		DoubleRowGapMax:     12288,
+		DoubleRowGapMin:     gapMin,
+		DoubleRowGapMax:     gapMax,
 		SingleRowUERs:       [2]int{3, 8},
 		DoubleRowUERs:       [2]int{4, 10},
 		ScatteredUERs:       [2]int{8, 20},
@@ -358,6 +364,10 @@ func NewGenerator(cfg Config, rng *xrand.RNG) (*Generator, error) {
 func (g *Generator) Config() Config { return g.cfg }
 
 // Generate synthesises the fault process of one bank with the given pattern.
+// Every emitted event is checked against the configured geometry and the
+// active address layout before it leaves the generator: a simulator bug that
+// drew an out-of-range coordinate must surface here, not as a silently
+// aliased packed address three codecs downstream.
 func (g *Generator) Generate(bank hbm.BankAddress, p Pattern) (*BankFault, error) {
 	rows := g.uerRows(p)
 	if len(rows) == 0 {
@@ -365,6 +375,14 @@ func (g *Generator) Generate(bank hbm.BankAddress, p Pattern) (*BankFault, error
 	}
 	bf := g.schedule(bank, p, rows)
 	bf.Cause = SampleCause(p, g.rng)
+	for i, ev := range bf.Events {
+		if err := ev.Validate(g.cfg.Geometry); err != nil {
+			return nil, fmt.Errorf("faultsim: generated event %d: %w", i, err)
+		}
+		if _, err := ev.Addr.PackChecked(); err != nil {
+			return nil, fmt.Errorf("faultsim: generated event %d: %w", i, err)
+		}
+	}
 	return bf, nil
 }
 
@@ -533,6 +551,7 @@ func (g *Generator) schedule(bank hbm.BankAddress, p Pattern, rows []int) *BankF
 
 	bf := &BankFault{Bank: bank, Pattern: p}
 	events := make([]mcelog.Event, 0, 4*len(rows))
+	kind := bitKindOf(p)
 
 	// Whole-column faults pin every error to one column; other patterns
 	// draw columns per event.
@@ -570,19 +589,25 @@ func (g *Generator) schedule(bank hbm.BankAddress, p Pattern, rows []int) *BankF
 			span := uerTime.Sub(start)
 			for k := 0; k < nce; k++ {
 				ts := start.Add(time.Duration(g.rng.Float64() * float64(span)))
+				cc := col()
 				events = append(events, mcelog.Event{
-					Time: ts, Addr: hbm.CellInBank(bank, row, col()), Class: ecc.ClassCE,
+					Time: ts, Addr: hbm.CellInBank(bank, row, cc), Class: ecc.ClassCE,
+					Bits: errBitsFor(bank, row, cc, ecc.ClassCE, kind),
 				})
 			}
 			if g.rng.Bool(c.RowPrecursorUEOProb) {
 				ts := start.Add(time.Duration(g.rng.Float64() * float64(span)))
+				cc := col()
 				events = append(events, mcelog.Event{
-					Time: ts, Addr: hbm.CellInBank(bank, row, col()), Class: ecc.ClassUEO,
+					Time: ts, Addr: hbm.CellInBank(bank, row, cc), Class: ecc.ClassUEO,
+					Bits: errBitsFor(bank, row, cc, ecc.ClassUEO, kind),
 				})
 			}
 		}
+		uerCol := col()
 		events = append(events, mcelog.Event{
-			Time: uerTime, Addr: hbm.CellInBank(bank, row, col()), Class: ecc.ClassUER,
+			Time: uerTime, Addr: hbm.CellInBank(bank, row, uerCol), Class: ecc.ClassUER,
+			Bits: errBitsFor(bank, row, uerCol, ecc.ClassUER, kind),
 		})
 		// Failed rows keep erroring until mitigated: a geometric train of
 		// repeat UERs follows the first failure.
@@ -592,8 +617,10 @@ func (g *Generator) schedule(bank hbm.BankAddress, p Pattern, rows []int) *BankF
 			if repeat.After(end) {
 				break
 			}
+			rc := col()
 			events = append(events, mcelog.Event{
-				Time: repeat, Addr: hbm.CellInBank(bank, row, col()), Class: ecc.ClassUER,
+				Time: repeat, Addr: hbm.CellInBank(bank, row, rc), Class: ecc.ClassUER,
+				Bits: errBitsFor(bank, row, rc, ecc.ClassUER, kind),
 			})
 		}
 		bf.UERRows = append(bf.UERRows, row)
@@ -631,10 +658,12 @@ func (g *Generator) schedule(bank hbm.BankAddress, p Pattern, rows []int) *BankF
 				// is what renders the bank non-sudden at bank level.
 				ts = bgStart.Add(time.Duration(g.rng.Float64() * float64(onset.Sub(bgStart))))
 			}
+			bc := col()
 			events = append(events, mcelog.Event{
 				Time:  ts,
-				Addr:  hbm.CellInBank(bank, row, col()),
+				Addr:  hbm.CellInBank(bank, row, bc),
 				Class: class,
+				Bits:  errBitsFor(bank, row, bc, class, kind),
 			})
 		}
 	}
@@ -691,17 +720,25 @@ func (g *Generator) GenerateBenign(bank hbm.BankAddress) []mcelog.Event {
 	}
 	events := make([]mcelog.Event, 0, n+1)
 	for i := 0; i < n; i++ {
+		// Draw order (time, row, column) matches the pre-error-bits code so
+		// seeded streams replay byte-identically.
+		ts := stamp()
+		row, cc := g.rng.Intn(c.Geometry.RowsPerBank), g.rng.Intn(c.Geometry.ColsPerBank)
 		events = append(events, mcelog.Event{
-			Time:  stamp(),
-			Addr:  hbm.CellInBank(bank, g.rng.Intn(c.Geometry.RowsPerBank), g.rng.Intn(c.Geometry.ColsPerBank)),
+			Time:  ts,
+			Addr:  hbm.CellInBank(bank, row, cc),
 			Class: ecc.ClassCE,
+			Bits:  errBitsFor(bank, row, cc, ecc.ClassCE, bitsBenign),
 		})
 	}
 	if g.rng.Bool(c.BenignUEOProb) {
+		ts := stamp()
+		row, cc := g.rng.Intn(c.Geometry.RowsPerBank), g.rng.Intn(c.Geometry.ColsPerBank)
 		events = append(events, mcelog.Event{
-			Time:  stamp(),
-			Addr:  hbm.CellInBank(bank, g.rng.Intn(c.Geometry.RowsPerBank), g.rng.Intn(c.Geometry.ColsPerBank)),
+			Time:  ts,
+			Addr:  hbm.CellInBank(bank, row, cc),
 			Class: ecc.ClassUEO,
+			Bits:  errBitsFor(bank, row, cc, ecc.ClassUEO, bitsBenign),
 		})
 	}
 	log := mcelog.FromEvents(events)

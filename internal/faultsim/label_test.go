@@ -69,7 +69,9 @@ func TestObservedFaultRecoversGroundTruth(t *testing.T) {
 	const banks = 200
 	agree := 0
 	for i := 0; i < banks; i++ {
-		bank := hbm.BankAddress{NPU: i % 8, HBM: (i / 8) % 6, Bank: i % 16}
+		// Spread banks across groups within geometry bounds; Bank: i % 16
+		// would overflow the 4-bank groups and alias under checked packing.
+		bank := hbm.BankAddress{NPU: i % 8, HBM: (i / 8) % 2, BankGroup: (i / 4) % 4, Bank: i % 4}
 		bf, err := gen.GenerateSampled(bank, weights)
 		if err != nil {
 			t.Fatal(err)

@@ -15,10 +15,13 @@ import (
 // a restored state continues producing vectors bit-identical to the state
 // that was encoded — the property the crash≡no-crash equivalence tests
 // pin. The format is versioned; decoding a newer or unknown version fails
-// cleanly rather than misinterpreting bytes.
+// cleanly rather than misinterpreting bytes. Version 2 appends the
+// error-bit accumulator; version 1 snapshots still decode, with the
+// accumulator empty (their events carried no error bits).
 const (
-	bankStateMagic   = "CBNK"
-	bankStateVersion = 1
+	bankStateMagic     = "CBNK"
+	bankStateVersion   = 2
+	bankStateVersionV1 = 1
 )
 
 // maxCodecEntries bounds decoded collection lengths. The per-row sets are
@@ -227,6 +230,15 @@ func (s *BankState) MarshalBinary() ([]byte, error) {
 		}
 	}
 	e.time(s.lastTime)
+
+	e.int(s.errBits.count)
+	e.u8(s.errBits.dqUnion)
+	e.u8(s.errBits.burstUnion)
+	for _, c := range s.errBits.dqPinCounts {
+		e.int(c)
+	}
+	e.int(s.errBits.dqPopSum)
+	e.int(s.errBits.burstPopSum)
 	return e.b, nil
 }
 
@@ -239,8 +251,9 @@ func UnmarshalBankState(data []byte) (*BankState, error) {
 	if string(data[:4]) != bankStateMagic {
 		return nil, fmt.Errorf("features: bad bank state magic")
 	}
-	if v := data[4]; v != bankStateVersion {
-		return nil, fmt.Errorf("features: unsupported bank state version %d", v)
+	version := data[4]
+	if version != bankStateVersion && version != bankStateVersionV1 {
+		return nil, fmt.Errorf("features: unsupported bank state version %d", version)
 	}
 	d := &dec{b: data, off: 5}
 	s := &BankState{}
@@ -291,6 +304,17 @@ func UnmarshalBankState(data []byte) (*BankState, error) {
 		}
 	}
 	s.lastTime = d.time()
+
+	if version >= bankStateVersion {
+		s.errBits.count = d.int()
+		s.errBits.dqUnion = d.u8()
+		s.errBits.burstUnion = d.u8()
+		for i := range s.errBits.dqPinCounts {
+			s.errBits.dqPinCounts[i] = d.int()
+		}
+		s.errBits.dqPopSum = d.int()
+		s.errBits.burstPopSum = d.int()
+	}
 
 	if d.err != nil {
 		return nil, d.err

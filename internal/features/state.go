@@ -77,6 +77,10 @@ type BankState struct {
 	uerRows               rowSet
 	rowCounts             map[int]blockRowCount
 	lastTime              time.Time
+
+	// Error-bit aggregates (intra-word DQ/burst patterns), covering every
+	// observed event with a nonzero pattern.
+	errBits errBitAccum
 }
 
 // NewBankState returns an empty accumulator for one bank. A non-positive
@@ -113,6 +117,7 @@ func (s *BankState) Observe(e mcelog.Event) {
 	}
 	s.observePattern(e)
 	s.observeBlock(e)
+	s.errBits.observe(e.Bits)
 }
 
 // observePattern maintains the §IV-B aggregates.

@@ -2,15 +2,23 @@ package hbm
 
 import "testing"
 
-// FuzzParseAddress verifies the address parser never panics and that every
-// accepted string round-trips exactly.
+// FuzzParseAddress pins the bijection between canonical address strings
+// and addresses: the parser never panics, any string it accepts renders
+// back to exactly itself, and any accepted address survives String →
+// Parse. Without the strict canonical-integer rule, inputs like "n+1..."
+// or "r007..." parse but re-render differently, so string-keyed dedup and
+// digests diverge.
 func FuzzParseAddress(f *testing.F) {
 	f.Add("n3.u7.h1.s1.c6.p1.g3.b2.r999.col55")
 	f.Add("n0.u0.h0.s0.c0.p0.g0.b0.r0.col0")
+	f.Add("n3.u1.h0.s0.c5.p0.g2.b3.k1.d6.r999.col55")
 	f.Add("")
 	f.Add("n1.u2")
 	f.Add("x1.u2.h1.s0.c5.p1.g2.b3.r1.col8")
 	f.Add("n-1.u2.h1.s0.c5.p1.g2.b3.r1.col8")
+	f.Add("n+1.u2.h1.s0.c5.p1.g2.b3.r1.col8")
+	f.Add("n01.u2.h1.s0.c5.p1.g2.b3.r007.col8")
+	f.Add("n1.u2.h1.s0.c5.p1.g2.b3.k0.d0.r1.col8")
 	f.Add("n99999999999999999999.u2.h1.s0.c5.p1.g2.b3.r1.col8")
 
 	f.Fuzz(func(t *testing.T, s string) {
@@ -18,7 +26,10 @@ func FuzzParseAddress(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Accepted addresses must round-trip through String.
+		// Accepted strings must be canonical: String is their exact inverse.
+		if got := a.String(); got != s {
+			t.Fatalf("String(Parse(%q)) = %q; parser accepted a non-canonical string", s, got)
+		}
 		again, err := ParseAddress(a.String())
 		if err != nil {
 			t.Fatalf("reparse of %q failed: %v", a.String(), err)
@@ -26,14 +37,20 @@ func FuzzParseAddress(f *testing.F) {
 		if again != a {
 			t.Fatalf("round trip changed %q: %+v vs %+v", s, a, again)
 		}
+		// Accepted addresses always survive packing without loss.
+		if _, err := a.PackChecked(); err != nil {
+			t.Fatalf("parsed address fails PackChecked: %v", err)
+		}
 	})
 }
 
-// FuzzPackUnpack verifies Unpack never panics and in-range addresses
-// round-trip through Pack.
+// FuzzPackUnpack verifies Unpack never panics, in-range addresses
+// round-trip through Pack, and UnpackChecked rejects exactly the packed
+// values with bits outside the active layout.
 func FuzzPackUnpack(f *testing.F) {
 	f.Add(uint64(0))
 	f.Add(^uint64(0))
+	f.Add(uint64(1) << 63)
 	f.Add(Address{Node: 3, Row: 999, Column: 55}.Pack())
 
 	f.Fuzz(func(t *testing.T, v uint64) {
@@ -41,6 +58,14 @@ func FuzzPackUnpack(f *testing.F) {
 		// Re-packing an unpacked address keeps the encoded fields.
 		if Unpack(a.Pack()) != a {
 			t.Fatalf("pack/unpack unstable for %#x", v)
+		}
+		if _, err := UnpackChecked(v); err != nil {
+			// Rejection is only correct when v really carries stray bits.
+			if a.Pack() == v {
+				t.Fatalf("UnpackChecked rejected %#x though it round-trips cleanly", v)
+			}
+		} else if a.Pack() != v {
+			t.Fatalf("UnpackChecked accepted %#x though bits are lost on re-pack", v)
 		}
 	})
 }

@@ -1,13 +1,19 @@
-// Package hbm models the physical organisation of High Bandwidth Memory as
-// described in §II-A of the Cordial paper: a fleet of compute nodes, each
-// with 8 NPUs, each NPU with two HBM sockets; every HBM is an 8Hi stack
-// exposing 2 stack IDs (SIDs), 8 channels, 2 pseudo-channels per channel,
-// 4 bank groups per pseudo-channel and 4 banks per group. A bank is a
-// two-dimensional array of cells indexed by row and column.
+// Package hbm models the physical organisation of the memory fleets the
+// Cordial paper studies. The default topology is the paper's HBM2E
+// organisation (§II-A): a fleet of compute nodes, each with 8 NPUs, each
+// NPU with two HBM sockets; every HBM is an 8Hi stack exposing 2 stack IDs
+// (SIDs), 8 channels, 2 pseudo-channels per channel, 4 bank groups per
+// pseudo-channel and 4 banks per group. A bank is a two-dimensional array
+// of cells indexed by row and column.
 //
 // The package provides a compact address representation, the micro-level
-// hierarchy used throughout the paper (NPU → HBM → SID → PS-CH → BG → Bank →
-// Row), and geometry helpers the simulators and predictors share.
+// hierarchy used throughout the paper (NPU → HBM → SID → CH → PS-CH → BG →
+// Bank → Row, with the channel level between SID and pseudo-channel), and
+// geometry helpers the simulators and predictors share. Topologies beyond
+// HBM2E — HBM3 stacks and DDR4/DDR5 DIMM fleets, which add rank and device
+// levels and place the channel above the module — are named Profiles in a
+// registry (see profile.go); the active profile determines the packed
+// address layout and the hierarchy ordering.
 package hbm
 
 import (
@@ -16,16 +22,21 @@ import (
 	"strings"
 )
 
-// Geometry describes the dimensions of the modelled HBM fleet. The zero
-// value is not useful; start from DefaultGeometry and adjust.
+// Geometry describes the dimensions of the modelled memory fleet. The zero
+// value is not useful; start from DefaultGeometry or a registered
+// profile's Geometry and adjust. For DIMM topologies the NPU dimension is
+// the socket count and the HBM dimension the DIMMs per channel; the
+// hierarchy ordering lives in the Profile, not here.
 type Geometry struct {
 	Nodes          int // compute nodes in the fleet
-	NPUsPerNode    int // NPUs per compute node
-	HBMsPerNPU     int // HBM sockets per NPU
+	NPUsPerNode    int // NPUs (or sockets) per compute node
+	HBMsPerNPU     int // HBM sockets per NPU (or DIMMs per channel)
 	SIDsPerHBM     int // stack IDs per HBM (8Hi stack → 2 SIDs)
-	ChannelsPerSID int // channels per stack ID
+	ChannelsPerSID int // channels per stack ID (or per socket)
 	PseudoChPerCh  int // pseudo-channels per channel
-	BankGroups     int // bank groups per pseudo-channel
+	RanksPerModule int // ranks per DIMM; 0 means 1 (HBM topologies)
+	DevicesPerRank int // DRAM devices per rank; 0 means 1 (HBM topologies)
+	BankGroups     int // bank groups per pseudo-channel (or per device)
 	BanksPerGroup  int // banks per bank group
 	RowsPerBank    int // rows per bank
 	ColsPerBank    int // columns per bank
@@ -49,62 +60,118 @@ var DefaultGeometry = Geometry{
 	ColsPerBank:    128,
 }
 
-// Validate reports whether every dimension is positive and within the bit
-// budget of the packed address encoding.
-func (g Geometry) Validate() error {
-	check := func(name string, v, max int) error {
-		if v <= 0 {
-			return fmt.Errorf("hbm: geometry %s must be positive, got %d", name, v)
+// dim returns the number of distinct values the field can take under the
+// geometry. The rank and device dimensions are normalised: zero means the
+// level does not exist, i.e. exactly one value.
+func (g Geometry) dim(f field) int {
+	switch f {
+	case fieldNode:
+		return g.Nodes
+	case fieldNPU:
+		return g.NPUsPerNode
+	case fieldHBM:
+		return g.HBMsPerNPU
+	case fieldSID:
+		return g.SIDsPerHBM
+	case fieldChannel:
+		return g.ChannelsPerSID
+	case fieldPseudoChannel:
+		return g.PseudoChPerCh
+	case fieldRank:
+		if g.RanksPerModule <= 0 {
+			return 1
 		}
-		if v > max {
-			return fmt.Errorf("hbm: geometry %s = %d exceeds encoding limit %d", name, v, max)
+		return g.RanksPerModule
+	case fieldDevice:
+		if g.DevicesPerRank <= 0 {
+			return 1
 		}
-		return nil
+		return g.DevicesPerRank
+	case fieldBankGroup:
+		return g.BankGroups
+	case fieldBank:
+		return g.BanksPerGroup
+	case fieldRow:
+		return g.RowsPerBank
+	case fieldColumn:
+		return g.ColsPerBank
 	}
-	for _, c := range []struct {
-		name string
-		v    int
-		max  int
-	}{
-		{"Nodes", g.Nodes, 1 << nodeBits},
-		{"NPUsPerNode", g.NPUsPerNode, 1 << npuBits},
-		{"HBMsPerNPU", g.HBMsPerNPU, 1 << hbmBits},
-		{"SIDsPerHBM", g.SIDsPerHBM, 1 << sidBits},
-		{"ChannelsPerSID", g.ChannelsPerSID, 1 << chBits},
-		{"PseudoChPerCh", g.PseudoChPerCh, 1 << pschBits},
-		{"BankGroups", g.BankGroups, 1 << bgBits},
-		{"BanksPerGroup", g.BanksPerGroup, 1 << bankBits},
-		{"RowsPerBank", g.RowsPerBank, 1 << rowBits},
-		{"ColsPerBank", g.ColsPerBank, 1 << colBits},
-	} {
-		if err := check(c.name, c.v, c.max); err != nil {
-			return err
+	return 0
+}
+
+// validateDims checks that every dimension is positive (rank and device
+// may be zero, meaning absent) without consulting any layout.
+func (g Geometry) validateDims() error {
+	if g.RanksPerModule < 0 {
+		return fmt.Errorf("hbm: geometry RanksPerModule must be non-negative, got %d", g.RanksPerModule)
+	}
+	if g.DevicesPerRank < 0 {
+		return fmt.Errorf("hbm: geometry DevicesPerRank must be non-negative, got %d", g.DevicesPerRank)
+	}
+	for f := field(0); f < numFields; f++ {
+		if g.dim(f) <= 0 {
+			return fmt.Errorf("hbm: geometry %s must be positive, got %d", fieldNames[f], g.dim(f))
 		}
 	}
 	return nil
 }
 
-// TotalNPUs returns the number of NPUs in the fleet.
+// Validate reports whether every dimension is positive and within the bit
+// budget of the active profile's packed address layout.
+func (g Geometry) Validate() error {
+	if err := g.validateDims(); err != nil {
+		return err
+	}
+	return ActiveProfile().Layout.fits(g)
+}
+
+// TotalNPUs returns the number of NPUs (or sockets) in the fleet.
 func (g Geometry) TotalNPUs() int { return g.Nodes * g.NPUsPerNode }
 
-// TotalHBMs returns the number of HBM stacks in the fleet.
-func (g Geometry) TotalHBMs() int { return g.TotalNPUs() * g.HBMsPerNPU }
+// isDIMM reports whether the geometry describes a DIMM topology, where
+// the channel level sits above the module and ranks/devices sit inside it.
+func (g Geometry) isDIMM() bool { return g.RanksPerModule > 0 || g.DevicesPerRank > 0 }
 
-// BanksPerHBM returns the number of banks in one HBM stack.
+// modulesPerNPU returns the memory modules below one NPU/socket. For HBM
+// topologies that is HBMsPerNPU; for DIMM topologies the channel level
+// sits above the module, so it is channels × DIMMs-per-channel.
+func (g Geometry) modulesPerNPU() int {
+	if g.isDIMM() {
+		return g.ChannelsPerSID * g.HBMsPerNPU
+	}
+	return g.HBMsPerNPU
+}
+
+// TotalHBMs returns the number of memory modules (HBM stacks or DIMMs) in
+// the fleet.
+func (g Geometry) TotalHBMs() int { return g.TotalNPUs() * g.modulesPerNPU() }
+
+// BanksPerHBM returns the number of banks in one memory module.
 func (g Geometry) BanksPerHBM() int {
+	if g.isDIMM() {
+		return g.SIDsPerHBM * g.PseudoChPerCh * g.dim(fieldRank) * g.dim(fieldDevice) *
+			g.BankGroups * g.BanksPerGroup
+	}
 	return g.SIDsPerHBM * g.ChannelsPerSID * g.PseudoChPerCh * g.BankGroups * g.BanksPerGroup
 }
 
 // TotalBanks returns the number of banks in the fleet.
-func (g Geometry) TotalBanks() int { return g.TotalHBMs() * g.BanksPerHBM() }
+func (g Geometry) TotalBanks() int {
+	return g.Nodes * g.NPUsPerNode * g.HBMsPerNPU * g.SIDsPerHBM *
+		g.ChannelsPerSID * g.PseudoChPerCh * g.dim(fieldRank) * g.dim(fieldDevice) *
+		g.BankGroups * g.BanksPerGroup
+}
 
-// Level identifies a micro-level of the HBM hierarchy. The ordering matches
-// the paper's Tables I and II, from coarsest (NPU) to finest (Row).
+// Level identifies a micro-level of the memory hierarchy. The set of
+// levels present and their coarse-to-fine ordering are properties of the
+// active Profile; Level values themselves are stable identifiers.
 type Level int
 
-// Hierarchy levels, coarsest first. LevelChannel sits between SID and
-// pseudo-channel physically but is omitted from the paper's per-level tables;
-// TableLevels lists the seven levels the paper reports.
+// Hierarchy levels. Under HBM topologies LevelChannel sits between SID and
+// pseudo-channel; under DIMM topologies LevelChannel sits above the module
+// and LevelRank/LevelDevice sit between module and bank group. The numeric
+// order of the constants is not the hierarchy order — consult
+// Profile.Levels for that.
 const (
 	LevelNPU Level = iota + 1
 	LevelHBM
@@ -114,9 +181,13 @@ const (
 	LevelBankGroup
 	LevelBank
 	LevelRow
+	LevelRank
+	LevelDevice
 )
 
-// TableLevels are the micro-levels reported in the paper's Tables I and II.
+// TableLevels are the micro-levels reported in the paper's Tables I and II
+// for the HBM2E topology. Profile.TableLevels carries the per-topology
+// equivalent; this package-level list is retained for the default profile.
 var TableLevels = []Level{
 	LevelNPU, LevelHBM, LevelSID, LevelPseudoChannel, LevelBankGroup, LevelBank, LevelRow,
 }
@@ -127,12 +198,15 @@ var levelNames = map[Level]string{
 	LevelSID:           "SID",
 	LevelChannel:       "CH",
 	LevelPseudoChannel: "PS-CH",
+	LevelRank:          "Rank",
+	LevelDevice:        "Dev",
 	LevelBankGroup:     "BG",
 	LevelBank:          "Bank",
 	LevelRow:           "Row",
 }
 
-// String returns the paper's abbreviation for the level.
+// String returns the paper's abbreviation for the level under the default
+// topology; Profile.LevelName applies per-topology renames (Socket, DIMM).
 func (l Level) String() string {
 	if s, ok := levelNames[l]; ok {
 		return s
@@ -140,37 +214,9 @@ func (l Level) String() string {
 	return fmt.Sprintf("Level(%d)", int(l))
 }
 
-// Bit widths for the packed address encoding. The sum of all widths is 48,
-// leaving headroom in a uint64.
-const (
-	nodeBits = 12
-	npuBits  = 4
-	hbmBits  = 2
-	sidBits  = 1
-	chBits   = 3
-	pschBits = 1
-	bgBits   = 2
-	bankBits = 2
-	rowBits  = 16
-	colBits  = 8
-)
-
-// Field shifts, column in the least significant bits.
-const (
-	colShift  = 0
-	rowShift  = colShift + colBits
-	bankShift = rowShift + rowBits
-	bgShift   = bankShift + bankBits
-	pschShift = bgShift + bgBits
-	chShift   = pschShift + pschBits
-	sidShift  = chShift + chBits
-	hbmShift  = sidShift + sidBits
-	npuShift  = hbmShift + hbmBits
-	nodeShift = npuShift + npuBits
-)
-
 // Address identifies a memory location (or a coarser entity, with the finer
-// fields zeroed) inside the fleet. All fields are zero-based indices.
+// fields zeroed) inside the fleet. All fields are zero-based indices. Rank
+// and Device are zero under HBM topologies, which give them no extent.
 type Address struct {
 	Node          int
 	NPU           int
@@ -178,152 +224,259 @@ type Address struct {
 	SID           int
 	Channel       int
 	PseudoChannel int
+	Rank          int
+	Device        int
 	BankGroup     int
 	Bank          int
 	Row           int
 	Column        int
 }
 
-// Pack encodes the address into a single uint64. Pack and Unpack are inverses
-// for any address whose fields are within the geometry's encoding limits.
-func (a Address) Pack() uint64 {
-	return uint64(a.Node)<<nodeShift |
-		uint64(a.NPU)<<npuShift |
-		uint64(a.HBM)<<hbmShift |
-		uint64(a.SID)<<sidShift |
-		uint64(a.Channel)<<chShift |
-		uint64(a.PseudoChannel)<<pschShift |
-		uint64(a.BankGroup)<<bgShift |
-		uint64(a.Bank)<<bankShift |
-		uint64(a.Row)<<rowShift |
-		uint64(a.Column)<<colShift
+// get returns the field's value.
+func (a Address) get(f field) int {
+	switch f {
+	case fieldNode:
+		return a.Node
+	case fieldNPU:
+		return a.NPU
+	case fieldHBM:
+		return a.HBM
+	case fieldSID:
+		return a.SID
+	case fieldChannel:
+		return a.Channel
+	case fieldPseudoChannel:
+		return a.PseudoChannel
+	case fieldRank:
+		return a.Rank
+	case fieldDevice:
+		return a.Device
+	case fieldBankGroup:
+		return a.BankGroup
+	case fieldBank:
+		return a.Bank
+	case fieldRow:
+		return a.Row
+	case fieldColumn:
+		return a.Column
+	}
+	return 0
 }
 
-// Unpack decodes an address previously produced by Pack.
-func Unpack(v uint64) Address {
-	mask := func(bits int) uint64 { return (1 << bits) - 1 }
-	return Address{
-		Node:          int(v >> nodeShift & mask(nodeBits)),
-		NPU:           int(v >> npuShift & mask(npuBits)),
-		HBM:           int(v >> hbmShift & mask(hbmBits)),
-		SID:           int(v >> sidShift & mask(sidBits)),
-		Channel:       int(v >> chShift & mask(chBits)),
-		PseudoChannel: int(v >> pschShift & mask(pschBits)),
-		BankGroup:     int(v >> bgShift & mask(bgBits)),
-		Bank:          int(v >> bankShift & mask(bankBits)),
-		Row:           int(v >> rowShift & mask(rowBits)),
-		Column:        int(v >> colShift & mask(colBits)),
+// set assigns the field's value.
+func (a *Address) set(f field, v int) {
+	switch f {
+	case fieldNode:
+		a.Node = v
+	case fieldNPU:
+		a.NPU = v
+	case fieldHBM:
+		a.HBM = v
+	case fieldSID:
+		a.SID = v
+	case fieldChannel:
+		a.Channel = v
+	case fieldPseudoChannel:
+		a.PseudoChannel = v
+	case fieldRank:
+		a.Rank = v
+	case fieldDevice:
+		a.Device = v
+	case fieldBankGroup:
+		a.BankGroup = v
+	case fieldBank:
+		a.Bank = v
+	case fieldRow:
+		a.Row = v
+	case fieldColumn:
+		a.Column = v
 	}
+}
+
+// Pack encodes the address into a single uint64 under the active profile's
+// layout. Pack and Unpack are inverses for any address whose fields are
+// within the layout's encoding capacities; a field outside its capacity is
+// silently lost, which is why every trust boundary (wire decode, JSONL
+// parse, simulator emit) must use PackChecked or UnpackChecked instead.
+func (a Address) Pack() uint64 {
+	l := &ActiveProfile().Layout
+	return uint64(a.Node)<<l.shift[fieldNode] |
+		uint64(a.NPU)<<l.shift[fieldNPU] |
+		uint64(a.HBM)<<l.shift[fieldHBM] |
+		uint64(a.SID)<<l.shift[fieldSID] |
+		uint64(a.Channel)<<l.shift[fieldChannel] |
+		uint64(a.PseudoChannel)<<l.shift[fieldPseudoChannel] |
+		uint64(a.Rank)<<l.shift[fieldRank] |
+		uint64(a.Device)<<l.shift[fieldDevice] |
+		uint64(a.BankGroup)<<l.shift[fieldBankGroup] |
+		uint64(a.Bank)<<l.shift[fieldBank] |
+		uint64(a.Row)<<l.shift[fieldRow] |
+		uint64(a.Column)<<l.shift[fieldColumn]
+}
+
+// PackChecked encodes the address, rejecting any field outside its bit
+// budget in the active layout instead of truncating it. This is the only
+// safe way to derive a key from an address that crossed a trust boundary.
+func (a Address) PackChecked() (uint64, error) {
+	l := &ActiveProfile().Layout
+	var v uint64
+	for f := field(0); f < numFields; f++ {
+		x := a.get(f)
+		if x < 0 || x >= l.capacity(f) {
+			return 0, fmt.Errorf("hbm: address %s index %d outside encoding range [0,%d) (%d bits)",
+				fieldNames[f], x, l.capacity(f), l.width[f])
+		}
+		v |= uint64(x) << l.shift[f]
+	}
+	return v, nil
+}
+
+// Unpack decodes an address previously produced by Pack under the same
+// active profile.
+func Unpack(v uint64) Address {
+	l := &ActiveProfile().Layout
+	var a Address
+	for f := field(0); f < numFields; f++ {
+		a.set(f, int(v>>l.shift[f]&uint64(l.capacity(f)-1)))
+	}
+	return a
+}
+
+// UnpackChecked decodes a packed address, rejecting values with bits set
+// outside the active layout. Unpack silently drops such bits, which would
+// alias two distinct (corrupt) keys onto one address; checked decode turns
+// that into a detectable error at the trust boundary.
+func UnpackChecked(v uint64) (Address, error) {
+	l := &ActiveProfile().Layout
+	if rest := v &^ l.used; rest != 0 {
+		return Address{}, fmt.Errorf("hbm: packed address %#x has bits %#x outside the %d-bit layout", v, rest, l.Bits())
+	}
+	return Unpack(v), nil
 }
 
 // Validate reports whether the address is within the geometry's bounds.
 func (a Address) Validate(g Geometry) error {
-	for _, c := range []struct {
-		name string
-		v    int
-		n    int
-	}{
-		{"node", a.Node, g.Nodes},
-		{"npu", a.NPU, g.NPUsPerNode},
-		{"hbm", a.HBM, g.HBMsPerNPU},
-		{"sid", a.SID, g.SIDsPerHBM},
-		{"channel", a.Channel, g.ChannelsPerSID},
-		{"pseudo-channel", a.PseudoChannel, g.PseudoChPerCh},
-		{"bank group", a.BankGroup, g.BankGroups},
-		{"bank", a.Bank, g.BanksPerGroup},
-		{"row", a.Row, g.RowsPerBank},
-		{"column", a.Column, g.ColsPerBank},
-	} {
-		if c.v < 0 || c.v >= c.n {
-			return fmt.Errorf("hbm: %s index %d out of range [0,%d)", c.name, c.v, c.n)
+	for f := field(0); f < numFields; f++ {
+		if v, n := a.get(f), g.dim(f); v < 0 || v >= n {
+			return fmt.Errorf("hbm: %s index %d out of range [0,%d)", fieldNames[f], v, n)
 		}
 	}
 	return nil
 }
 
 // String renders the address in the canonical dotted form, e.g.
-// "n3.u2.h1.s0.c5.p1.g2.b3.r12345.col87".
+// "n3.u2.h1.s0.c5.p1.g2.b3.r12345.col87". Under topologies with rank and
+// device levels the two extra segments appear after the bank, e.g.
+// "n3.u1.h0.s0.c5.p0.g2.b3.k1.d6.r12345.col87"; they are omitted entirely
+// when both are zero, so HBM addresses keep their historical form.
 func (a Address) String() string {
 	var b strings.Builder
-	b.Grow(48)
-	fields := []struct {
-		tag string
-		v   int
-	}{
-		{"n", a.Node}, {"u", a.NPU}, {"h", a.HBM}, {"s", a.SID},
-		{"c", a.Channel}, {"p", a.PseudoChannel}, {"g", a.BankGroup},
-		{"b", a.Bank}, {"r", a.Row}, {"col", a.Column},
-	}
-	for i, f := range fields {
+	b.Grow(56)
+	withRank := a.Rank != 0 || a.Device != 0
+	for i, f := range addressFields(withRank) {
 		if i > 0 {
 			b.WriteByte('.')
 		}
 		b.WriteString(f.tag)
-		b.WriteString(strconv.Itoa(f.v))
+		b.WriteString(strconv.Itoa(a.get(f.f)))
 	}
 	return b.String()
 }
 
-// ParseAddress parses the canonical dotted form produced by String.
+// addressField pairs a string tag with the address field it renders.
+type addressField struct {
+	tag string
+	f   field
+}
+
+var addressFieldsShort = []addressField{
+	{"n", fieldNode}, {"u", fieldNPU}, {"h", fieldHBM}, {"s", fieldSID},
+	{"c", fieldChannel}, {"p", fieldPseudoChannel}, {"g", fieldBankGroup},
+	{"b", fieldBank}, {"r", fieldRow}, {"col", fieldColumn},
+}
+
+var addressFieldsLong = []addressField{
+	{"n", fieldNode}, {"u", fieldNPU}, {"h", fieldHBM}, {"s", fieldSID},
+	{"c", fieldChannel}, {"p", fieldPseudoChannel}, {"g", fieldBankGroup},
+	{"b", fieldBank}, {"k", fieldRank}, {"d", fieldDevice},
+	{"r", fieldRow}, {"col", fieldColumn},
+}
+
+func addressFields(withRank bool) []addressField {
+	if withRank {
+		return addressFieldsLong
+	}
+	return addressFieldsShort
+}
+
+// parseCanonicalInt parses a non-negative decimal integer in canonical
+// form: digits only, no sign, no leading zeros. Anything strconv accepts
+// but Itoa would not reproduce — "+3", "007", "1_0" — is rejected, so the
+// parse/render pair is a bijection and string-keyed dedup stays sound.
+func parseCanonicalInt(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || strconv.Itoa(v) != s {
+		return 0, fmt.Errorf("non-canonical integer %q", s)
+	}
+	return v, nil
+}
+
+// ParseAddress parses the canonical dotted form produced by String. It is
+// strict in both directions: each field must be a canonical decimal (no
+// sign, no leading zeros) and must fit the active layout's bit budget, so
+// a parsed address always survives Pack without loss. Addresses with 12
+// fields carry rank and device; per the canonical form they must not both
+// be zero there (String omits them in that case).
 func ParseAddress(s string) (Address, error) {
 	parts := strings.Split(s, ".")
-	if len(parts) != 10 {
-		return Address{}, fmt.Errorf("hbm: address %q has %d fields, want 10", s, len(parts))
+	var fields []addressField
+	switch len(parts) {
+	case len(addressFieldsShort):
+		fields = addressFieldsShort
+	case len(addressFieldsLong):
+		fields = addressFieldsLong
+	default:
+		return Address{}, fmt.Errorf("hbm: address %q has %d fields, want %d or %d",
+			s, len(parts), len(addressFieldsShort), len(addressFieldsLong))
 	}
 	var a Address
-	for i, spec := range []struct {
-		tag string
-		dst *int
-	}{
-		{"n", &a.Node}, {"u", &a.NPU}, {"h", &a.HBM}, {"s", &a.SID},
-		{"c", &a.Channel}, {"p", &a.PseudoChannel}, {"g", &a.BankGroup},
-		{"b", &a.Bank}, {"r", &a.Row}, {"col", &a.Column},
-	} {
+	for i, spec := range fields {
 		p := parts[i]
 		if !strings.HasPrefix(p, spec.tag) {
 			return Address{}, fmt.Errorf("hbm: address field %q does not start with %q", p, spec.tag)
 		}
-		v, err := strconv.Atoi(p[len(spec.tag):])
+		v, err := parseCanonicalInt(p[len(spec.tag):])
 		if err != nil {
 			return Address{}, fmt.Errorf("hbm: address field %q: %w", p, err)
 		}
-		if v < 0 {
-			return Address{}, fmt.Errorf("hbm: address field %q is negative", p)
-		}
-		*spec.dst = v
+		a.set(spec.f, v)
+	}
+	if len(parts) == len(addressFieldsLong) && a.Rank == 0 && a.Device == 0 {
+		return Address{}, fmt.Errorf("hbm: address %q spells out zero rank and device; canonical form omits them", s)
+	}
+	if _, err := a.PackChecked(); err != nil {
+		return Address{}, err
 	}
 	return a, nil
 }
 
-// Truncate zeroes every field finer than the given level, producing the
-// address of the enclosing entity at that level. For example, truncating at
-// LevelBank clears Row and Column.
+// Truncate zeroes every field finer than the given level under the active
+// profile's hierarchy, producing the address of the enclosing entity at
+// that level. For example, truncating at LevelBank clears Row and Column;
+// under a DIMM profile, truncating at LevelChannel clears the module, rank
+// and device as well, because they sit below the channel there.
 func (a Address) Truncate(l Level) Address {
+	p := ActiveProfile()
+	i := p.truncateFrom(l)
+	if i < 0 {
+		return a
+	}
 	t := a
-	switch l {
-	case LevelNPU:
-		t.HBM = 0
-		fallthrough
-	case LevelHBM:
-		t.SID = 0
-		fallthrough
-	case LevelSID:
-		t.Channel = 0
-		fallthrough
-	case LevelChannel:
-		t.PseudoChannel = 0
-		fallthrough
-	case LevelPseudoChannel:
-		t.BankGroup = 0
-		fallthrough
-	case LevelBankGroup:
-		t.Bank = 0
-		fallthrough
-	case LevelBank:
-		t.Row = 0
-		fallthrough
-	case LevelRow:
-		t.Column = 0
+	for _, f := range p.Layout.order[i+1:] {
+		t.set(f, 0)
 	}
 	return t
 }
@@ -367,17 +520,52 @@ type RandomSource interface {
 }
 
 // RandomBank draws a uniformly random bank address within the geometry.
+// Degenerate dimensions (size 1) consume no randomness, so HBM topologies
+// draw exactly the same stream they did before rank/device existed and
+// seeded workloads stay byte-identical.
 func RandomBank(g Geometry, r RandomSource) BankAddress {
-	return Address{
-		Node:          r.Intn(g.Nodes),
-		NPU:           r.Intn(g.NPUsPerNode),
-		HBM:           r.Intn(g.HBMsPerNPU),
-		SID:           r.Intn(g.SIDsPerHBM),
-		Channel:       r.Intn(g.ChannelsPerSID),
-		PseudoChannel: r.Intn(g.PseudoChPerCh),
-		BankGroup:     r.Intn(g.BankGroups),
-		Bank:          r.Intn(g.BanksPerGroup),
+	draw := func(n int) int {
+		if n <= 1 {
+			return 0
+		}
+		return r.Intn(n)
 	}
+	return Address{
+		Node:          draw(g.Nodes),
+		NPU:           draw(g.NPUsPerNode),
+		HBM:           draw(g.HBMsPerNPU),
+		SID:           draw(g.SIDsPerHBM),
+		Channel:       draw(g.ChannelsPerSID),
+		PseudoChannel: draw(g.PseudoChPerCh),
+		Rank:          draw(g.dim(fieldRank)),
+		Device:        draw(g.dim(fieldDevice)),
+		BankGroup:     draw(g.BankGroups),
+		Bank:          draw(g.BanksPerGroup),
+	}
+}
+
+// RandomBankWithin draws a random bank sharing the level entity of anchor:
+// every bank-address field finer than the level under the active profile's
+// hierarchy is re-randomised. As with RandomBank, degenerate dimensions
+// (size 1) consume no randomness.
+func RandomBankWithin(g Geometry, r RandomSource, anchor BankAddress, level Level) BankAddress {
+	p := ActiveProfile()
+	i := p.truncateFrom(level)
+	if i < 0 {
+		return anchor
+	}
+	b := anchor
+	for _, f := range p.Layout.order[i+1:] {
+		if f == fieldRow || f == fieldColumn {
+			continue
+		}
+		if n := g.dim(f); n > 1 {
+			b.set(f, r.Intn(n))
+		} else {
+			b.set(f, 0)
+		}
+	}
+	return b
 }
 
 // CellInBank returns the full address of (row, col) within the given bank.

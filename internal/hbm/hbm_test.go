@@ -1,6 +1,7 @@
 package hbm
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -52,23 +53,53 @@ func TestGeometryCounts(t *testing.T) {
 }
 
 func TestPackUnpackRoundTrip(t *testing.T) {
-	f := func(node, npu, h, sid, ch, psch, bg, bank, row, col uint32) bool {
-		a := Address{
-			Node:          int(node % (1 << nodeBits)),
-			NPU:           int(npu % (1 << npuBits)),
-			HBM:           int(h % (1 << hbmBits)),
-			SID:           int(sid % (1 << sidBits)),
-			Channel:       int(ch % (1 << chBits)),
-			PseudoChannel: int(psch % (1 << pschBits)),
-			BankGroup:     int(bg % (1 << bgBits)),
-			Bank:          int(bank % (1 << bankBits)),
-			Row:           int(row % (1 << rowBits)),
-			Column:        int(col % (1 << colBits)),
+	l := &ActiveProfile().Layout
+	f := func(raw [numFields]uint32) bool {
+		var a Address
+		for fi := field(0); fi < numFields; fi++ {
+			a.set(fi, int(raw[fi])%l.capacity(fi))
 		}
 		return Unpack(a.Pack()) == a
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPackCheckedRejectsOverflow(t *testing.T) {
+	l := &ActiveProfile().Layout
+	// The historical bug: Row = 1<<rowBits packed to a value whose row
+	// silently read back as 0, corrupting bank keys. PackChecked must
+	// reject every such field, for every field.
+	for fi := field(0); fi < numFields; fi++ {
+		var a Address
+		a.set(fi, l.capacity(fi))
+		if _, err := a.PackChecked(); err == nil {
+			t.Errorf("PackChecked accepted %s = %d (capacity %d)", fieldNames[fi], l.capacity(fi), l.capacity(fi))
+		}
+		a.set(fi, -1)
+		if _, err := a.PackChecked(); err == nil {
+			t.Errorf("PackChecked accepted negative %s", fieldNames[fi])
+		}
+	}
+	good := Address{Node: 3, NPU: 7, Row: 999, Column: 55}
+	v, err := good.PackChecked()
+	if err != nil {
+		t.Fatalf("PackChecked rejected valid address: %v", err)
+	}
+	if v != good.Pack() {
+		t.Fatalf("PackChecked = %#x, Pack = %#x", v, good.Pack())
+	}
+}
+
+func TestUnpackCheckedRejectsStrayBits(t *testing.T) {
+	a := Address{Node: 3, NPU: 7, Row: 999, Column: 55}
+	if _, err := UnpackChecked(a.Pack()); err != nil {
+		t.Fatalf("UnpackChecked rejected clean packed address: %v", err)
+	}
+	stray := a.Pack() | 1<<63
+	if _, err := UnpackChecked(stray); err == nil {
+		t.Fatal("UnpackChecked accepted a packed address with stray high bits")
 	}
 }
 
@@ -103,10 +134,38 @@ func TestParseAddressErrors(t *testing.T) {
 		"n1.u2.h1.s0.c5.p1.g2.b3.rxyz.col87",
 		"n-1.u2.h1.s0.c5.p1.g2.b3.r1.col87",
 		"n1.u2.h1.s0.c5.p1.g2.b3.r1.col87.extra",
+		// Non-canonical integers: lenient parsing would accept these but
+		// render them back differently, breaking string-keyed dedup.
+		"n+1.u2.h1.s0.c5.p1.g2.b3.r1.col87",
+		"n01.u2.h1.s0.c5.p1.g2.b3.r1.col87",
+		"n1.u2.h1.s0.c5.p1.g2.b3.r007.col87",
+		"n1.u2.h1.s0.c5.p1.g2.b3.r1.col087",
+		"n1.u2.h1.s0.c5.p1.g2.b3.r1.col 87",
+		// Out of encoding range: would silently truncate under Pack.
+		"n1.u2.h1.s0.c5.p1.g2.b3.r70000.col87",
+		// Rank/device spelled out as zero: canonical form omits them.
+		"n1.u2.h1.s0.c5.p1.g2.b3.k0.d0.r1.col87",
 	} {
 		if _, err := ParseAddress(s); err == nil {
 			t.Errorf("ParseAddress(%q) succeeded, want error", s)
 		}
+	}
+}
+
+func TestParseAddressRankDevice(t *testing.T) {
+	prev := ActivateProfile(DDR5DIMM)
+	defer ActivateProfile(prev)
+	a := Address{Node: 3, NPU: 1, Channel: 5, HBM: 1, Rank: 1, Device: 6, BankGroup: 2, Bank: 3, Row: 12345, Column: 87}
+	s := a.String()
+	got, err := ParseAddress(s)
+	if err != nil {
+		t.Fatalf("ParseAddress(%q): %v", s, err)
+	}
+	if got != a {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, a)
+	}
+	if !strings.Contains(s, ".k1.d6.") {
+		t.Fatalf("String() = %q, want rank/device segments", s)
 	}
 }
 

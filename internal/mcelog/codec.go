@@ -15,10 +15,13 @@ import (
 )
 
 // jsonEvent is the interchange shape for one event in the JSONL codec.
+// The bits field is the intra-word error pattern; it is omitted when zero
+// so logs from producers without syndrome detail keep their shape.
 type jsonEvent struct {
 	Time  time.Time `json:"time"`
 	Addr  string    `json:"addr"`
 	Class string    `json:"class"`
+	Bits  uint16    `json:"bits,omitempty"`
 }
 
 // WriteJSONL writes the log as JSON Lines: one event object per line.
@@ -26,7 +29,7 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i, e := range l.events {
-		je := jsonEvent{Time: e.Time.UTC(), Addr: e.Addr.String(), Class: e.Class.String()}
+		je := jsonEvent{Time: e.Time.UTC(), Addr: e.Addr.String(), Class: e.Class.String(), Bits: uint16(e.Bits)}
 		if err := enc.Encode(je); err != nil {
 			return fmt.Errorf("mcelog: encoding event %d: %w", i, err)
 		}
@@ -39,7 +42,7 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 // forwarders that received an event in another codec and must re-encode
 // it for a JSONL-only peer.
 func MarshalJSONEvent(ev Event) ([]byte, error) {
-	return json.Marshal(jsonEvent{Time: ev.Time.UTC(), Addr: ev.Addr.String(), Class: ev.Class.String()})
+	return json.Marshal(jsonEvent{Time: ev.Time.UTC(), Addr: ev.Addr.String(), Class: ev.Class.String(), Bits: uint16(ev.Bits)})
 }
 
 // ParseJSONEvent parses one JSONL-encoded event (the per-line shape
@@ -61,7 +64,7 @@ func ParseJSONEvent(line []byte) (Event, error) {
 	if err := ValidateTime(je.Time); err != nil {
 		return Event{}, err
 	}
-	return Event{Time: je.Time, Addr: addr, Class: class}, nil
+	return Event{Time: je.Time, Addr: addr, Class: class, Bits: ErrBits(je.Bits)}, nil
 }
 
 // ReadJSONL parses a JSON Lines stream produced by WriteJSONL.
@@ -84,22 +87,26 @@ func ReadJSONL(r io.Reader) (*Log, error) {
 		if err != nil {
 			return nil, fmt.Errorf("mcelog: line %d: %w", i, err)
 		}
-		log.Append(Event{Time: je.Time, Addr: addr, Class: class})
+		log.Append(Event{Time: je.Time, Addr: addr, Class: class, Bits: ErrBits(je.Bits)})
 	}
 }
 
 // Binary format:
 //
 //	header:  magic "MCEL" | uint16 version | uint32 event count
-//	record:  int64 unix-nanos | uint64 packed addr | uint8 class   (×count)
+//	record:  int64 unix-nanos | uint64 packed addr | uint8 class | uint16 error bits   (×count)
 //	trailer: uint32 CRC-32 (IEEE) over all record bytes
 //
 // All integers are little-endian. The trailer detects truncation and
-// corruption; readers must verify it before trusting the events.
+// corruption; readers must verify it before trusting the events. Version
+// 1 files, whose records lack the trailing error-bit field, still read
+// (with Bits zero); writers always emit version 2.
 const (
-	binaryMagic   = "MCEL"
-	binaryVersion = 1
-	recordSize    = 8 + 8 + 1
+	binaryMagic     = "MCEL"
+	binaryVersion   = 2
+	binaryVersionV1 = 1
+	recordSize      = 8 + 8 + 1 + 2
+	recordSizeV1    = 8 + 8 + 1
 )
 
 // WriteBinary writes the log in the compact binary format.
@@ -120,6 +127,7 @@ func (l *Log) WriteBinary(w io.Writer) error {
 		binary.LittleEndian.PutUint64(rec[0:8], uint64(e.Time.UnixNano()))
 		binary.LittleEndian.PutUint64(rec[8:16], e.Addr.Pack())
 		rec[16] = byte(e.Class)
+		binary.LittleEndian.PutUint16(rec[17:19], uint16(e.Bits))
 		if _, err := bw.Write(rec[:]); err != nil {
 			return fmt.Errorf("mcelog: writing record: %w", err)
 		}
@@ -143,7 +151,12 @@ func ReadBinary(r io.Reader) (*Log, error) {
 	if string(head[:4]) != binaryMagic {
 		return nil, fmt.Errorf("mcelog: bad magic %q", head[:4])
 	}
-	if v := binary.LittleEndian.Uint16(head[4:6]); v != binaryVersion {
+	recSize := recordSize
+	switch v := binary.LittleEndian.Uint16(head[4:6]); v {
+	case binaryVersion:
+	case binaryVersionV1:
+		recSize = recordSizeV1
+	default:
 		return nil, fmt.Errorf("mcelog: unsupported version %d", v)
 	}
 	count := binary.LittleEndian.Uint32(head[6:10])
@@ -155,7 +168,7 @@ func ReadBinary(r io.Reader) (*Log, error) {
 	}
 	log := NewLog(prealloc)
 	crc := crc32.NewIEEE()
-	rec := make([]byte, recordSize)
+	rec := make([]byte, recSize)
 	for i := uint32(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, fmt.Errorf("mcelog: reading record %d of %d: %w", i, count, err)
@@ -165,10 +178,21 @@ func ReadBinary(r io.Reader) (*Log, error) {
 		if class != ecc.ClassCE && class != ecc.ClassUEO && class != ecc.ClassUER {
 			return nil, fmt.Errorf("mcelog: record %d has invalid class byte %d", i, rec[16])
 		}
+		// Checked unpack: a packed address with bits outside the layout
+		// would silently alias onto a wrong (but valid-looking) address.
+		addr, err := hbm.UnpackChecked(binary.LittleEndian.Uint64(rec[8:16]))
+		if err != nil {
+			return nil, fmt.Errorf("mcelog: record %d: %w", i, err)
+		}
+		var bits ErrBits
+		if recSize == recordSize {
+			bits = ErrBits(binary.LittleEndian.Uint16(rec[17:19]))
+		}
 		log.Append(Event{
 			Time:  time.Unix(0, int64(binary.LittleEndian.Uint64(rec[0:8]))).UTC(),
-			Addr:  hbm.Unpack(binary.LittleEndian.Uint64(rec[8:16])),
+			Addr:  addr,
 			Class: class,
+			Bits:  bits,
 		})
 	}
 	tail := make([]byte, 4)

@@ -19,6 +19,30 @@ import (
 	"cordial/internal/hbm"
 )
 
+// ErrBits encodes the intra-word error pattern of one event, below the
+// row/column granularity the address carries: which DQ pins (low byte)
+// and which burst positions (high byte) observed corrupted bits in the
+// faulting read. "Exploring Error Bits for Memory Failure Prediction"
+// shows this pattern separates benign scattered upsets from the
+// aggregated pin faults that precede uncorrectable errors; the feature
+// extractors accumulate it per bank. Zero means the pattern was not
+// reported — BMCs that do not expose syndrome detail emit zero, and all
+// codecs preserve it as absent rather than inventing a pattern.
+type ErrBits uint16
+
+// MakeErrBits composes an error-bit pattern from a DQ-pin mask and a
+// burst-position mask.
+func MakeErrBits(dq, burst uint8) ErrBits { return ErrBits(uint16(burst)<<8 | uint16(dq)) }
+
+// DQ returns the mask of DQ pins that saw corrupted bits.
+func (b ErrBits) DQ() uint8 { return uint8(b) }
+
+// Burst returns the mask of burst positions that saw corrupted bits.
+func (b ErrBits) Burst() uint8 { return uint8(b >> 8) }
+
+// IsZero reports whether no error-bit pattern was recorded.
+func (b ErrBits) IsZero() bool { return b == 0 }
+
 // Event is a single logged memory-error observation.
 type Event struct {
 	// Time is the moment the error was observed.
@@ -27,6 +51,8 @@ type Event struct {
 	Addr hbm.Address
 	// Class is the ECC classification (CE, UEO or UER).
 	Class ecc.Class
+	// Bits is the intra-word error-bit pattern, zero when unreported.
+	Bits ErrBits
 }
 
 // Timestamp sanity bounds for ingested events. The binary wire record
@@ -81,7 +107,10 @@ func (e Event) Before(other Event) bool {
 	if pa, pb := e.Addr.Pack(), other.Addr.Pack(); pa != pb {
 		return pa < pb
 	}
-	return e.Class < other.Class
+	if e.Class != other.Class {
+		return e.Class < other.Class
+	}
+	return e.Bits < other.Bits
 }
 
 // Log is an in-memory collection of events. The zero value is an empty log
@@ -235,7 +264,7 @@ func (l *Log) Dedupe() int {
 		return 0
 	}
 	same := func(a, b Event) bool {
-		return a.Time.Equal(b.Time) && a.Addr == b.Addr && a.Class == b.Class
+		return a.Time.Equal(b.Time) && a.Addr == b.Addr && a.Class == b.Class && a.Bits == b.Bits
 	}
 	w := 1
 	removed := 0

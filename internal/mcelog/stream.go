@@ -17,15 +17,18 @@ import (
 // checksums, for collectors that cannot know the event count up front.
 //
 //	header: magic "MCES" | uint16 version
-//	record: int64 unix-nanos | uint64 packed addr | uint8 class | uint32 CRC
+//	record: int64 unix-nanos | uint64 packed addr | uint8 class | uint16 error bits | uint32 CRC
 //
-// The per-record CRC (IEEE, over the record's 17 payload bytes) lets a
+// The per-record CRC (IEEE, over the record's 19 payload bytes) lets a
 // reader detect torn writes at the point of truncation and keep everything
-// before it.
+// before it. Version 1 streams, whose records lack the error-bit field,
+// still read; writers always emit version 2.
 const (
-	streamMagic      = "MCES"
-	streamVersion    = 1
-	streamRecordSize = recordSize + 4
+	streamMagic        = "MCES"
+	streamVersion      = 2
+	streamVersionV1    = 1
+	streamRecordSize   = recordSize + 4
+	streamRecordSizeV1 = recordSizeV1 + 4
 )
 
 // StreamWriter appends events to a stream incrementally. Close flushes; the
@@ -67,7 +70,8 @@ func (s *StreamWriter) Write(e Event) error {
 	binary.LittleEndian.PutUint64(rec[0:8], uint64(e.Time.UnixNano()))
 	binary.LittleEndian.PutUint64(rec[8:16], e.Addr.Pack())
 	rec[16] = byte(e.Class)
-	binary.LittleEndian.PutUint32(rec[17:21], crc32.ChecksumIEEE(rec[:17]))
+	binary.LittleEndian.PutUint16(rec[17:19], uint16(e.Bits))
+	binary.LittleEndian.PutUint32(rec[19:23], crc32.ChecksumIEEE(rec[:19]))
 	if _, err := s.w.Write(rec[:]); err != nil {
 		return fmt.Errorf("mcelog: writing stream record: %w", err)
 	}
@@ -86,8 +90,9 @@ func (s *StreamWriter) Flush() error {
 
 // StreamReader reads events back incrementally.
 type StreamReader struct {
-	r      *bufio.Reader
-	opened bool
+	r       *bufio.Reader
+	opened  bool
+	recSize int // payload + CRC size implied by the stream version
 }
 
 // NewStreamReader returns a reader over a stream produced by StreamWriter.
@@ -110,12 +115,17 @@ func (s *StreamReader) Next() (Event, error) {
 		if string(head[:4]) != streamMagic {
 			return Event{}, fmt.Errorf("mcelog: bad stream magic %q", head[:4])
 		}
-		if v := binary.LittleEndian.Uint16(head[4:6]); v != streamVersion {
+		switch v := binary.LittleEndian.Uint16(head[4:6]); v {
+		case streamVersion:
+			s.recSize = streamRecordSize
+		case streamVersionV1:
+			s.recSize = streamRecordSizeV1
+		default:
 			return Event{}, fmt.Errorf("mcelog: unsupported stream version %d", v)
 		}
 		s.opened = true
 	}
-	rec := make([]byte, streamRecordSize)
+	rec := make([]byte, s.recSize)
 	if _, err := io.ReadFull(s.r, rec); err != nil {
 		if errors.Is(err, io.EOF) {
 			return Event{}, io.EOF
@@ -123,17 +133,29 @@ func (s *StreamReader) Next() (Event, error) {
 		// A partial record is a torn write, not a clean end.
 		return Event{}, fmt.Errorf("%w: truncated mid-record: %v", ErrCorruptRecord, err)
 	}
-	if crc32.ChecksumIEEE(rec[:17]) != binary.LittleEndian.Uint32(rec[17:21]) {
+	payload := rec[:s.recSize-4]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rec[s.recSize-4:]) {
 		return Event{}, ErrCorruptRecord
 	}
 	class := ecc.Class(rec[16])
 	if class != ecc.ClassCE && class != ecc.ClassUEO && class != ecc.ClassUER {
 		return Event{}, fmt.Errorf("%w: invalid class byte %d", ErrCorruptRecord, rec[16])
 	}
+	// Checked unpack: stray bits in the packed address mean a corrupt or
+	// misencoded producer, not a different-but-valid location.
+	addr, err := hbm.UnpackChecked(binary.LittleEndian.Uint64(rec[8:16]))
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	}
+	var bits ErrBits
+	if s.recSize == streamRecordSize {
+		bits = ErrBits(binary.LittleEndian.Uint16(rec[17:19]))
+	}
 	return Event{
 		Time:  time.Unix(0, int64(binary.LittleEndian.Uint64(rec[0:8]))).UTC(),
-		Addr:  hbm.Unpack(binary.LittleEndian.Uint64(rec[8:16])),
+		Addr:  addr,
 		Class: class,
+		Bits:  bits,
 	}, nil
 }
 

@@ -12,18 +12,18 @@ import (
 	"cordial/internal/hbm"
 )
 
-// Wire streaming format ("CBF1" — cordial binary frames, version 1).
+// Wire streaming format ("CBF2" — cordial binary frames, version 2).
 //
 // JSONL ingest pays a JSON parse and several allocations per event; at
 // fleet rates the wire becomes the bottleneck before the predictor does.
 // This format is the streaming counterpart of the MCEL file codec: the
-// same fixed 17-byte record, length-prefixed into CRC-framed batches so a
+// same fixed 19-byte record, length-prefixed into CRC-framed batches so a
 // reader can decode incrementally with zero allocations and reject a
 // corrupt or truncated frame before acting on any of its events.
 //
-//	stream: magic "CBF1"
+//	stream: magic "CBF2"
 //	frame:  uint32 payload length | uint32 CRC-32C over payload | payload
-//	record: int64 unix-nanos | uint64 packed addr | uint8 class   (×N)
+//	record: int64 unix-nanos | uint64 packed addr | uint8 class | uint16 error bits   (×N)
 //
 // All integers are little-endian. A frame's payload is a whole number of
 // records (at least one, at most MaxWireFrameBytes total). Clean EOF on a
@@ -31,13 +31,22 @@ import (
 // reported as an error. The CRC is the Castagnoli polynomial (hardware-
 // accelerated on amd64/arm64), the same one the WAL uses — a frame's
 // payload bytes are exactly what the durable engine journals per event.
+//
+// Decoders also accept the previous "CBF1" stream, whose 17-byte records
+// lack the error-bit field; its events decode with Bits zero. Encoders
+// always emit CBF2.
 const (
-	wireMagic        = "CBF1"
+	wireMagic   = "CBF2"
+	wireMagicV1 = "CBF1"
+
 	wireFrameHdrSize = 8 // u32 payload length | u32 crc32c(payload)
 
 	// WireRecordSize is the fixed per-event record size, shared with the
 	// MCEL file codec and the engine's WAL event records.
-	WireRecordSize = 17
+	WireRecordSize = 19
+
+	// wireRecordSizeV1 is the record size of the legacy CBF1 stream.
+	wireRecordSizeV1 = 17
 )
 
 // MaxWireFrameBytes caps one frame's payload. Decoded lengths are
@@ -59,6 +68,7 @@ func AppendWireRecord(dst []byte, ev Event) []byte {
 	binary.LittleEndian.PutUint64(rec[0:8], uint64(ev.Time.UnixNano()))
 	binary.LittleEndian.PutUint64(rec[8:16], ev.Addr.Pack())
 	rec[16] = byte(ev.Class)
+	binary.LittleEndian.PutUint16(rec[17:19], uint16(ev.Bits))
 	return append(dst, rec[:]...)
 }
 
@@ -71,6 +81,17 @@ func DecodeWireRecord(rec []byte) Event {
 		Time:  time.Unix(0, int64(binary.LittleEndian.Uint64(rec[0:8]))).UTC(),
 		Addr:  hbm.Unpack(binary.LittleEndian.Uint64(rec[8:16])),
 		Class: ecc.Class(rec[16]),
+		Bits:  ErrBits(binary.LittleEndian.Uint16(rec[17:19])),
+	}
+}
+
+// decodeWireRecordV1 unpacks a legacy 17-byte CBF1 record (no error bits).
+func decodeWireRecordV1(rec []byte) Event {
+	_ = rec[wireRecordSizeV1-1]
+	return Event{
+		Time:  time.Unix(0, int64(binary.LittleEndian.Uint64(rec[0:8]))).UTC(),
+		Addr:  hbm.Unpack(binary.LittleEndian.Uint64(rec[8:16])),
+		Class: ecc.Class(rec[16]),
 	}
 }
 
@@ -79,14 +100,19 @@ func DecodeWireRecord(rec []byte) Event {
 // or Reset.
 type WireFrame struct {
 	payload []byte
+	recSize int
 }
 
 // Len returns the number of events in the frame.
-func (f WireFrame) Len() int { return len(f.payload) / WireRecordSize }
+func (f WireFrame) Len() int { return len(f.payload) / f.recSize }
 
 // Event decodes record i. It allocates nothing.
 func (f WireFrame) Event(i int) Event {
-	return DecodeWireRecord(f.payload[i*WireRecordSize : (i+1)*WireRecordSize])
+	rec := f.payload[i*f.recSize : (i+1)*f.recSize]
+	if f.recSize == wireRecordSizeV1 {
+		return decodeWireRecordV1(rec)
+	}
+	return DecodeWireRecord(rec)
 }
 
 // FrameDecoder reads a "CBF1" stream frame by frame. The zero value is
@@ -94,10 +120,11 @@ func (f WireFrame) Event(i int) Event {
 // Reset — the payload buffer is retained, so steady-state decoding
 // allocates nothing (pinned by TestWireDecodeZeroAllocs).
 type FrameDecoder struct {
-	r      io.Reader
-	buf    []byte
-	hdr    [wireFrameHdrSize]byte
-	opened bool // magic consumed
+	r       io.Reader
+	buf     []byte
+	hdr     [wireFrameHdrSize]byte
+	opened  bool // magic consumed
+	recSize int  // per-record size implied by the stream's magic
 }
 
 // NewFrameDecoder returns a decoder over r.
@@ -125,7 +152,12 @@ func (d *FrameDecoder) Next() (WireFrame, error) {
 			}
 			return WireFrame{}, fmt.Errorf("%w: truncated magic: %w", ErrWireFrame, err)
 		}
-		if string(d.hdr[:4]) != wireMagic {
+		switch string(d.hdr[:4]) {
+		case wireMagic:
+			d.recSize = WireRecordSize
+		case wireMagicV1:
+			d.recSize = wireRecordSizeV1
+		default:
 			return WireFrame{}, fmt.Errorf("%w: bad magic %q", ErrWireFrame, d.hdr[:4])
 		}
 		d.opened = true
@@ -143,8 +175,8 @@ func (d *FrameDecoder) Next() (WireFrame, error) {
 		return WireFrame{}, fmt.Errorf("%w: empty frame", ErrWireFrame)
 	case length > MaxWireFrameBytes:
 		return WireFrame{}, fmt.Errorf("%w: frame of %d bytes exceeds max %d", ErrWireFrame, length, MaxWireFrameBytes)
-	case length%WireRecordSize != 0:
-		return WireFrame{}, fmt.Errorf("%w: frame of %d bytes is not a whole number of %d-byte records", ErrWireFrame, length, WireRecordSize)
+	case length%uint32(d.recSize) != 0:
+		return WireFrame{}, fmt.Errorf("%w: frame of %d bytes is not a whole number of %d-byte records", ErrWireFrame, length, d.recSize)
 	}
 	if cap(d.buf) < int(length) {
 		d.buf = make([]byte, length)
@@ -158,7 +190,7 @@ func (d *FrameDecoder) Next() (WireFrame, error) {
 	if sum := crc32.Checksum(d.buf, wireCRCTable); sum != crc {
 		return WireFrame{}, fmt.Errorf("%w: payload checksum mismatch: computed %#x, stored %#x", ErrWireFrame, sum, crc)
 	}
-	return WireFrame{payload: d.buf}, nil
+	return WireFrame{payload: d.buf, recSize: d.recSize}, nil
 }
 
 // FrameEncoder writes a "CBF1" stream. Events accumulate into a pending

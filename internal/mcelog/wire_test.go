@@ -14,8 +14,18 @@ import (
 )
 
 // wireTestEvents builds n distinct valid events under the default geometry.
-func wireTestEvents(n int) []Event {
-	g := hbm.DefaultGeometry
+func wireTestEvents(n int) []Event { return wireTestEventsFor(hbm.DefaultGeometry, n) }
+
+// wireTestEventsFor builds n events valid under the given geometry. The
+// rank/device dimensions use the zero-means-one normalisation so the same
+// helper serves HBM and DIMM profiles.
+func wireTestEventsFor(g hbm.Geometry, n int) []Event {
+	dim := func(d int) int {
+		if d < 1 {
+			return 1
+		}
+		return d
+	}
 	evs := make([]Event, n)
 	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	classes := []ecc.Class{ecc.ClassCE, ecc.ClassUEO, ecc.ClassUER}
@@ -29,6 +39,8 @@ func wireTestEvents(n int) []Event {
 				SID:           i % g.SIDsPerHBM,
 				Channel:       i % g.ChannelsPerSID,
 				PseudoChannel: i % g.PseudoChPerCh,
+				Rank:          i % dim(g.RanksPerModule),
+				Device:        i % dim(g.DevicesPerRank),
 				BankGroup:     i % g.BankGroups,
 				Bank:          i % g.BanksPerGroup,
 				Row:           i % g.RowsPerBank,
@@ -190,6 +202,64 @@ func TestWireDecodeZeroAllocs(t *testing.T) {
 		t.Fatalf("steady-state decode allocated %.1f times per stream, want 0", allocs)
 	}
 	_ = sink
+}
+
+// TestWireProfileMatrix re-runs the round trip and the zero-alloc pin under
+// every registered topology profile: packed addresses on the wire follow the
+// active profile's layout, so both ends must agree, and the decode path must
+// stay allocation-free regardless of topology.
+func TestWireProfileMatrix(t *testing.T) {
+	for _, name := range hbm.ProfileNames() {
+		p, err := hbm.ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			prev := hbm.ActivateProfile(p)
+			defer hbm.ActivateProfile(prev)
+
+			evs := wireTestEventsFor(p.Geometry, 1024)
+			for i := range evs {
+				evs[i].Bits = ErrBits(uint16(i*2654435761) & 0x7f3f)
+			}
+			data := encodeWireStream(t, evs, 128)
+			got := decodeWireStream(t, data)
+			if len(got) != len(evs) {
+				t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+			}
+			for i := range evs {
+				if !got[i].Time.Equal(evs[i].Time) || got[i].Addr != evs[i].Addr ||
+					got[i].Class != evs[i].Class || got[i].Bits != evs[i].Bits {
+					t.Fatalf("event %d mismatch: got %+v want %+v", i, got[i], evs[i])
+				}
+			}
+
+			dec := NewFrameDecoder(bytes.NewReader(nil))
+			var rd bytes.Reader
+			var sink int
+			allocs := testing.AllocsPerRun(20, func() {
+				rd.Reset(data)
+				dec.Reset(&rd)
+				for {
+					fr, err := dec.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						t.Fatalf("Next: %v", err)
+					}
+					for i := 0; i < fr.Len(); i++ {
+						ev := fr.Event(i)
+						sink += ev.Addr.Row + int(ev.Class)
+					}
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state decode under %s allocated %.1f times per stream, want 0", name, allocs)
+			}
+			_ = sink
+		})
+	}
 }
 
 // FuzzBinaryFrameDecode mirrors FuzzWALDecode for the wire framing:

@@ -86,7 +86,8 @@ type Config struct {
 	// creation; SwapModel changes what "active" means without touching
 	// existing sessions. Normally a *registry.Registry.
 	Models ModelSource
-	// Geometry validates incoming addresses. Zero means DefaultGeometry.
+	// Geometry validates incoming addresses. Zero means the active
+	// topology profile's geometry.
 	Geometry hbm.Geometry
 	// Shards is the number of session shards (and consumer goroutines).
 	// Zero means GOMAXPROCS.
@@ -138,7 +139,7 @@ func (c Config) withDefaults() Config {
 		c.ActionBuffer = 4096
 	}
 	if c.Geometry == (hbm.Geometry{}) {
-		c.Geometry = hbm.DefaultGeometry
+		c.Geometry = hbm.ActiveProfile().Geometry
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()

@@ -75,6 +75,15 @@ func TestOnlineOfflineEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	assertOnlineOfflineEquivalent(t, strategy, fleet)
+}
+
+// assertOnlineOfflineEquivalent replays the fleet's log both ways — per-bank
+// offline sessions and the concurrent engine — and requires identical
+// verdicts. Factored out so the gate also runs under non-default topology
+// profiles.
+func assertOnlineOfflineEquivalent(t *testing.T, strategy core.Strategy, fleet *trace.Fleet) {
+	t.Helper()
 	fleet.Log.Sort()
 
 	// Offline: replay each bank's (time-ordered) events through a fresh

@@ -48,20 +48,42 @@ type Spec struct {
 // DefaultSpec returns a calibrated specification for the given geometry.
 // The default scale (300 faulty banks) keeps full-pipeline runs fast; scale
 // UERBanks and BenignBanks together to approach the paper's dataset size.
+// Companion probabilities follow the active topology profile's hierarchy.
 func DefaultSpec(g hbm.Geometry) Spec {
 	return Spec{
-		Fault:       faultsim.DefaultConfig(g),
-		Weights:     faultsim.DefaultPatternWeights(),
-		UERBanks:    300,
-		BenignBanks: 2200,
-		CompanionProbs: map[hbm.Level]float64{
-			hbm.LevelBankGroup:     0.10,
-			hbm.LevelPseudoChannel: 0.02,
-			hbm.LevelSID:           0.05,
-			hbm.LevelHBM:           0.02,
-			hbm.LevelNPU:           0.02,
-		},
-		Seed: 1,
+		Fault:          faultsim.DefaultConfig(g),
+		Weights:        faultsim.DefaultPatternWeights(),
+		UERBanks:       300,
+		BenignBanks:    2200,
+		CompanionProbs: defaultCompanionProbs(hbm.ActiveProfile()),
+		Seed:           1,
+	}
+}
+
+// defaultCompanionProbs assigns sick-region companion probabilities across
+// the profile's hierarchy: strongest inside the bank group, moderate at
+// the mid-packaging level (SID, or rank on DIMMs), and a small tail at the
+// coarser levels.
+func defaultCompanionProbs(p *hbm.Profile) map[hbm.Level]float64 {
+	for _, l := range p.Levels {
+		if l == hbm.LevelRank {
+			// DIMM hierarchy: socket → channel → DIMM → rank → device.
+			return map[hbm.Level]float64{
+				hbm.LevelBankGroup: 0.10,
+				hbm.LevelDevice:    0.02,
+				hbm.LevelRank:      0.05,
+				hbm.LevelHBM:       0.02,
+				hbm.LevelChannel:   0.02,
+				hbm.LevelNPU:       0.02,
+			}
+		}
+	}
+	return map[hbm.Level]float64{
+		hbm.LevelBankGroup:     0.10,
+		hbm.LevelPseudoChannel: 0.02,
+		hbm.LevelSID:           0.05,
+		hbm.LevelHBM:           0.02,
+		hbm.LevelNPU:           0.02,
 	}
 }
 
@@ -123,6 +145,17 @@ func Generate(spec Spec) (*Fleet, error) {
 
 	fleet := &Fleet{Spec: spec, Log: mcelog.NewLog(0)}
 
+	// Companion draws walk the active profile's hierarchy fine to coarse,
+	// visiting only the levels the spec assigns a probability — same visit
+	// order the calibrated HBM2E default always used.
+	var companionLevels []hbm.Level
+	profileLevels := hbm.ActiveProfile().Levels
+	for i := len(profileLevels) - 1; i >= 0; i-- {
+		if _, ok := spec.CompanionProbs[profileLevels[i]]; ok {
+			companionLevels = append(companionLevels, profileLevels[i])
+		}
+	}
+
 	// Faulty banks with sick-region companions.
 	for i := 0; i < spec.UERBanks; i++ {
 		bank, ok := pickFreshBank(func() hbm.BankAddress { return hbm.RandomBank(geo, rng) })
@@ -136,14 +169,13 @@ func Generate(spec Spec) (*Fleet, error) {
 		fleet.Faults = append(fleet.Faults, bf)
 		fleet.Log.Append(bf.Events...)
 
-		for _, level := range []hbm.Level{
-			hbm.LevelBankGroup, hbm.LevelPseudoChannel, hbm.LevelSID, hbm.LevelHBM, hbm.LevelNPU,
-		} {
+		for _, level := range companionLevels {
 			if !rng.Bool(spec.CompanionProbs[level]) {
 				continue
 			}
+			level := level
 			companion, ok := pickFreshBank(func() hbm.BankAddress {
-				return randomBankWithin(geo, rng, bank, level)
+				return hbm.RandomBankWithin(geo, rng, bank, level)
 			})
 			if !ok {
 				continue // sick region saturated; skip rather than fail
@@ -167,32 +199,6 @@ func Generate(spec Spec) (*Fleet, error) {
 	return fleet, nil
 }
 
-// randomBankWithin draws a random bank sharing the level-entity of anchor,
-// re-randomising every field finer than the level.
-func randomBankWithin(g hbm.Geometry, r *xrand.RNG, anchor hbm.BankAddress, level hbm.Level) hbm.BankAddress {
-	b := anchor
-	switch level {
-	case hbm.LevelNPU:
-		b.HBM = r.Intn(g.HBMsPerNPU)
-		fallthrough
-	case hbm.LevelHBM:
-		b.SID = r.Intn(g.SIDsPerHBM)
-		fallthrough
-	case hbm.LevelSID:
-		b.Channel = r.Intn(g.ChannelsPerSID)
-		fallthrough
-	case hbm.LevelChannel:
-		b.PseudoChannel = r.Intn(g.PseudoChPerCh)
-		fallthrough
-	case hbm.LevelPseudoChannel:
-		b.BankGroup = r.Intn(g.BankGroups)
-		fallthrough
-	case hbm.LevelBankGroup:
-		b.Bank = r.Intn(g.BanksPerGroup)
-	}
-	return b
-}
-
 // SuddenStats reports, for one micro-level, how many level entities had a
 // sudden first UER (no prior error anywhere in the entity) versus a
 // non-sudden one. PredictableRatio is non-sudden / (sudden + non-sudden) —
@@ -213,13 +219,14 @@ func (s SuddenStats) PredictableRatio() float64 {
 	return float64(s.NonSudden) / float64(total)
 }
 
-// SuddenByLevel computes Table I from a log: for every level in
-// hbm.TableLevels, each entity with at least one UER is sudden if no CE or
-// UEO anywhere in the entity precedes its first UER.
+// SuddenByLevel computes Table I from a log: for every level the active
+// topology profile reports, each entity with at least one UER is sudden if
+// no CE or UEO anywhere in the entity precedes its first UER.
 func SuddenByLevel(log *mcelog.Log) []SuddenStats {
 	events := log.Events()
-	out := make([]SuddenStats, 0, len(hbm.TableLevels))
-	for _, level := range hbm.TableLevels {
+	levels := hbm.ActiveProfile().TableLevels
+	out := make([]SuddenStats, 0, len(levels))
+	for _, level := range levels {
 		firstUER := make(map[uint64]time.Time)
 		for _, e := range events {
 			if e.Class != ecc.ClassUER {
@@ -263,10 +270,12 @@ type LevelSummary struct {
 	Total   int
 }
 
-// SummaryByLevel computes Table II from a log.
+// SummaryByLevel computes Table II from a log, over the active topology
+// profile's reported levels.
 func SummaryByLevel(log *mcelog.Log) []LevelSummary {
-	out := make([]LevelSummary, 0, len(hbm.TableLevels))
-	for _, level := range hbm.TableLevels {
+	levels := hbm.ActiveProfile().TableLevels
+	out := make([]LevelSummary, 0, len(levels))
+	for _, level := range levels {
 		out = append(out, LevelSummary{
 			Level:   level,
 			WithCE:  log.EntitiesWithClass(level, ecc.ClassCE),

@@ -91,6 +91,27 @@ echo "==> binary ingest perf gate (steady-state decode allocates nothing)"
 # fails CI with a direct message rather than a drifting BENCH number.
 go test -run 'TestWireDecodeZeroAllocs' -count 1 ./internal/mcelog/
 
+echo "==> topology matrix (profile registry, wire round-trips, cross-profile gates)"
+# Every registered profile must validate and round-trip packed addresses
+# through the wire codec allocation-free (TestWireProfileMatrix iterates
+# the registry); the equivalence gates then re-run under ddr5-dimm, and a
+# two-profile transfer study must complete end to end.
+go test -run 'TestRegisteredProfiles|PackUnpackRoundTrip|TestWireProfileMatrix' \
+    -count 1 ./internal/hbm/ ./internal/mcelog/
+go test -run 'DDR5' -count 1 ./internal/stream/
+go test -run 'TestTransferSmoke' -count 1 ./internal/experiments/
+topodir=$(mktemp -d)
+go run ./cmd/cordial-gen -topology ddr5-dimm -seed 9 -uer-banks 30 -benign-banks 20 \
+    -log "$topodir/ddr5.mcelog" -truth "$topodir/ddr5-truth.json" >/dev/null
+go run ./cmd/cordial-train -topology ddr5-dimm -errbits -trees 10 \
+    -truth "$topodir/ddr5-truth.json" -out "$topodir/ddr5-models.json" >/dev/null
+go run ./cmd/cordial-predict -topology ddr5-dimm -models "$topodir/ddr5-models.json" \
+    -log "$topodir/ddr5.mcelog" | grep -q '^classified ' \
+    || { echo "ddr5 predict smoke failed" >&2; exit 1; }
+go run ./cmd/cordial-study -transfer hbm2e,ddr5-dimm -transfer-banks 40 -transfer-trees 8 \
+    | grep -q 'baseline' || { echo "transfer study smoke failed" >&2; exit 1; }
+rm -rf "$topodir"
+
 echo "==> daemon smoke (/readyz + /metrics over a live cordial-serve)"
 # Boots the daemon, waits for readiness, ingests a small batch, and asserts
 # the observability endpoints: /readyz reports ready, /metrics is Prometheus
